@@ -1,0 +1,62 @@
+//! §4.1 robustness ablation: the same workload point over different network
+//! structures — and the raw cost of routing in each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oml_core::ids::NodeId;
+use oml_core::policy::PolicyKind;
+use oml_des::SimRng;
+use oml_net::{LatencyModel, Network, Topology};
+use oml_sim::{BlockParams, SimulationBuilder};
+
+fn sim_point(topology: Topology) -> f64 {
+    let net = Network::new(topology, LatencyModel::Exponential { mean: 1.0 });
+    let mut b = SimulationBuilder::new(net)
+        .policy(PolicyKind::TransientPlacement)
+        .stopping(oml_bench::bench_rule(4_000))
+        .warmup(100.0)
+        .seed(23);
+    let servers: Vec<_> = (0..3).map(|j| b.add_object(NodeId::new(2 - j))).collect();
+    for i in 0..3 {
+        b.add_client(NodeId::new(i), servers.clone(), BlockParams::paper(30.0));
+    }
+    b.build().run().metrics.comm_time_per_call()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(10);
+    let topologies: [(&str, Topology); 4] = [
+        ("full_mesh", Topology::FullMesh { nodes: 3 }),
+        ("star", Topology::Star { nodes: 3 }),
+        ("ring", Topology::Ring { nodes: 3 }),
+        ("line", Topology::Line { nodes: 3 }),
+    ];
+    for (label, topo) in &topologies {
+        let topo = topo.clone();
+        group.bench_function(BenchmarkId::new("sim_point", label), |b| {
+            b.iter(|| std::hint::black_box(sim_point(topo.clone())))
+        });
+    }
+
+    // raw per-message sampling cost, including hop computation
+    for (label, topo) in &topologies {
+        let net = Network::new(topo.clone(), LatencyModel::Exponential { mean: 1.0 })
+            .with_hop_scaling();
+        group.bench_function(BenchmarkId::new("message_delay", label), |b| {
+            let mut rng = SimRng::seed_from(1);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..3u32 {
+                    for j in 0..3u32 {
+                        acc += net.message_delay(NodeId::new(i), NodeId::new(j), &mut rng);
+                    }
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

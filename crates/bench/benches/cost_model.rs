@@ -1,0 +1,55 @@
+//! The §3.2 analytic model and the attachment-closure queries underlying
+//! every migration decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oml_core::attach::{AttachmentGraph, AttachmentMode, Traversal};
+use oml_core::cost::CostModel;
+use oml_core::ids::{AllianceId, ObjectId};
+
+fn ring_graph(n: u32, tagged: bool) -> AttachmentGraph {
+    let mode = if tagged {
+        AttachmentMode::ATransitive
+    } else {
+        AttachmentMode::Unrestricted
+    };
+    let mut g = AttachmentGraph::new(mode);
+    for i in 0..n {
+        let ctx = tagged.then(|| AllianceId::new(i % 8));
+        g.attach(ObjectId::new(i), ObjectId::new((i + 1) % n), ctx)
+            .expect("ring edge");
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    group.bench_function("closed_forms", |b| {
+        let model = CostModel::paper();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 1..128u64 {
+                acc += model.placement_conflict(n) + model.conventional_conflict_worst(n);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    for n in [64u32, 512, 4096] {
+        let g = ring_graph(n, false);
+        group.bench_function(BenchmarkId::new("unrestricted_closure", n), |b| {
+            b.iter(|| std::hint::black_box(g.closure(ObjectId::new(0), Traversal::AllEdges)))
+        });
+        let tagged = ring_graph(n, true);
+        group.bench_function(BenchmarkId::new("a_transitive_closure", n), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    tagged.migration_closure(ObjectId::new(0), Some(AllianceId::new(0))),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Raw substrate throughput: event queue, engine dispatch, RNG, statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oml_des::stats::BatchMeans;
+use oml_des::{Engine, EventHandler, EventQueue, Scheduler, SimRng, SimTime};
+
+struct Relay {
+    remaining: u64,
+}
+
+impl EventHandler for Relay {
+    type Event = ();
+    fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_in(1.0, ());
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for n in [10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(BenchmarkId::new("queue_push_pop", n), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.push(SimTime::new((i % 97) as f64), i);
+                }
+                let mut acc = 0u64;
+                while let Some(ev) = q.pop() {
+                    acc = acc.wrapping_add(ev.event);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("engine_relay", n), |b| {
+            b.iter(|| {
+                let mut e = Engine::new(Relay { remaining: n });
+                e.scheduler_mut().schedule_at(SimTime::ZERO, ());
+                e.run_to_completion();
+                std::hint::black_box(e.events_handled())
+            })
+        });
+    }
+
+    group.bench_function("rng_exp_100k", |b| {
+        let mut rng = SimRng::seed_from(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.exp(1.0);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.bench_function("batch_means_100k", |b| {
+        b.iter(|| {
+            let mut bm = BatchMeans::new(500);
+            for i in 0..100_000u64 {
+                bm.push((i % 13) as f64);
+            }
+            std::hint::black_box(bm.confidence_interval(0.99))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

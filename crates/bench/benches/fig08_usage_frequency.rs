@@ -1,0 +1,34 @@
+//! Fig. 8 (usage-frequency sweep): one representative point per policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oml_bench::bench_point;
+use oml_core::attach::AttachmentMode;
+use oml_core::policy::PolicyKind;
+use oml_workload::ScenarioConfig;
+
+fn bench(c: &mut Criterion) {
+    let config = ScenarioConfig::fig8(30.0);
+    let mut group = c.benchmark_group("fig08_t_m=30");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("sedentary", PolicyKind::Sedentary),
+        ("migration", PolicyKind::ConventionalMigration),
+        ("placement", PolicyKind::TransientPlacement),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(bench_point(
+                    &config,
+                    policy,
+                    AttachmentMode::Unrestricted,
+                    5_000,
+                    7,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

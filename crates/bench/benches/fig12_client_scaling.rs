@@ -1,0 +1,50 @@
+//! Fig. 12 (client scaling): the high-contention point per policy, plus a
+//! scaling series for the winning policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oml_bench::bench_point;
+use oml_core::attach::AttachmentMode;
+use oml_core::policy::PolicyKind;
+use oml_workload::ScenarioConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    let config = ScenarioConfig::fig12(12);
+    for (label, policy) in [
+        ("sedentary", PolicyKind::Sedentary),
+        ("migration", PolicyKind::ConventionalMigration),
+        ("placement", PolicyKind::TransientPlacement),
+    ] {
+        group.bench_function(BenchmarkId::new("C=12", label), |b| {
+            b.iter(|| {
+                std::hint::black_box(bench_point(
+                    &config,
+                    policy,
+                    AttachmentMode::Unrestricted,
+                    5_000,
+                    11,
+                ))
+            })
+        });
+    }
+    // how the simulator itself scales with the client count
+    for clients in [4u32, 12, 25] {
+        let config = ScenarioConfig::fig12(clients);
+        group.bench_function(BenchmarkId::new("placement/clients", clients), |b| {
+            b.iter(|| {
+                std::hint::black_box(bench_point(
+                    &config,
+                    PolicyKind::TransientPlacement,
+                    AttachmentMode::Unrestricted,
+                    5_000,
+                    11,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

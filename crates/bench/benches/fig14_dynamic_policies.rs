@@ -1,0 +1,34 @@
+//! Fig. 14 (dynamic strategies): one contended point per placement variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oml_bench::bench_point;
+use oml_core::attach::AttachmentMode;
+use oml_core::policy::PolicyKind;
+use oml_workload::ScenarioConfig;
+
+fn bench(c: &mut Criterion) {
+    let config = ScenarioConfig::fig14(12);
+    let mut group = c.benchmark_group("fig14_C=12");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("placement", PolicyKind::TransientPlacement),
+        ("compare-nodes", PolicyKind::CompareNodes),
+        ("compare-reinstantiate", PolicyKind::CompareAndReinstantiate),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(bench_point(
+                    &config,
+                    policy,
+                    AttachmentMode::Unrestricted,
+                    5_000,
+                    13,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

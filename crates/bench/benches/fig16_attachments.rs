@@ -1,0 +1,45 @@
+//! Fig. 16 (attachment modes): one contended point per policy × mode,
+//! including the §3.4 exclusive extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oml_bench::bench_point;
+use oml_core::attach::AttachmentMode;
+use oml_core::policy::PolicyKind;
+use oml_workload::ScenarioConfig;
+
+fn bench(c: &mut Criterion) {
+    let config = ScenarioConfig::fig16(8);
+    let mut group = c.benchmark_group("fig16_C=8");
+    group.sample_size(10);
+    let policies = [
+        ("migration", PolicyKind::ConventionalMigration),
+        ("placement", PolicyKind::TransientPlacement),
+    ];
+    let modes = [
+        ("unrestricted", AttachmentMode::Unrestricted),
+        ("a-transitive", AttachmentMode::ATransitive),
+        ("exclusive", AttachmentMode::Exclusive),
+    ];
+    for (plabel, policy) in policies {
+        for (mlabel, mode) in modes {
+            group.bench_function(BenchmarkId::new(plabel, mlabel), |b| {
+                b.iter(|| std::hint::black_box(bench_point(&config, policy, mode, 4_000, 17)))
+            });
+        }
+    }
+    group.bench_function("sedentary", |b| {
+        b.iter(|| {
+            std::hint::black_box(bench_point(
+                &config,
+                PolicyKind::Sedentary,
+                AttachmentMode::Unrestricted,
+                4_000,
+                17,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! # oml-bench — Criterion benchmarks for the oml workspace
+//!
+//! One bench target per paper table/figure plus design ablations:
+//!
+//! | Target | Measures |
+//! |---|---|
+//! | `fig08_usage_frequency` | one Fig. 8 sweep point per policy |
+//! | `fig12_client_scaling` | one Fig. 12 sweep point per policy |
+//! | `fig14_dynamic_policies` | one Fig. 14 sweep point per strategy |
+//! | `fig16_attachments` | one Fig. 16 sweep point per policy × attachment mode |
+//! | `cost_model` | the §3.2 closed forms and attachment-closure queries |
+//! | `ablation_topology` | latency sampling and a sim point across topologies |
+//! | `engine_throughput` | raw event-queue, RNG and statistics throughput |
+//!
+//! The benches time *fixed-size* simulation slices (capped sample budgets),
+//! so their numbers are comparable across commits; regenerating the paper's
+//! actual curves is the `repro` binary's job.
+
+use oml_core::attach::AttachmentMode;
+use oml_core::policy::PolicyKind;
+use oml_des::stats::StoppingRule;
+use oml_sim::metrics::SimOutcome;
+use oml_workload::{run_scenario, ScenarioConfig};
+
+/// A stopping rule sized for benchmarking: fixed sample budget, precision
+/// effectively disabled so every run does the same amount of work.
+#[must_use]
+pub fn bench_rule(samples: u64) -> StoppingRule {
+    StoppingRule {
+        relative_precision: 1e-9,
+        confidence: 0.99,
+        min_batches: u64::MAX,
+        max_samples: samples,
+    }
+}
+
+/// Runs one scenario under the bench rule.
+#[must_use]
+pub fn bench_point(
+    config: &ScenarioConfig,
+    policy: PolicyKind,
+    mode: AttachmentMode,
+    samples: u64,
+    seed: u64,
+) -> SimOutcome {
+    run_scenario(config, policy, mode, bench_rule(samples), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rule_runs_exactly_to_the_cap() {
+        let out = bench_point(
+            &ScenarioConfig::fig8(10.0),
+            PolicyKind::TransientPlacement,
+            AttachmentMode::Unrestricted,
+            2_000,
+            1,
+        );
+        assert!(out.metrics.samples.sample_count() >= 2_000);
+        assert!(!out.converged);
+    }
+}

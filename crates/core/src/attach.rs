@@ -1,0 +1,552 @@
+//! The attachment graph: `attach()` / `detach()` and its closure semantics
+//! (§2.2, §3.4).
+//!
+//! `attach(o, to)` asks the system to keep `o` together with `to` until an
+//! explicit `detach`. Attachment is *transitive*: migrating any object drags
+//! the whole connected component along. In a non-monolithic system that
+//! transitive closure silently grows beyond what any single application
+//! predicted — the paper's central hazard. This module implements the three
+//! semantics the paper analyses:
+//!
+//! * [`AttachmentMode::Unrestricted`] — classic behaviour: the closure is the
+//!   connected component over *all* attachment edges.
+//! * [`AttachmentMode::ATransitive`] — each edge carries a cooperation
+//!   context (an alliance); the closure followed by a migration is restricted
+//!   to edges of the alliance the migration primitive was invoked in.
+//! * [`AttachmentMode::Exclusive`] — first-come-first-served: an object may
+//!   be latched to at most one target; later `attach` calls on it are
+//!   silently ignored (§3.4's cheaper alternative that needs no new
+//!   construct).
+//!
+//! Edges are *directed* at bookkeeping level (`attach(o, to)` records
+//! `o → to`, mirroring the primitive's asymmetry and making "o may be latched
+//! only once" well defined for the exclusive mode) but *undirected* for
+//! closure traversal, because the system keeps both endpoints together
+//! regardless of who asked.
+
+use crate::alliance::AllianceRegistry;
+use crate::error::AttachError;
+use crate::ids::{AllianceId, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// System-wide attachment semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AttachmentMode {
+    /// Conventional fully transitive attachment.
+    #[default]
+    Unrestricted,
+    /// Alliance-scoped transitiveness (§3.4).
+    ATransitive,
+    /// At most one outgoing attachment per object, first-come-first-served.
+    Exclusive,
+}
+
+impl std::fmt::Display for AttachmentMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AttachmentMode::Unrestricted => "unrestricted",
+            AttachmentMode::ATransitive => "a-transitive",
+            AttachmentMode::Exclusive => "exclusive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What an `attach` call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachOutcome {
+    /// A new edge was recorded.
+    Attached,
+    /// The identical edge (same endpoints, same context) already existed.
+    AlreadyAttached,
+    /// The edge existed with a different context; the context was replaced.
+    Retagged,
+    /// Exclusive mode: the object already has an attachment, the call was
+    /// ignored (the paper: "all additional attachments for this object are
+    /// ignored").
+    IgnoredExclusive,
+}
+
+/// How a closure query walks the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Traversal {
+    /// Follow every edge (conventional transitive attachment).
+    AllEdges,
+    /// Follow only edges whose cooperation context equals the given one
+    /// (A-transitive attachment; `None` selects context-free edges).
+    Context(Option<AllianceId>),
+}
+
+/// The attachment relation over all objects.
+///
+/// # Example
+///
+/// ```
+/// use oml_core::attach::{AttachmentGraph, AttachmentMode, Traversal};
+/// use oml_core::ids::{AllianceId, ObjectId};
+///
+/// let mut g = AttachmentGraph::new(AttachmentMode::ATransitive);
+/// let (s1, s2a, s2b) = (ObjectId::new(0), ObjectId::new(1), ObjectId::new(2));
+/// let work = Some(AllianceId::new(0));
+/// let other = Some(AllianceId::new(1));
+///
+/// g.attach(s2a, s1, work).unwrap();
+/// g.attach(s2b, s1, other).unwrap();
+///
+/// // A migration invoked in the `work` alliance drags only s2a along…
+/// let ws = g.closure(s1, Traversal::Context(work));
+/// assert!(ws.contains(&s2a) && !ws.contains(&s2b));
+/// // …while the unrestricted closure would take everything.
+/// assert_eq!(g.closure(s1, Traversal::AllEdges).len(), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttachmentGraph {
+    mode: AttachmentMode,
+    /// `outgoing[o][to] = context` for every `attach(o, to, context)`.
+    outgoing: BTreeMap<ObjectId, BTreeMap<ObjectId, Option<AllianceId>>>,
+    /// Reverse adjacency for undirected traversal.
+    incoming: BTreeMap<ObjectId, BTreeSet<ObjectId>>,
+    edge_count: usize,
+}
+
+impl AttachmentGraph {
+    /// Creates an empty graph with the given semantics.
+    #[must_use]
+    pub fn new(mode: AttachmentMode) -> Self {
+        AttachmentGraph {
+            mode,
+            outgoing: BTreeMap::new(),
+            incoming: BTreeMap::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// The semantics this graph was created with.
+    #[must_use]
+    pub fn mode(&self) -> AttachmentMode {
+        self.mode
+    }
+
+    /// `attach(object, to)` — ask the system to keep `object` with `to`.
+    ///
+    /// `context` names the alliance the cooperation belongs to (`None` for a
+    /// context-free attachment). Membership is *not* validated here; use
+    /// [`AttachmentGraph::attach_checked`] when a registry is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttachError::SelfAttachment`] if `object == to`.
+    pub fn attach(
+        &mut self,
+        object: ObjectId,
+        to: ObjectId,
+        context: Option<AllianceId>,
+    ) -> Result<AttachOutcome, AttachError> {
+        if object == to {
+            return Err(AttachError::SelfAttachment(object));
+        }
+        if self.mode == AttachmentMode::Exclusive {
+            let already = self.outgoing.get(&object).is_some_and(|m| !m.is_empty());
+            if already && !self.contains_edge(object, to) {
+                return Ok(AttachOutcome::IgnoredExclusive);
+            }
+        }
+        let slot = self.outgoing.entry(object).or_default();
+        match slot.insert(to, context) {
+            None => {
+                self.incoming.entry(to).or_default().insert(object);
+                self.edge_count += 1;
+                Ok(AttachOutcome::Attached)
+            }
+            Some(old) if old == context => Ok(AttachOutcome::AlreadyAttached),
+            Some(_) => Ok(AttachOutcome::Retagged),
+        }
+    }
+
+    /// Like [`AttachmentGraph::attach`], but also validates that both
+    /// endpoints belong to the named alliance.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`AttachError::SelfAttachment`], returns
+    /// [`AttachError::UnknownAlliance`] or [`AttachError::NotAllianceMember`]
+    /// when a context is given and membership does not hold.
+    pub fn attach_checked(
+        &mut self,
+        object: ObjectId,
+        to: ObjectId,
+        context: Option<AllianceId>,
+        registry: &AllianceRegistry,
+    ) -> Result<AttachOutcome, AttachError> {
+        if let Some(alliance) = context {
+            if !registry.exists(alliance) {
+                return Err(AttachError::UnknownAlliance(alliance));
+            }
+            for end in [object, to] {
+                if !registry.is_member(alliance, end) {
+                    return Err(AttachError::NotAllianceMember {
+                        object: end,
+                        alliance,
+                    });
+                }
+            }
+        }
+        self.attach(object, to, context)
+    }
+
+    /// `detach(object, to)` — removes the attachment recorded by
+    /// `attach(object, to)`. Returns whether an edge was removed.
+    pub fn detach(&mut self, object: ObjectId, to: ObjectId) -> bool {
+        let removed = self
+            .outgoing
+            .get_mut(&object)
+            .is_some_and(|m| m.remove(&to).is_some());
+        if removed {
+            if let Some(rev) = self.incoming.get_mut(&to) {
+                rev.remove(&object);
+            }
+            self.edge_count -= 1;
+        }
+        removed
+    }
+
+    /// Removes every edge touching `object` (used when an object is
+    /// destroyed). Returns the number of edges removed.
+    pub fn detach_all(&mut self, object: ObjectId) -> usize {
+        let mut removed = 0;
+        if let Some(out) = self.outgoing.remove(&object) {
+            for to in out.keys() {
+                if let Some(rev) = self.incoming.get_mut(to) {
+                    rev.remove(&object);
+                }
+            }
+            removed += out.len();
+        }
+        if let Some(srcs) = self.incoming.remove(&object) {
+            for src in srcs {
+                if let Some(out) = self.outgoing.get_mut(&src) {
+                    if out.remove(&object).is_some() {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        self.edge_count -= removed;
+        removed
+    }
+
+    /// Whether the directed edge `object → to` exists.
+    #[must_use]
+    pub fn contains_edge(&self, object: ObjectId, to: ObjectId) -> bool {
+        self.outgoing
+            .get(&object)
+            .is_some_and(|m| m.contains_key(&to))
+    }
+
+    /// The context of the edge `object → to`, if the edge exists.
+    ///
+    /// `Some(None)` means the edge exists without a cooperation context.
+    #[must_use]
+    pub fn edge_context(&self, object: ObjectId, to: ObjectId) -> Option<Option<AllianceId>> {
+        self.outgoing.get(&object).and_then(|m| m.get(&to)).copied()
+    }
+
+    /// Total number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of outgoing attachments of `object`.
+    #[must_use]
+    pub fn out_degree(&self, object: ObjectId) -> usize {
+        self.outgoing.get(&object).map_or(0, BTreeMap::len)
+    }
+
+    /// Neighbours of `object` reachable in one undirected step under the
+    /// given traversal, in id order.
+    pub fn neighbours(&self, object: ObjectId, traversal: Traversal) -> Vec<ObjectId> {
+        let mut out: BTreeSet<ObjectId> = BTreeSet::new();
+        if let Some(m) = self.outgoing.get(&object) {
+            for (&to, &ctx) in m {
+                if traversal_admits(traversal, ctx) {
+                    out.insert(to);
+                }
+            }
+        }
+        if let Some(srcs) = self.incoming.get(&object) {
+            for &src in srcs {
+                let ctx = self.outgoing[&src][&object];
+                if traversal_admits(traversal, ctx) {
+                    out.insert(src);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// The transitive closure of `start` under the given traversal — the set
+    /// of objects the system must migrate together with `start`.
+    ///
+    /// Always contains `start` itself.
+    pub fn closure(&self, start: ObjectId, traversal: Traversal) -> BTreeSet<ObjectId> {
+        let mut seen: BTreeSet<ObjectId> = BTreeSet::new();
+        let mut frontier = VecDeque::new();
+        seen.insert(start);
+        frontier.push_back(start);
+        while let Some(obj) = frontier.pop_front() {
+            for next in self.neighbours(obj, traversal) {
+                if seen.insert(next) {
+                    frontier.push_back(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The closure a migration invoked in `context` must move, respecting the
+    /// graph's [`AttachmentMode`]:
+    ///
+    /// * `Unrestricted` / `Exclusive` — the full connected component (the
+    ///   exclusive mode constrains the graph at attach time instead),
+    /// * `ATransitive` — only edges of `context`.
+    pub fn migration_closure(
+        &self,
+        start: ObjectId,
+        context: Option<AllianceId>,
+    ) -> BTreeSet<ObjectId> {
+        let traversal = match self.mode {
+            AttachmentMode::Unrestricted | AttachmentMode::Exclusive => Traversal::AllEdges,
+            AttachmentMode::ATransitive => Traversal::Context(context),
+        };
+        self.closure(start, traversal)
+    }
+
+    /// All objects that currently appear in at least one edge, in id order.
+    pub fn attached_objects(&self) -> BTreeSet<ObjectId> {
+        let mut set: BTreeSet<ObjectId> = BTreeSet::new();
+        for (from, tos) in &self.outgoing {
+            if !tos.is_empty() {
+                set.insert(*from);
+                set.extend(tos.keys().copied());
+            }
+        }
+        set
+    }
+}
+
+impl Default for AttachmentGraph {
+    fn default() -> Self {
+        AttachmentGraph::new(AttachmentMode::Unrestricted)
+    }
+}
+
+fn traversal_admits(traversal: Traversal, edge_ctx: Option<AllianceId>) -> bool {
+    match traversal {
+        Traversal::AllEdges => true,
+        Traversal::Context(ctx) => edge_ctx == ctx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn ally(i: u32) -> Option<AllianceId> {
+        Some(AllianceId::new(i))
+    }
+
+    #[test]
+    fn attach_and_closure_are_undirected() {
+        let mut g = AttachmentGraph::default();
+        g.attach(obj(1), obj(2), None).unwrap();
+        // closure from either endpoint contains both
+        assert!(g.closure(obj(1), Traversal::AllEdges).contains(&obj(2)));
+        assert!(g.closure(obj(2), Traversal::AllEdges).contains(&obj(1)));
+    }
+
+    #[test]
+    fn closure_always_contains_start() {
+        let g = AttachmentGraph::default();
+        let c = g.closure(obj(7), Traversal::AllEdges);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(&obj(7)));
+    }
+
+    #[test]
+    fn transitive_chaining_of_overlapping_working_sets() {
+        // S1a → S2x ← S1b: the paper's overlap hazard.
+        let mut g = AttachmentGraph::default();
+        g.attach(obj(10), obj(1), None).unwrap(); // s2x latched by s1a
+        g.attach(obj(10), obj(2), None).unwrap(); // s2x also latched by s1b (unrestricted allows it)
+        let c = g.closure(obj(1), Traversal::AllEdges);
+        assert!(c.contains(&obj(2)), "overlap chains both working sets");
+    }
+
+    #[test]
+    fn a_transitive_cuts_foreign_context_edges() {
+        let mut g = AttachmentGraph::new(AttachmentMode::ATransitive);
+        g.attach(obj(2), obj(1), ally(0)).unwrap();
+        g.attach(obj(3), obj(1), ally(1)).unwrap();
+        g.attach(obj(4), obj(3), ally(1)).unwrap();
+        let ws0 = g.migration_closure(obj(1), ally(0));
+        assert_eq!(ws0.into_iter().collect::<Vec<_>>(), vec![obj(1), obj(2)]);
+        let ws1 = g.migration_closure(obj(1), ally(1));
+        assert_eq!(
+            ws1.into_iter().collect::<Vec<_>>(),
+            vec![obj(1), obj(3), obj(4)]
+        );
+    }
+
+    #[test]
+    fn a_transitive_with_no_context_follows_untagged_edges_only() {
+        let mut g = AttachmentGraph::new(AttachmentMode::ATransitive);
+        g.attach(obj(2), obj(1), None).unwrap();
+        g.attach(obj(3), obj(1), ally(0)).unwrap();
+        let ws = g.migration_closure(obj(1), None);
+        assert_eq!(ws.into_iter().collect::<Vec<_>>(), vec![obj(1), obj(2)]);
+    }
+
+    #[test]
+    fn unrestricted_mode_ignores_contexts_for_migration() {
+        let mut g = AttachmentGraph::new(AttachmentMode::Unrestricted);
+        g.attach(obj(2), obj(1), ally(0)).unwrap();
+        g.attach(obj(3), obj(1), ally(1)).unwrap();
+        assert_eq!(g.migration_closure(obj(1), ally(0)).len(), 3);
+    }
+
+    #[test]
+    fn exclusive_mode_is_first_come_first_served() {
+        let mut g = AttachmentGraph::new(AttachmentMode::Exclusive);
+        assert_eq!(g.attach(obj(5), obj(1), None).unwrap(), AttachOutcome::Attached);
+        assert_eq!(
+            g.attach(obj(5), obj(2), None).unwrap(),
+            AttachOutcome::IgnoredExclusive
+        );
+        assert!(!g.contains_edge(obj(5), obj(2)));
+        // but the same edge can be re-issued
+        assert_eq!(
+            g.attach(obj(5), obj(1), None).unwrap(),
+            AttachOutcome::AlreadyAttached
+        );
+        // and stars around a hub are allowed (many incoming edges)
+        assert_eq!(g.attach(obj(6), obj(1), None).unwrap(), AttachOutcome::Attached);
+    }
+
+    #[test]
+    fn duplicate_and_retag_outcomes() {
+        let mut g = AttachmentGraph::default();
+        assert_eq!(g.attach(obj(1), obj(2), ally(0)).unwrap(), AttachOutcome::Attached);
+        assert_eq!(
+            g.attach(obj(1), obj(2), ally(0)).unwrap(),
+            AttachOutcome::AlreadyAttached
+        );
+        assert_eq!(
+            g.attach(obj(1), obj(2), ally(1)).unwrap(),
+            AttachOutcome::Retagged
+        );
+        assert_eq!(g.edge_context(obj(1), obj(2)), Some(ally(1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_attachment_is_rejected() {
+        let mut g = AttachmentGraph::default();
+        assert_eq!(
+            g.attach(obj(3), obj(3), None),
+            Err(AttachError::SelfAttachment(obj(3)))
+        );
+    }
+
+    #[test]
+    fn detach_restores_independence() {
+        let mut g = AttachmentGraph::default();
+        g.attach(obj(1), obj(2), None).unwrap();
+        assert!(g.detach(obj(1), obj(2)));
+        assert!(!g.detach(obj(1), obj(2)));
+        assert_eq!(g.closure(obj(1), Traversal::AllEdges).len(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn detach_is_directional() {
+        let mut g = AttachmentGraph::default();
+        g.attach(obj(1), obj(2), None).unwrap();
+        // detaching in the wrong direction does nothing
+        assert!(!g.detach(obj(2), obj(1)));
+        assert!(g.contains_edge(obj(1), obj(2)));
+    }
+
+    #[test]
+    fn detach_all_cleans_both_directions() {
+        let mut g = AttachmentGraph::default();
+        g.attach(obj(1), obj(2), None).unwrap();
+        g.attach(obj(3), obj(1), None).unwrap();
+        g.attach(obj(4), obj(5), None).unwrap();
+        assert_eq!(g.detach_all(obj(1)), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.closure(obj(2), Traversal::AllEdges).len(), 1);
+        assert_eq!(g.closure(obj(3), Traversal::AllEdges).len(), 1);
+    }
+
+    #[test]
+    fn attach_checked_validates_membership() {
+        let mut reg = AllianceRegistry::new();
+        let a = reg.create("ws");
+        reg.join(a, obj(1)).unwrap();
+        let mut g = AttachmentGraph::new(AttachmentMode::ATransitive);
+        let err = g
+            .attach_checked(obj(1), obj(2), Some(a), &reg)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AttachError::NotAllianceMember {
+                object: obj(2),
+                alliance: a
+            }
+        );
+        reg.join(a, obj(2)).unwrap();
+        assert_eq!(
+            g.attach_checked(obj(1), obj(2), Some(a), &reg).unwrap(),
+            AttachOutcome::Attached
+        );
+        let ghost = AllianceId::new(42);
+        assert_eq!(
+            g.attach_checked(obj(1), obj(3), Some(ghost), &reg)
+                .unwrap_err(),
+            AttachError::UnknownAlliance(ghost)
+        );
+    }
+
+    #[test]
+    fn neighbours_are_sorted_and_deduplicated() {
+        let mut g = AttachmentGraph::default();
+        g.attach(obj(1), obj(3), None).unwrap();
+        g.attach(obj(3), obj(1), None).unwrap(); // mutual edges
+        g.attach(obj(1), obj(2), None).unwrap();
+        assert_eq!(g.neighbours(obj(1), Traversal::AllEdges), vec![obj(2), obj(3)]);
+    }
+
+    #[test]
+    fn attached_objects_lists_every_endpoint() {
+        let mut g = AttachmentGraph::default();
+        g.attach(obj(1), obj(2), None).unwrap();
+        g.attach(obj(4), obj(2), None).unwrap();
+        let objs = g.attached_objects();
+        assert_eq!(objs.into_iter().collect::<Vec<_>>(), vec![obj(1), obj(2), obj(4)]);
+    }
+
+    #[test]
+    fn mode_is_reported() {
+        assert_eq!(
+            AttachmentGraph::new(AttachmentMode::Exclusive).mode(),
+            AttachmentMode::Exclusive
+        );
+        assert_eq!(AttachmentMode::default(), AttachmentMode::Unrestricted);
+        assert_eq!(AttachmentMode::ATransitive.to_string(), "a-transitive");
+    }
+}

@@ -1,0 +1,64 @@
+//! # oml-core — migration control for non-monolithic distributed applications
+//!
+//! This crate is the paper's primary contribution, as a reusable library:
+//!
+//! * the classic **linguistic primitives** for mobile objects — `fix` /
+//!   `unfix` / `refix` ([`object::Mobility`]), `attach` / `detach`
+//!   ([`attach::AttachmentGraph`]) and move-blocks — together with
+//! * the **reinterpretations** that make them safe when *autonomously
+//!   developed* components share objects:
+//!   [`policies::TransientPlacement`] (a `move()` becomes
+//!   migrate-if-unlocked, §3.2), the dynamic refinements
+//!   [`policies::CompareNodes`] and [`policies::CompareAndReinstantiate`]
+//!   (§3.3/§4.3), and **alliances** ([`alliance::AllianceRegistry`]) that
+//!   restrict attachment transitiveness to explicit cooperation contexts
+//!   (§3.4), plus the cheaper *exclusive attachment* variant.
+//!
+//! The crate is deliberately free of any execution substrate: the same policy
+//! objects drive both the discrete-event simulator (`oml-sim`) and the real
+//! threads-and-channels runtime (`oml-runtime`).
+//!
+//! # The conflict in one picture
+//!
+//! Two applications A and B share a server object `S`. A issues
+//! `move(S)` and starts a burst of invocations; halfway through, B issues its
+//! own `move(S)`. Under conventional semantics `S` immediately migrates to B,
+//! so A's remaining calls (the ones `move` was supposed to make local) become
+//! remote *and* the system pays a second full migration. Transient placement
+//! instead answers B with a denial indication: B proceeds remotely, A keeps
+//! its locality, and `S` migrates at most once — see [`cost`] for the §3.2
+//! arithmetic and `oml-sim` for the full evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use oml_core::ids::{BlockId, NodeId, ObjectId};
+//! use oml_core::policy::{MoveDecision, MovePolicy, MoveRequest};
+//! use oml_core::policies::TransientPlacement;
+//!
+//! let mut policy = TransientPlacement::new();
+//! let obj = ObjectId::new(0);
+//! let (n1, n2) = (NodeId::new(1), NodeId::new(2));
+//!
+//! // First mover wins and locks the object…
+//! let first = MoveRequest { object: obj, at: n1, from: n2, block: BlockId::new(0) };
+//! assert_eq!(policy.on_move(&first), MoveDecision::Grant);
+//! policy.on_installed(obj, n2, BlockId::new(0));
+//!
+//! // …a concurrent mover is denied instead of stealing the object.
+//! let second = MoveRequest { object: obj, at: n2, from: n1, block: BlockId::new(1) };
+//! assert_eq!(policy.on_move(&second), MoveDecision::Deny);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alliance;
+pub mod attach;
+pub mod cost;
+pub mod error;
+pub mod ids;
+pub mod lang;
+pub mod object;
+pub mod policies;
+pub mod policy;

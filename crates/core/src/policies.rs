@@ -1,0 +1,668 @@
+//! The five built-in migration policies.
+//!
+//! | Policy | Paper | Character |
+//! |---|---|---|
+//! | [`Sedentary`] | baseline | never migrate |
+//! | [`ConventionalMigration`] | §2.3 | always migrate (aggressive) |
+//! | [`TransientPlacement`] | §3.2 | migrate-if-unlocked (conservative) |
+//! | [`CompareNodes`] | §4.3 | follow the node with most open moves |
+//! | [`CompareAndReinstantiate`] | §4.3 | …and re-migrate on end-requests |
+//!
+//! The dynamic pair sit "between the extremes" of conventional migration and
+//! placement: they trade extra bookkeeping (per-node open-move counters that
+//! must travel with the object, §3.3) for slightly better locations. The
+//! paper's — and this reproduction's — finding is that the trade is rarely
+//! worth it.
+
+use crate::ids::{BlockId, NodeId, ObjectId};
+use crate::policy::{EndAction, EndRequest, MoveDecision, MovePolicy, MoveRequest, PolicyKind};
+use std::collections::{BTreeMap, HashMap};
+
+/// The "without migration" baseline: every object is treated as sedentary.
+///
+/// Applications written against this policy do not even issue
+/// `move()`-requests ([`MovePolicy::uses_move_requests`] is `false`), so the
+/// baseline pays pure remote-invocation cost — exactly the flat curves in
+/// Figs. 8, 12 and 16.
+#[derive(Debug, Clone, Default)]
+pub struct Sedentary(());
+
+impl Sedentary {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Sedentary(())
+    }
+}
+
+impl MovePolicy for Sedentary {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Sedentary
+    }
+
+    fn uses_move_requests(&self) -> bool {
+        false
+    }
+
+    fn on_move(&mut self, _req: &MoveRequest) -> MoveDecision {
+        // A stray move()-request (e.g. from a component that ignores the
+        // system-wide policy) is refused.
+        MoveDecision::Deny
+    }
+
+    fn on_installed(&mut self, _object: ObjectId, _node: NodeId, _block: BlockId) {}
+
+    fn on_end(&mut self, _req: &EndRequest) -> EndAction {
+        EndAction::None
+    }
+}
+
+/// Conventional `move()` semantics: every request immediately migrates the
+/// object, no questions asked (§2.3).
+///
+/// This is the policy that behaves well in monolithic systems and
+/// catastrophically in non-monolithic ones: concurrent movers steal shared
+/// objects from each other mid-block.
+#[derive(Debug, Clone, Default)]
+pub struct ConventionalMigration(());
+
+impl ConventionalMigration {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        ConventionalMigration(())
+    }
+}
+
+impl MovePolicy for ConventionalMigration {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::ConventionalMigration
+    }
+
+    fn on_move(&mut self, _req: &MoveRequest) -> MoveDecision {
+        MoveDecision::Grant
+    }
+
+    fn on_installed(&mut self, _object: ObjectId, _node: NodeId, _block: BlockId) {}
+
+    fn on_end(&mut self, _req: &EndRequest) -> EndAction {
+        EndAction::None
+    }
+}
+
+/// Transient placement (§3.2): the paper's conservative reinterpretation of
+/// `move()`.
+///
+/// The first move-request migrates the object and **locks** it at the target
+/// ("a locked object is sedentary as long as the block or operation completes
+/// to which the move()-primitive is tied"). Conflicting requests are denied
+/// with an indication; the corresponding `end` is then simply ignored. The
+/// lock is released by the holder's `end`-request, which is always a local
+/// operation.
+#[derive(Debug, Clone, Default)]
+pub struct TransientPlacement {
+    locks: HashMap<ObjectId, BlockId>,
+}
+
+impl TransientPlacement {
+    /// Creates the policy with no locks held.
+    #[must_use]
+    pub fn new() -> Self {
+        TransientPlacement::default()
+    }
+
+    /// The block currently holding `object` in place, if any.
+    #[must_use]
+    pub fn lock_holder(&self, object: ObjectId) -> Option<BlockId> {
+        self.locks.get(&object).copied()
+    }
+}
+
+impl MovePolicy for TransientPlacement {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::TransientPlacement
+    }
+
+    fn on_move(&mut self, req: &MoveRequest) -> MoveDecision {
+        if self.locks.contains_key(&req.object) {
+            MoveDecision::Deny
+        } else {
+            MoveDecision::Grant
+        }
+    }
+
+    fn on_installed(&mut self, object: ObjectId, _node: NodeId, block: BlockId) {
+        let previous = self.locks.insert(object, block);
+        debug_assert!(
+            previous.is_none(),
+            "placement granted {object} to {block} while still locked by {previous:?}"
+        );
+    }
+
+    fn on_end(&mut self, req: &EndRequest) -> EndAction {
+        if req.was_granted {
+            let held = self.locks.remove(&req.object);
+            debug_assert_eq!(
+                held,
+                Some(req.block),
+                "end-request from a non-holder released a lock"
+            );
+        }
+        // An end after a denial "is simply ignored, as nothing has to be
+        // done" (§3.2).
+        EndAction::None
+    }
+
+    fn is_pinned(&self, object: ObjectId) -> bool {
+        self.locks.contains_key(&object)
+    }
+}
+
+/// Shared bookkeeping of the two dynamic strategies: per-object, per-node
+/// counters of *open* move-requests (§4.3).
+///
+/// "For this it records move- and end-requests and the nodes where they have
+/// occurred." The counters travel with the object, which is why §3.3 warns
+/// that such policies are unpromising for small objects; the simulation
+/// (like the paper's) deliberately neglects that overhead.
+#[derive(Debug, Clone, Default)]
+struct OpenMoveLedger {
+    open: HashMap<ObjectId, BTreeMap<NodeId, u32>>,
+}
+
+impl OpenMoveLedger {
+    fn record_move(&mut self, object: ObjectId, node: NodeId) {
+        *self.open.entry(object).or_default().entry(node).or_insert(0) += 1;
+    }
+
+    fn record_end(&mut self, object: ObjectId, node: NodeId) {
+        if let Some(per_node) = self.open.get_mut(&object) {
+            if let Some(count) = per_node.get_mut(&node) {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    per_node.remove(&node);
+                }
+            }
+        }
+    }
+
+    fn count(&self, object: ObjectId, node: NodeId) -> u32 {
+        self.open
+            .get(&object)
+            .and_then(|m| m.get(&node))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The node with the most open requests (ties broken towards the lowest
+    /// node id for determinism), with its count.
+    fn leader(&self, object: ObjectId) -> Option<(NodeId, u32)> {
+        let per_node = self.open.get(&object)?;
+        per_node
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(&n, &c)| (n, c))
+    }
+}
+
+/// Shared core of the two intelligent placement strategies: placement locks
+/// plus the open-move ledger.
+///
+/// Both strategies are *extensions of transient placement* (§4.3 calls them
+/// "intelligent placement strategies"): the lock semantics stay, but an
+/// unlocked object is only handed to a requester whose node has issued at
+/// least as many open move-requests as every other node — "it tries to keep
+/// objects always at those nodes from where the most move-requests have been
+/// issued". A conflicting request therefore has "initially no effect on the
+/// location of the requested object but may lead to a migration at some
+/// point later if further move-requests are issued at the same node".
+#[derive(Debug, Clone, Default)]
+struct ComparingCore {
+    ledger: OpenMoveLedger,
+    locks: HashMap<ObjectId, BlockId>,
+}
+
+impl ComparingCore {
+    fn on_move(&mut self, req: &MoveRequest) -> MoveDecision {
+        self.ledger.record_move(req.object, req.from);
+        if self.locks.contains_key(&req.object) {
+            return MoveDecision::Deny;
+        }
+        if req.from == req.at {
+            return MoveDecision::Grant;
+        }
+        let mine = self.ledger.count(req.object, req.from);
+        match self.ledger.leader(req.object) {
+            Some((_, top)) if mine >= top => MoveDecision::Grant,
+            Some(_) => MoveDecision::Deny,
+            None => MoveDecision::Grant,
+        }
+    }
+
+    fn on_installed(&mut self, object: ObjectId, block: BlockId) {
+        let previous = self.locks.insert(object, block);
+        debug_assert!(previous.is_none(), "granted {object} while locked");
+    }
+
+    /// Processes the end bookkeeping; returns whether the ending block held
+    /// the lock (i.e. the object is unlocked now).
+    fn on_end(&mut self, req: &EndRequest) -> bool {
+        self.ledger.record_end(req.object, req.from);
+        if req.was_granted {
+            let held = self.locks.remove(&req.object);
+            debug_assert_eq!(held, Some(req.block));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_pinned(&self, object: ObjectId) -> bool {
+        self.locks.contains_key(&object)
+    }
+}
+
+/// "Comparing the nodes" (§4.3): transient placement whose grants prefer the
+/// node with the most open move-requests.
+#[derive(Debug, Clone, Default)]
+pub struct CompareNodes {
+    core: ComparingCore,
+}
+
+impl CompareNodes {
+    /// Creates the policy with empty counters.
+    #[must_use]
+    pub fn new() -> Self {
+        CompareNodes::default()
+    }
+
+    /// Open move-requests recorded for `object` at `node` (for diagnostics).
+    #[must_use]
+    pub fn open_moves(&self, object: ObjectId, node: NodeId) -> u32 {
+        self.core.ledger.count(object, node)
+    }
+}
+
+impl MovePolicy for CompareNodes {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::CompareNodes
+    }
+
+    fn on_move(&mut self, req: &MoveRequest) -> MoveDecision {
+        self.core.on_move(req)
+    }
+
+    fn on_installed(&mut self, object: ObjectId, _node: NodeId, block: BlockId) {
+        self.core.on_installed(object, block);
+    }
+
+    fn on_end(&mut self, req: &EndRequest) -> EndAction {
+        let _ = self.core.on_end(req);
+        EndAction::None
+    }
+
+    fn is_pinned(&self, object: ObjectId) -> bool {
+        self.core.is_pinned(object)
+    }
+}
+
+/// "Comparing and reinstantiation" (§4.3): like [`CompareNodes`], but "objects
+/// may not only be migrated on move-requests but also on end-requests if an
+/// end-request leads to a situation that some other node holds a clear
+/// majority on open move-requests".
+#[derive(Debug, Clone, Default)]
+pub struct CompareAndReinstantiate {
+    core: ComparingCore,
+}
+
+impl CompareAndReinstantiate {
+    /// Creates the policy with empty counters.
+    #[must_use]
+    pub fn new() -> Self {
+        CompareAndReinstantiate::default()
+    }
+}
+
+impl MovePolicy for CompareAndReinstantiate {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::CompareAndReinstantiate
+    }
+
+    fn on_move(&mut self, req: &MoveRequest) -> MoveDecision {
+        self.core.on_move(req)
+    }
+
+    fn on_installed(&mut self, object: ObjectId, _node: NodeId, block: BlockId) {
+        self.core.on_installed(object, block);
+    }
+
+    fn on_end(&mut self, req: &EndRequest) -> EndAction {
+        let unlocked = self.core.on_end(req);
+        if !unlocked {
+            return EndAction::None;
+        }
+        match self.core.ledger.leader(req.object) {
+            // A *clear* majority: at least two blocks are waiting there and
+            // more than at the object's current node. (Chasing a single
+            // waiter costs a full migration for at most half a block's worth
+            // of savings.)
+            Some((leader, count))
+                if leader != req.at
+                    && count >= 2
+                    && count > self.core.ledger.count(req.object, req.at) =>
+            {
+                EndAction::Migrate(leader)
+            }
+            _ => EndAction::None,
+        }
+    }
+
+    fn is_pinned(&self, object: ObjectId) -> bool {
+        self.core.is_pinned(object)
+    }
+}
+
+/// An anti-thrashing extension policy: conventional migration plus the
+/// transient fixing §2.2 hints at ("mostly the consequence of run-time
+/// decisions, e.g., to avoid thrashing").
+///
+/// After each migration the object is transiently fixed for the next
+/// `cooldown` conflicting move-requests: they are denied (with the usual
+/// indication) while the counter drains. This is *not* one of the paper's
+/// evaluated policies — it exists to demonstrate that the
+/// [`MovePolicy`] interface supports user-defined policies, and serves as an
+/// ablation point between conventional migration (`cooldown = 0`) and
+/// increasingly placement-like behaviour.
+///
+/// # Example
+///
+/// ```
+/// use oml_core::ids::{BlockId, NodeId, ObjectId};
+/// use oml_core::policies::CooldownFixing;
+/// use oml_core::policy::{MoveDecision, MovePolicy, MoveRequest};
+///
+/// let mut p = CooldownFixing::new(2);
+/// let req = |from: u32, b: u32| MoveRequest {
+///     object: ObjectId::new(0),
+///     at: NodeId::new(0),
+///     from: NodeId::new(from),
+///     block: BlockId::new(b),
+/// };
+/// assert_eq!(p.on_move(&req(1, 0)), MoveDecision::Grant);
+/// p.on_installed(ObjectId::new(0), NodeId::new(1), BlockId::new(0));
+/// // the next two conflicting movers bounce off the cooldown…
+/// assert_eq!(p.on_move(&req(2, 1)), MoveDecision::Deny);
+/// assert_eq!(p.on_move(&req(2, 2)), MoveDecision::Deny);
+/// // …after which migration is conventional again
+/// assert_eq!(p.on_move(&req(2, 3)), MoveDecision::Grant);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CooldownFixing {
+    cooldown: u32,
+    remaining: HashMap<ObjectId, u32>,
+}
+
+impl CooldownFixing {
+    /// Creates the policy; after each migration the next `cooldown`
+    /// conflicting move-requests are denied.
+    #[must_use]
+    pub fn new(cooldown: u32) -> Self {
+        CooldownFixing {
+            cooldown,
+            remaining: HashMap::new(),
+        }
+    }
+
+    /// The configured cooldown length.
+    #[must_use]
+    pub fn cooldown(&self) -> u32 {
+        self.cooldown
+    }
+}
+
+impl MovePolicy for CooldownFixing {
+    fn kind(&self) -> PolicyKind {
+        // reported as the policy it extends; `kind()` drives display only
+        PolicyKind::ConventionalMigration
+    }
+
+    fn on_move(&mut self, req: &MoveRequest) -> MoveDecision {
+        if req.from == req.at {
+            return MoveDecision::Grant;
+        }
+        if let Some(r) = self.remaining.get_mut(&req.object) {
+            if *r > 0 {
+                *r -= 1;
+                return MoveDecision::Deny;
+            }
+        }
+        MoveDecision::Grant
+    }
+
+    fn on_installed(&mut self, object: ObjectId, _node: NodeId, _block: BlockId) {
+        self.remaining.insert(object, self.cooldown);
+    }
+
+    fn on_end(&mut self, _req: &EndRequest) -> EndAction {
+        EndAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn node(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+    fn block(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+    fn req(o: u32, at: u32, from: u32, b: u32) -> MoveRequest {
+        MoveRequest {
+            object: obj(o),
+            at: node(at),
+            from: node(from),
+            block: block(b),
+        }
+    }
+    fn end(o: u32, at: u32, from: u32, b: u32, granted: bool) -> EndRequest {
+        EndRequest {
+            object: obj(o),
+            at: node(at),
+            from: node(from),
+            block: block(b),
+            was_granted: granted,
+        }
+    }
+
+    #[test]
+    fn sedentary_denies_everything() {
+        let mut p = Sedentary::new();
+        assert_eq!(p.on_move(&req(0, 1, 2, 0)), MoveDecision::Deny);
+        assert!(!p.uses_move_requests());
+        assert_eq!(p.on_end(&end(0, 1, 2, 0, false)), EndAction::None);
+    }
+
+    #[test]
+    fn conventional_grants_everything() {
+        let mut p = ConventionalMigration::new();
+        for i in 0..5 {
+            assert_eq!(p.on_move(&req(0, 1, 2, i)), MoveDecision::Grant);
+        }
+    }
+
+    #[test]
+    fn placement_locks_until_end() {
+        let mut p = TransientPlacement::new();
+        assert_eq!(p.on_move(&req(0, 1, 2, 0)), MoveDecision::Grant);
+        p.on_installed(obj(0), node(2), block(0));
+        assert_eq!(p.lock_holder(obj(0)), Some(block(0)));
+
+        // concurrent movers are denied, even from the holder's own node
+        assert_eq!(p.on_move(&req(0, 2, 3, 1)), MoveDecision::Deny);
+        assert_eq!(p.on_move(&req(0, 2, 2, 2)), MoveDecision::Deny);
+
+        // the denied block's end is ignored — lock still held
+        assert_eq!(p.on_end(&end(0, 2, 3, 1, false)), EndAction::None);
+        assert_eq!(p.lock_holder(obj(0)), Some(block(0)));
+
+        // the holder's end releases, after which a new move wins
+        assert_eq!(p.on_end(&end(0, 2, 2, 0, true)), EndAction::None);
+        assert_eq!(p.lock_holder(obj(0)), None);
+        assert_eq!(p.on_move(&req(0, 2, 3, 3)), MoveDecision::Grant);
+    }
+
+    #[test]
+    fn placement_locks_are_per_object() {
+        let mut p = TransientPlacement::new();
+        p.on_installed(obj(0), node(1), block(0));
+        assert_eq!(p.on_move(&req(1, 1, 2, 1)), MoveDecision::Grant);
+    }
+
+    #[test]
+    fn compare_nodes_respects_lock_then_prefers_majority() {
+        let mut p = CompareNodes::new();
+        // first mover from node 2: grant, install, lock
+        assert_eq!(p.on_move(&req(0, 1, 2, 0)), MoveDecision::Grant);
+        p.on_installed(obj(0), node(2), block(0));
+        assert!(p.is_pinned(obj(0)));
+
+        // conflicting movers are denied while the lock is held, but recorded
+        assert_eq!(p.on_move(&req(0, 2, 3, 1)), MoveDecision::Deny);
+        assert_eq!(p.on_move(&req(0, 2, 3, 2)), MoveDecision::Deny);
+        assert_eq!(p.open_moves(obj(0), node(3)), 2);
+
+        // holder ends: unlock
+        assert_eq!(p.on_end(&end(0, 2, 2, 0, true)), EndAction::None);
+        assert!(!p.is_pinned(obj(0)));
+
+        // node 3 now holds the majority (2 open), so a further request from
+        // node 3 is granted ("may lead to a migration at some point later if
+        // further move-requests are issued at the same node")…
+        assert_eq!(p.on_move(&req(0, 2, 3, 3)), MoveDecision::Grant);
+    }
+
+    #[test]
+    fn compare_nodes_denies_minority_requesters_when_unlocked() {
+        let mut p = CompareNodes::new();
+        // two open requests pile up at node 3 (denied while locked)
+        assert_eq!(p.on_move(&req(0, 1, 2, 0)), MoveDecision::Grant);
+        p.on_installed(obj(0), node(2), block(0));
+        let _ = p.on_move(&req(0, 2, 3, 1));
+        let _ = p.on_move(&req(0, 2, 3, 2));
+        let _ = p.on_end(&end(0, 2, 2, 0, true));
+        // a single fresh request from node 4 (count 1) loses to node 3's 2
+        assert_eq!(p.on_move(&req(0, 2, 4, 3)), MoveDecision::Deny);
+    }
+
+    #[test]
+    fn compare_nodes_grants_local_requests() {
+        let mut p = CompareNodes::new();
+        assert_eq!(p.on_move(&req(0, 5, 5, 0)), MoveDecision::Grant);
+    }
+
+    #[test]
+    fn compare_nodes_end_decrements() {
+        let mut p = CompareNodes::new();
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        assert_eq!(p.open_moves(obj(0), node(2)), 1);
+        let _ = p.on_end(&end(0, 2, 2, 0, true));
+        assert_eq!(p.open_moves(obj(0), node(2)), 0);
+    }
+
+    #[test]
+    fn reinstantiation_migrates_on_end_majority() {
+        let mut p = CompareAndReinstantiate::new();
+        // holder at node 2 with one open block
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        // two waiting blocks at node 3, denied while locked
+        assert_eq!(p.on_move(&req(0, 2, 3, 1)), MoveDecision::Deny);
+        assert_eq!(p.on_move(&req(0, 2, 3, 2)), MoveDecision::Deny);
+        // holder finishes: node 3 holds a clear majority (2 > 0) → migrate
+        let action = p.on_end(&end(0, 2, 2, 0, true));
+        assert_eq!(action, EndAction::Migrate(node(3)));
+    }
+
+    #[test]
+    fn reinstantiation_needs_a_clear_majority() {
+        let mut p = CompareAndReinstantiate::new();
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        // a single waiter is not a clear majority
+        let _ = p.on_move(&req(0, 2, 3, 1));
+        assert_eq!(p.on_end(&end(0, 2, 2, 0, true)), EndAction::None);
+    }
+
+    #[test]
+    fn reinstantiation_stays_put_without_majority() {
+        let mut p = CompareAndReinstantiate::new();
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        // no other open requests: end migrates nothing
+        assert_eq!(p.on_end(&end(0, 2, 2, 0, true)), EndAction::None);
+    }
+
+    #[test]
+    fn reinstantiation_tie_breaks_deterministically() {
+        let mut p = CompareAndReinstantiate::new();
+        // granted holder at node 2
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        // two denied waiters each at nodes 3 and 4
+        let _ = p.on_move(&req(0, 2, 3, 1));
+        let _ = p.on_move(&req(0, 2, 3, 2));
+        let _ = p.on_move(&req(0, 2, 4, 3));
+        let _ = p.on_move(&req(0, 2, 4, 4));
+        // unlock: nodes 3 and 4 tie at two open requests; the leader prefers
+        // the lower node id, and 2 > 0 at the current node → migrate to n3.
+        let action = p.on_end(&end(0, 2, 2, 0, true));
+        assert_eq!(action, EndAction::Migrate(node(3)));
+    }
+
+    #[test]
+    fn reinstantiation_ignores_ends_of_denied_blocks() {
+        let mut p = CompareAndReinstantiate::new();
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        let _ = p.on_move(&req(0, 2, 3, 1));
+        // the denied block gives up without its move ever being granted;
+        // the lock is untouched and nothing migrates
+        assert_eq!(p.on_end(&end(0, 2, 3, 1, false)), EndAction::None);
+        assert!(p.is_pinned(obj(0)));
+    }
+
+    #[test]
+    fn cooldown_zero_is_plain_conventional() {
+        let mut p = CooldownFixing::new(0);
+        assert_eq!(p.cooldown(), 0);
+        assert_eq!(p.on_move(&req(0, 1, 2, 0)), MoveDecision::Grant);
+        p.on_installed(obj(0), node(2), block(0));
+        assert_eq!(p.on_move(&req(0, 2, 3, 1)), MoveDecision::Grant);
+    }
+
+    #[test]
+    fn cooldown_is_per_object_and_local_moves_bypass_it() {
+        let mut p = CooldownFixing::new(1);
+        p.on_installed(obj(0), node(1), block(0));
+        // another object is unaffected
+        assert_eq!(p.on_move(&req(1, 1, 2, 1)), MoveDecision::Grant);
+        // a local request on the cooling object does not burn the counter
+        assert_eq!(p.on_move(&req(0, 1, 1, 2)), MoveDecision::Grant);
+        assert_eq!(p.on_move(&req(0, 1, 2, 3)), MoveDecision::Deny);
+        assert_eq!(p.on_move(&req(0, 1, 2, 4)), MoveDecision::Grant);
+    }
+
+    #[test]
+    fn ledger_handles_unknown_ends_gracefully() {
+        let mut p = CompareNodes::new();
+        // an end for a move never recorded must not underflow or panic
+        let _ = p.on_end(&end(0, 1, 2, 0, false));
+        assert_eq!(p.open_moves(obj(0), node(2)), 0);
+    }
+}

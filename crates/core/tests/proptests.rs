@@ -1,0 +1,198 @@
+//! Property-based tests for attachment closures, alliances, policies and the
+//! cost model.
+
+use oml_core::attach::{AttachmentGraph, AttachmentMode, Traversal};
+use oml_core::cost::CostModel;
+use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
+use oml_core::policies::TransientPlacement;
+use oml_core::policy::{EndRequest, MoveDecision, MovePolicy, MoveRequest};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const N_OBJECTS: u32 = 12;
+
+#[derive(Debug, Clone)]
+struct EdgeSpec {
+    from: u32,
+    to: u32,
+    ctx: Option<u32>,
+}
+
+fn edges() -> impl Strategy<Value = Vec<EdgeSpec>> {
+    proptest::collection::vec(
+        (0..N_OBJECTS, 0..N_OBJECTS, proptest::option::of(0..3u32)).prop_map(|(from, to, ctx)| {
+            EdgeSpec { from, to, ctx }
+        }),
+        0..40,
+    )
+}
+
+fn build(mode: AttachmentMode, specs: &[EdgeSpec]) -> AttachmentGraph {
+    let mut g = AttachmentGraph::new(mode);
+    for e in specs {
+        if e.from != e.to {
+            let ctx = e.ctx.map(AllianceId::new);
+            let _ = g.attach(ObjectId::new(e.from), ObjectId::new(e.to), ctx);
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Closures are reflexive: they always contain the start object.
+    #[test]
+    fn closure_contains_start(specs in edges(), start in 0..N_OBJECTS) {
+        let g = build(AttachmentMode::Unrestricted, &specs);
+        let c = g.closure(ObjectId::new(start), Traversal::AllEdges);
+        prop_assert!(c.contains(&ObjectId::new(start)));
+    }
+
+    /// Unrestricted closures are symmetric: b ∈ closure(a) ⇔ a ∈ closure(b)
+    /// (they are connected components).
+    #[test]
+    fn closure_is_symmetric(specs in edges(), a in 0..N_OBJECTS, b in 0..N_OBJECTS) {
+        let g = build(AttachmentMode::Unrestricted, &specs);
+        let ca = g.closure(ObjectId::new(a), Traversal::AllEdges);
+        let cb = g.closure(ObjectId::new(b), Traversal::AllEdges);
+        prop_assert_eq!(
+            ca.contains(&ObjectId::new(b)),
+            cb.contains(&ObjectId::new(a))
+        );
+    }
+
+    /// Members of one unrestricted closure share exactly that closure.
+    #[test]
+    fn closure_is_an_equivalence_class(specs in edges(), a in 0..N_OBJECTS) {
+        let g = build(AttachmentMode::Unrestricted, &specs);
+        let ca = g.closure(ObjectId::new(a), Traversal::AllEdges);
+        for &m in &ca {
+            prop_assert_eq!(g.closure(m, Traversal::AllEdges), ca.clone());
+        }
+    }
+
+    /// The A-transitive closure for any context is a subset of the
+    /// unrestricted closure — restricting transitiveness can only shrink the
+    /// moved working set.
+    #[test]
+    fn a_closure_subset_of_unrestricted(
+        specs in edges(),
+        start in 0..N_OBJECTS,
+        ctx in proptest::option::of(0..3u32),
+    ) {
+        let g = build(AttachmentMode::ATransitive, &specs);
+        let scoped = g.migration_closure(ObjectId::new(start), ctx.map(AllianceId::new));
+        let full = g.closure(ObjectId::new(start), Traversal::AllEdges);
+        prop_assert!(scoped.is_subset(&full));
+    }
+
+    /// In exclusive mode every object has out-degree ≤ 1 no matter what
+    /// attach sequence was attempted.
+    #[test]
+    fn exclusive_mode_bounds_out_degree(specs in edges()) {
+        let g = build(AttachmentMode::Exclusive, &specs);
+        for i in 0..N_OBJECTS {
+            prop_assert!(g.out_degree(ObjectId::new(i)) <= 1);
+        }
+    }
+
+    /// Detaching every edge that was attached empties the graph and restores
+    /// singleton closures.
+    #[test]
+    fn detach_everything_restores_singletons(specs in edges()) {
+        let mut g = build(AttachmentMode::Unrestricted, &specs);
+        let objects: Vec<ObjectId> = (0..N_OBJECTS).map(ObjectId::new).collect();
+        for &o in &objects {
+            g.detach_all(o);
+        }
+        prop_assert_eq!(g.edge_count(), 0);
+        for &o in &objects {
+            prop_assert_eq!(g.closure(o, Traversal::AllEdges).len(), 1);
+        }
+    }
+
+    /// Placement safety: at most one block ever holds an object, and a grant
+    /// is impossible while a lock is held.
+    #[test]
+    fn placement_lock_exclusion(ops in proptest::collection::vec((0..6u32, 0..4u32, any::<bool>()), 1..80)) {
+        let mut p = TransientPlacement::new();
+        let obj = ObjectId::new(0);
+        let mut holder: Option<BlockId> = None;
+        let mut next_block = 0u32;
+        for (from, _at, end_first) in ops {
+            let from = NodeId::new(from);
+            if end_first {
+                // end the current holder if any
+                if let Some(b) = holder.take() {
+                    let _ = p.on_end(&EndRequest {
+                        object: obj,
+                        at: from,
+                        from,
+                        block: b,
+                        was_granted: true,
+                    });
+                }
+            } else {
+                let block = BlockId::new(next_block);
+                next_block += 1;
+                let decision = p.on_move(&MoveRequest {
+                    object: obj,
+                    at: NodeId::new(0),
+                    from,
+                    block,
+                });
+                match decision {
+                    MoveDecision::Grant => {
+                        prop_assert!(holder.is_none(), "grant while locked");
+                        p.on_installed(obj, from, block);
+                        holder = Some(block);
+                    }
+                    MoveDecision::Deny => {
+                        prop_assert!(holder.is_some(), "deny while unlocked");
+                    }
+                }
+            }
+            prop_assert_eq!(p.lock_holder(obj), holder);
+        }
+    }
+
+    /// §3.2: placement strictly beats the conventional worst case for every
+    /// sensible parameterization, by exactly M + C.
+    #[test]
+    fn cost_model_ordering(m in 1.1..500.0f64, c in 0.01..1.0f64, n in 1u64..1000) {
+        prop_assume!(m > c);
+        let model = CostModel::new(m, c);
+        let adv = model.conventional_conflict_worst(n) - model.placement_conflict(n);
+        prop_assert!(adv > 0.0);
+        prop_assert!((adv - (m + c)).abs() < 1e-9 * (1.0 + m + c));
+    }
+
+    /// Closure size equals the number of reachable objects in a reference
+    /// union-find built from the same undirected edges.
+    #[test]
+    fn closure_matches_union_find(specs in edges(), start in 0..N_OBJECTS) {
+        let g = build(AttachmentMode::Unrestricted, &specs);
+        // reference: naive union-find over the *applied* edges (skip self-loops)
+        let mut parent: Vec<u32> = (0..N_OBJECTS).collect();
+        fn find(parent: &mut Vec<u32>, x: u32) -> u32 {
+            if parent[x as usize] != x {
+                let root = find(parent, parent[x as usize]);
+                parent[x as usize] = root;
+            }
+            parent[x as usize]
+        }
+        for e in &specs {
+            if e.from != e.to && g.contains_edge(ObjectId::new(e.from), ObjectId::new(e.to)) {
+                let (ra, rb) = (find(&mut parent, e.from), find(&mut parent, e.to));
+                if ra != rb {
+                    parent[ra as usize] = rb;
+                }
+            }
+        }
+        let root = find(&mut parent, start);
+        let expected: BTreeSet<ObjectId> = (0..N_OBJECTS)
+            .filter(|&i| find(&mut parent, i) == root)
+            .map(ObjectId::new)
+            .collect();
+        prop_assert_eq!(g.closure(ObjectId::new(start), Traversal::AllEdges), expected);
+    }
+}

@@ -1,0 +1,159 @@
+//! A bounded event trace for debugging simulation runs.
+//!
+//! Simulations emit millions of events; when one misbehaves you usually want
+//! the *last few thousand* things that happened, not a gigabyte of logs.
+//! [`TraceBuffer`] is a fixed-capacity ring that keeps the tail of the
+//! stream.
+
+use crate::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord<T> {
+    /// When the event happened.
+    pub time: SimTime,
+    /// The payload (usually a small enum or string).
+    pub event: T,
+}
+
+/// A fixed-capacity ring buffer of trace records.
+///
+/// # Example
+///
+/// ```
+/// use oml_des::trace::TraceBuffer;
+/// use oml_des::SimTime;
+///
+/// let mut t = TraceBuffer::new(3);
+/// for i in 0..5 {
+///     t.record(SimTime::new(i as f64), format!("event {i}"));
+/// }
+/// // only the last three survive
+/// let tail: Vec<&str> = t.iter().map(|r| r.event.as_str()).collect();
+/// assert_eq!(tail, vec!["event 2", "event 3", "event 4"]);
+/// assert_eq!(t.dropped(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer<T> {
+    capacity: usize,
+    records: VecDeque<TraceRecord<T>>,
+    dropped: u64,
+}
+
+impl<T> TraceBuffer<T> {
+    /// Creates a buffer keeping at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer needs capacity");
+        TraceBuffer {
+            capacity,
+            records: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn record(&mut self, time: SimTime, event: T) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { time, event });
+    }
+
+    /// Iterates oldest → newest over the retained tail.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord<T>> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recorded (or everything was dropped — impossible,
+    /// the tail is always kept).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drops everything recorded so far.
+    pub fn clear(&mut self) {
+        self.dropped += self.records.len() as u64;
+        self.records.clear();
+    }
+}
+
+impl<T: fmt::Display> TraceBuffer<T> {
+    /// Renders the retained tail, one record per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "… {} earlier records dropped …", self.dropped);
+        }
+        for r in &self.records {
+            let _ = writeln!(out, "[{}] {}", r.time, r.event);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_tail() {
+        let mut t = TraceBuffer::new(2);
+        t.record(SimTime::new(1.0), 1);
+        t.record(SimTime::new(2.0), 2);
+        t.record(SimTime::new(3.0), 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let seen: Vec<i32> = t.iter().map(|r| r.event).collect();
+        assert_eq!(seen, vec![2, 3]);
+    }
+
+    #[test]
+    fn clear_counts_as_dropped() {
+        let mut t = TraceBuffer::new(4);
+        t.record(SimTime::ZERO, "a");
+        t.record(SimTime::ZERO, "b");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn render_mentions_drops() {
+        let mut t = TraceBuffer::new(1);
+        t.record(SimTime::new(1.0), "x");
+        t.record(SimTime::new(2.0), "y");
+        let s = t.render();
+        assert!(s.contains("1 earlier records dropped"));
+        assert!(s.contains('y'));
+        assert!(!s.contains('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_panics() {
+        let _ = TraceBuffer::<u8>::new(0);
+    }
+}

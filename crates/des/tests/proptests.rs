@@ -1,0 +1,128 @@
+//! Property-based tests for the simulation engine and statistics.
+
+use oml_des::stats::{normal_quantile, BatchMeans, OnlineStats};
+use oml_des::{Engine, EventHandler, EventQueue, Scheduler, SimRng, SimTime};
+use proptest::prelude::*;
+
+fn finite_sample() -> impl Strategy<Value = f64> {
+    (-1.0e6..1.0e6_f64).prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    /// Popping the queue always yields events in non-decreasing time order,
+    /// and insertion order within equal times.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0.0..1e6_f64, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::new(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last_time);
+            if ev.time > last_time {
+                seen_at_time.clear();
+            }
+            // FIFO within a timestamp: payload indices increase.
+            if let Some(&prev) = seen_at_time.last() {
+                if ev.time == last_time {
+                    prop_assert!(ev.event > prev);
+                }
+            }
+            seen_at_time.push(ev.event);
+            last_time = ev.time;
+        }
+    }
+
+    /// Welford mean/variance agree with the naive two-pass computation.
+    #[test]
+    fn welford_matches_naive(xs in proptest::collection::vec(finite_sample(), 2..300)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let scale = 1.0 + mean.abs() + var.abs();
+        prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
+        prop_assert!((s.variance() - var).abs() / scale.powi(2).max(scale) < 1e-6);
+    }
+
+    /// Merging two accumulators equals accumulating the concatenation.
+    #[test]
+    fn merge_is_concatenation(
+        xs in proptest::collection::vec(finite_sample(), 1..100),
+        ys in proptest::collection::vec(finite_sample(), 1..100),
+    ) {
+        let mut a = OnlineStats::new();
+        for &x in &xs { a.push(x); }
+        let mut b = OnlineStats::new();
+        for &y in &ys { b.push(y); }
+        a.merge(&b);
+
+        let mut whole = OnlineStats::new();
+        for &x in xs.iter().chain(ys.iter()) { whole.push(x); }
+
+        prop_assert_eq!(a.count(), whole.count());
+        let scale = 1.0 + whole.mean().abs();
+        prop_assert!((a.mean() - whole.mean()).abs() / scale < 1e-9);
+    }
+
+    /// The batch-means grand mean over complete batches equals the raw mean.
+    #[test]
+    fn batch_means_grand_mean(xs in proptest::collection::vec(0.0..100.0_f64, 30..300)) {
+        let batch = 10u64;
+        let mut bm = BatchMeans::new(batch);
+        for &x in &xs { bm.push(x); }
+        let complete = (xs.len() as u64 / batch * batch) as usize;
+        if complete >= 20 {
+            let mean = xs[..complete].iter().sum::<f64>() / complete as f64;
+            let ci = bm.confidence_interval(0.99).unwrap();
+            prop_assert!((ci.mean - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+        }
+    }
+
+    /// The normal quantile is monotone and antisymmetric around 1/2.
+    #[test]
+    fn normal_quantile_shape(p in 0.0001..0.9999_f64, q in 0.0001..0.9999_f64) {
+        if p < q {
+            prop_assert!(normal_quantile(p) <= normal_quantile(q));
+        }
+        let anti = normal_quantile(p) + normal_quantile(1.0 - p);
+        prop_assert!(anti.abs() < 1e-6);
+    }
+
+    /// Exponential samples are non-negative and reproducible from the seed.
+    #[test]
+    fn exp_samples_nonnegative_and_deterministic(seed in any::<u64>(), mean in 0.0..50.0_f64) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..20 {
+            let x = a.exp(mean);
+            prop_assert!(x >= 0.0);
+            prop_assert_eq!(x, b.exp(mean));
+        }
+    }
+
+    /// The engine delivers every scheduled event exactly once, regardless of
+    /// scheduling order.
+    #[test]
+    fn engine_delivers_everything(times in proptest::collection::vec(0.0..1e3_f64, 1..100)) {
+        struct Count(u64);
+        impl EventHandler for Count {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), _: &mut Scheduler<()>) {
+                self.0 += 1;
+            }
+        }
+        let mut e = Engine::new(Count(0));
+        for &t in &times {
+            e.scheduler_mut().schedule_at(SimTime::new(t), ());
+        }
+        e.run_to_completion();
+        prop_assert_eq!(e.handler().0, times.len() as u64);
+        prop_assert_eq!(e.events_handled(), times.len() as u64);
+    }
+}

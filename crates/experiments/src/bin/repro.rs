@@ -1,0 +1,328 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--quick | --paper] [--seed N] [--csv DIR]
+//!
+//! experiments:
+//!   table1     the simulation-parameter glossary (Table 1)
+//!   fig4       analytic §3.2 conflict costs
+//!   fig8       usage-frequency sweep (Figs. 8/10/11)
+//!   fig10      the Fig. 10 view of fig8 (mean duration of one call)
+//!   fig11      the Fig. 11 view of fig8 (mean migration time per call)
+//!   fig12      client scaling, break-even points (Fig. 12)
+//!   fig14      dynamic placement strategies (Fig. 14)
+//!   fig16      attachment modes (Fig. 16)
+//!   fig16x     fig16 plus exclusive attachment (§3.4 extension)
+//!   topology   §4.1 robustness: other network structures
+//!   egoism     §2.4 extension: one egoistic mover vs three polite ones
+//!   break-even §4.2.2 extension: break-even client counts vs the N/M ratio
+//!   visit      §2.3 ablation: move blocks vs visit blocks
+//!   location   §4.1 ablation: the four object-location mechanisms
+//!   <file.csv> replot a previously saved result (no re-run)
+//!   custom     run a scenario loaded with --scenario FILE (key = value
+//!              format; see ScenarioConfig::to_config_text) under all five
+//!              policies
+//!   all        everything above
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oml_experiments::experiments::{
+    break_even_scaling, egoism, fig12, fig14, fig16, fig16_exclusive, fig4_cost, fig8,
+    location_ablation, topology_ablation, visit_ablation, RunOptions,
+};
+use oml_experiments::{render_plot, render_svg, ExperimentResult, SvgOptions};
+use oml_workload::table1::{table1, value_for};
+use oml_workload::{run_scenario, ScenarioConfig};
+
+struct Cli {
+    experiment: String,
+    opts: RunOptions,
+    csv_dir: Option<PathBuf>,
+    svg_dir: Option<PathBuf>,
+    plot: bool,
+    scenario: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut experiment = None;
+    let mut opts = RunOptions::quick();
+    let mut precision_set = false;
+    let mut csv_dir = None;
+    let mut svg_dir = None;
+    let mut plot = false;
+    let mut scenario = None;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                opts = RunOptions {
+                    seed: opts.seed,
+                    ..RunOptions::quick()
+                };
+                precision_set = true;
+            }
+            "--paper" => {
+                opts = RunOptions {
+                    seed: opts.seed,
+                    ..RunOptions::paper()
+                };
+                precision_set = true;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--csv" => {
+                let v = args.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(PathBuf::from(v));
+            }
+            "--plot" => plot = true,
+            "--scenario" => {
+                let v = args.next().ok_or("--scenario needs a file")?;
+                scenario = Some(PathBuf::from(v));
+            }
+            "--svg" => {
+                let v = args.next().ok_or("--svg needs a directory")?;
+                svg_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    if !precision_set {
+        eprintln!("(no precision flag given; defaulting to --quick — use --paper for the 1%/p=0.99 rule)");
+    }
+    Ok(Cli {
+        experiment: experiment.ok_or("an experiment name is required")?,
+        opts,
+        csv_dir,
+        svg_dir,
+        plot,
+        scenario,
+    })
+}
+
+fn print_table1() {
+    println!("# Table 1 — relevant simulation parameters");
+    println!(
+        "{:>8}  {:<38} {:>10}  {:>12} {:>12} {:>12} {:>12}",
+        "symbol", "description", "distrib.", "fig8", "fig12", "fig14", "fig16"
+    );
+    let configs = [
+        ScenarioConfig::fig8(f64::NAN),
+        ScenarioConfig::fig12(0),
+        ScenarioConfig::fig14(0),
+        ScenarioConfig::fig16(0),
+    ];
+    for row in table1() {
+        print!(
+            "{:>8}  {:<38} {:>10}",
+            row.symbol, row.description, row.distribution
+        );
+        for cfg in &configs {
+            let v = match row.symbol {
+                "C" => "varies".to_owned(),
+                "t_m" if cfg.name.starts_with("fig8") => "varies".to_owned(),
+                _ => value_for(cfg, row.symbol),
+            };
+            print!(" {v:>12}");
+        }
+        println!();
+    }
+}
+
+fn emit(result: &ExperimentResult, cli: &Cli) {
+    let csv_dir = cli.csv_dir.as_ref();
+    println!("{}", result.to_ascii_table());
+    if cli.plot {
+        println!("{}", render_plot(result, 64, 20));
+    }
+    if let Some(dir) = &cli.svg_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+        } else {
+            let path = dir.join(format!("{}.svg", result.id));
+            match fs::write(&path, render_svg(result, &SvgOptions::default())) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+    if result.id == "fig12" {
+        if let Some(x) = result.crossover("migration", "without migration") {
+            println!("break-even migration vs sedentary: ~{x:.1} clients (paper: ~6)");
+        }
+        if let Some(x) = result.crossover("transient placement", "without migration") {
+            println!("break-even placement vs sedentary: ~{x:.1} clients (paper: ~20)");
+        }
+        println!();
+    }
+    if let Some(dir) = csv_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.csv", result.id));
+        match fs::write(&path, result.to_csv()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|...|all> \
+                 [--quick|--paper] [--seed N] [--csv DIR] [--svg DIR] [--plot]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let run_one = |name: &str| -> bool {
+        match name {
+            "table1" => {
+                print_table1();
+                println!();
+            }
+            "fig4" => emit(&fig4_cost(), &cli),
+            "fig8" => emit(&fig8(&cli.opts), &cli),
+            "fig10" => emit(
+                &fig8(&cli.opts).derive("fig10", "mean duration of one call", |m| m.call_time),
+                &cli,
+            ),
+            "fig11" => emit(
+                &fig8(&cli.opts).derive("fig11", "mean migration time per call", |m| {
+                    m.migration_time
+                }),
+                &cli,
+            ),
+            "fig12" => emit(&fig12(&cli.opts), &cli),
+            "fig14" => emit(&fig14(&cli.opts), &cli),
+            "fig16" => emit(&fig16(&cli.opts), &cli),
+            "fig16x" => emit(&fig16_exclusive(&cli.opts), &cli),
+            "topology" => emit(&topology_ablation(&cli.opts), &cli),
+            "egoism" => emit(&egoism(&cli.opts), &cli),
+            "break-even" => emit(&break_even_scaling(&cli.opts), &cli),
+            "visit" => emit(&visit_ablation(&cli.opts), &cli),
+            "location" => emit(&location_ablation(&cli.opts), &cli),
+            _ => return false,
+        }
+        true
+    };
+
+    match cli.experiment.as_str() {
+        "custom" => {
+            let Some(path) = &cli.scenario else {
+                eprintln!("error: `custom` needs --scenario FILE");
+                return ExitCode::FAILURE;
+            };
+            let text = match fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let config = match ScenarioConfig::from_config_text(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            use oml_core::attach::AttachmentMode;
+            use oml_core::policy::PolicyKind;
+            use oml_sim::metrics::MetricsRow;
+            use std::collections::BTreeMap;
+            let mut series = BTreeMap::new();
+            for kind in PolicyKind::ALL {
+                let out = run_scenario(
+                    &config,
+                    kind,
+                    AttachmentMode::Unrestricted,
+                    cli.opts.stopping,
+                    cli.opts.seed,
+                );
+                series.insert(kind.to_string(), MetricsRow::from(&out.metrics));
+            }
+            let result = ExperimentResult {
+                id: "custom".into(),
+                title: format!("custom scenario `{}`", config.name),
+                x_label: "clients".into(),
+                y_label: "mean communication time per call".into(),
+                points: vec![oml_experiments::SweepPoint {
+                    x: f64::from(config.clients),
+                    series,
+                }],
+            };
+            emit(&result, &cli);
+            ExitCode::SUCCESS
+        }
+        path if path.ends_with(".csv") => {
+            // replot a previously saved result without re-running
+            let id = PathBuf::from(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "reloaded".into());
+            match fs::read_to_string(path) {
+                Ok(csv) => match ExperimentResult::from_csv(&id, &csv) {
+                    Ok(result) => {
+                        emit(&result, &cli);
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "all" => {
+            for name in [
+                "table1",
+                "fig4",
+                "fig8",
+                "fig12",
+                "fig14",
+                "fig16",
+                "fig16x",
+                "topology",
+                "egoism",
+                "break-even",
+                "visit",
+                "location",
+            ] {
+                let ok = run_one(name);
+                debug_assert!(ok);
+            }
+            ExitCode::SUCCESS
+        }
+        name => {
+            if run_one(name) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("unknown experiment: {name}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,815 @@
+//! The per-figure experiment definitions.
+
+use std::collections::BTreeMap;
+
+use oml_core::attach::AttachmentMode;
+use oml_core::cost::CostModel;
+use oml_core::ids::NodeId;
+use oml_core::policy::PolicyKind;
+use oml_des::stats::StoppingRule;
+use oml_net::{LatencyModel, Network, Topology};
+use oml_sim::metrics::MetricsRow;
+use oml_sim::{BlockParams, SimulationBuilder};
+use oml_workload::{run_scenario, ScenarioConfig};
+
+use crate::result::{ExperimentResult, SweepPoint};
+
+/// Precision/seed options for an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// The stopping rule applied to every sweep point.
+    pub stopping: StoppingRule,
+    /// Base seed; each (point, series) pair derives its own stream.
+    pub seed: u64,
+    /// Worker threads for sweep points (1 = sequential). Results are
+    /// bit-identical regardless of the thread count: every point owns its
+    /// derived seed.
+    pub threads: usize,
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+impl RunOptions {
+    /// The paper's precision (1 % CI at p = 0.99). Slow but authoritative.
+    #[must_use]
+    pub fn paper() -> Self {
+        RunOptions {
+            stopping: StoppingRule {
+                relative_precision: 0.01,
+                confidence: 0.99,
+                min_batches: 20,
+                max_samples: 1_000_000,
+            },
+            seed: 0x0b9e_c7ed,
+            threads: default_threads(),
+        }
+    }
+
+    /// Fast smoke precision for CI pipelines and benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        RunOptions {
+            stopping: StoppingRule {
+                relative_precision: 0.03,
+                confidence: 0.95,
+                min_batches: 10,
+                max_samples: 120_000,
+            },
+            seed: 0x0b9e_c7ed,
+            threads: default_threads(),
+        }
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions::paper()
+    }
+}
+
+/// Work-stealing map over `0..n` using scoped threads: each index is claimed
+/// from a shared counter, so long and short simulation points balance out.
+/// Determinism is preserved because the result vector is indexed, not
+/// ordered by completion.
+pub(crate) fn parallel_map<R: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..threads.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+/// Runs a full `configs × series` grid in parallel and assembles the sweep
+/// points in order.
+fn sweep_grid(
+    configs: &[ScenarioConfig],
+    xs: &[f64],
+    series_defs: &[(&str, PolicyKind, AttachmentMode)],
+    opts: &RunOptions,
+) -> Vec<SweepPoint> {
+    assert_eq!(configs.len(), xs.len());
+    let cols = series_defs.len();
+    let rows = parallel_map(configs.len() * cols, opts.threads, |job| {
+        let (pi, si) = (job / cols, job % cols);
+        let (_, policy, mode) = series_defs[si];
+        run_point(&configs[pi], policy, mode, opts, point_seed(opts.seed, pi, si))
+    });
+    xs.iter()
+        .enumerate()
+        .map(|(pi, &x)| {
+            let mut series = BTreeMap::new();
+            for (si, (label, _, _)) in series_defs.iter().enumerate() {
+                series.insert((*label).to_owned(), rows[pi * cols + si].clone());
+            }
+            SweepPoint { x, series }
+        })
+        .collect()
+}
+
+fn point_seed(base: u64, point: usize, series: usize) -> u64 {
+    base.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((point as u64) << 8)
+        .wrapping_add(series as u64)
+}
+
+fn run_point(
+    config: &ScenarioConfig,
+    policy: PolicyKind,
+    attachment: AttachmentMode,
+    opts: &RunOptions,
+    seed: u64,
+) -> MetricsRow {
+    let outcome = run_scenario(config, policy, attachment, opts.stopping, seed);
+    MetricsRow::from(&outcome.metrics)
+}
+
+/// The three policies every single-layer figure compares.
+const BASIC_SERIES: [(&str, PolicyKind); 3] = [
+    ("without migration", PolicyKind::Sedentary),
+    ("migration", PolicyKind::ConventionalMigration),
+    ("transient placement", PolicyKind::TransientPlacement),
+];
+
+/// Figs. 8, 10, 11 — increasing the usage frequency (parameters of Fig. 9).
+///
+/// Sweeps the mean distance between two usages (`t_m`) from high concurrency
+/// (0) to low (100) for the sedentary, conventional-migration and
+/// transient-placement policies. The returned rows carry the decomposition:
+/// `call_time` is Fig. 10, `migration_time` is Fig. 11, `comm_time` is
+/// Fig. 8.
+#[must_use]
+pub fn fig8(opts: &RunOptions) -> ExperimentResult {
+    let xs = [0.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+    let configs: Vec<ScenarioConfig> = xs.iter().map(|&x| ScenarioConfig::fig8(x)).collect();
+    let series: Vec<(&str, PolicyKind, AttachmentMode)> = BASIC_SERIES
+        .iter()
+        .map(|&(l, p)| (l, p, AttachmentMode::Unrestricted))
+        .collect();
+    let points = sweep_grid(&configs, &xs, &series, opts);
+    ExperimentResult {
+        id: "fig8".into(),
+        title: "Increasing the usage frequency (D=3, C=3, S1=3, M=6, N~exp(8))".into(),
+        x_label: "mean gap t_m".into(),
+        y_label: "mean communication time per call".into(),
+        points,
+    }
+}
+
+/// Fig. 12 — increasing the number of callers (parameters of Fig. 13).
+///
+/// `D = 27`, hot-spot servers: conventional migration degrades roughly
+/// linearly in the number of clients and crosses the sedentary baseline
+/// early; transient placement grows sublinearly and crosses much later.
+#[must_use]
+pub fn fig12(opts: &RunOptions) -> ExperimentResult {
+    let cs = [1u32, 2, 4, 6, 8, 10, 12, 14, 16, 20, 25];
+    let xs: Vec<f64> = cs.iter().map(|&c| f64::from(c)).collect();
+    let configs: Vec<ScenarioConfig> = cs.iter().map(|&c| ScenarioConfig::fig12(c)).collect();
+    let series: Vec<(&str, PolicyKind, AttachmentMode)> = BASIC_SERIES
+        .iter()
+        .map(|&(l, p)| (l, p, AttachmentMode::Unrestricted))
+        .collect();
+    let points = sweep_grid(&configs, &xs, &series, opts);
+    ExperimentResult {
+        id: "fig12".into(),
+        title: "Increasing the number of clients (D=27, S1=3, M=6, t_m~exp(30))".into(),
+        x_label: "clients".into(),
+        y_label: "mean communication time per call".into(),
+        points,
+    }
+}
+
+/// Fig. 14 — exploiting dynamic information (parameters of Fig. 15).
+///
+/// Compares conservative placement against the two intelligent strategies
+/// ("comparing the nodes", "comparing and reinstantiation") on the small
+/// three-node world. The paper's finding: the dynamic policies yield only
+/// marginal gains — before even paying their bookkeeping overhead.
+#[must_use]
+pub fn fig14(opts: &RunOptions) -> ExperimentResult {
+    let series_defs: [(&str, PolicyKind); 3] = [
+        ("conservative place-policy", PolicyKind::TransientPlacement),
+        ("comparing the nodes", PolicyKind::CompareNodes),
+        (
+            "comparing and reinstantiation",
+            PolicyKind::CompareAndReinstantiate,
+        ),
+    ];
+    let cs = [1u32, 2, 4, 6, 9, 12, 16, 20, 24];
+    let xs: Vec<f64> = cs.iter().map(|&c| f64::from(c)).collect();
+    let configs: Vec<ScenarioConfig> = cs.iter().map(|&c| ScenarioConfig::fig14(c)).collect();
+    let series: Vec<(&str, PolicyKind, AttachmentMode)> = series_defs
+        .iter()
+        .map(|&(l, p)| (l, p, AttachmentMode::Unrestricted))
+        .collect();
+    let points = sweep_grid(&configs, &xs, &series, opts);
+    ExperimentResult {
+        id: "fig14".into(),
+        title: "Exploiting dynamic information (D=3, S1=3, M=6, t_m~exp(30))".into(),
+        x_label: "clients".into(),
+        y_label: "mean communication time per call".into(),
+        points,
+    }
+}
+
+const FIG16_SERIES: [(&str, PolicyKind, AttachmentMode); 5] = [
+    (
+        "without migration",
+        PolicyKind::Sedentary,
+        AttachmentMode::Unrestricted,
+    ),
+    (
+        "migration + unrestricted attachment",
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::Unrestricted,
+    ),
+    (
+        "migration + a-transitive attachment",
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::ATransitive,
+    ),
+    (
+        "placement + unrestricted attachment",
+        PolicyKind::TransientPlacement,
+        AttachmentMode::Unrestricted,
+    ),
+    (
+        "placement + a-transitive attachment",
+        PolicyKind::TransientPlacement,
+        AttachmentMode::ATransitive,
+    ),
+];
+
+/// Fig. 16 — keeping objects together (parameters of Fig. 17).
+///
+/// Two server layers with overlapping working sets: conventional migration
+/// with unrestricted attachment is devastating (every steal drags the whole
+/// transitive closure); restricting transitiveness to alliances (and/or
+/// placement) recovers the performance.
+#[must_use]
+pub fn fig16(opts: &RunOptions) -> ExperimentResult {
+    fig16_with_series(opts, &FIG16_SERIES, "fig16")
+}
+
+/// §3.4's cheaper alternative: the Fig. 16 setup extended with
+/// first-come-first-served *exclusive* attachment for both policies.
+#[must_use]
+pub fn fig16_exclusive(opts: &RunOptions) -> ExperimentResult {
+    const EXT: [(&str, PolicyKind, AttachmentMode); 7] = [
+        FIG16_SERIES[0],
+        FIG16_SERIES[1],
+        FIG16_SERIES[2],
+        FIG16_SERIES[3],
+        FIG16_SERIES[4],
+        (
+            "migration + exclusive attachment",
+            PolicyKind::ConventionalMigration,
+            AttachmentMode::Exclusive,
+        ),
+        (
+            "placement + exclusive attachment",
+            PolicyKind::TransientPlacement,
+            AttachmentMode::Exclusive,
+        ),
+    ];
+    fig16_with_series(opts, &EXT, "fig16x")
+}
+
+fn fig16_with_series(
+    opts: &RunOptions,
+    series_defs: &[(&str, PolicyKind, AttachmentMode)],
+    id: &str,
+) -> ExperimentResult {
+    let cs = [1u32, 2, 4, 6, 8, 10, 12];
+    let xs: Vec<f64> = cs.iter().map(|&c| f64::from(c)).collect();
+    let configs: Vec<ScenarioConfig> = cs.iter().map(|&c| ScenarioConfig::fig16(c)).collect();
+    let points = sweep_grid(&configs, &xs, series_defs, opts);
+    ExperimentResult {
+        id: id.into(),
+        title: "Keeping objects together (D=24, S1=6, S2=6, M=6, N~exp(6), t_m~exp(30))".into(),
+        x_label: "clients".into(),
+        y_label: "mean communication time per call".into(),
+        points,
+    }
+}
+
+/// Fig. 4 / §3.2 — the analytic two-mover conflict costs, as a table over
+/// the block size `N` (with the paper's `M = 6`, `C = 1`).
+#[must_use]
+pub fn fig4_cost() -> ExperimentResult {
+    let model = CostModel::paper();
+    let mut points = Vec::new();
+    for n in [7u64, 8, 10, 12, 16, 24, 32, 48, 64] {
+        let mut series = BTreeMap::new();
+        let mk = |v: f64| MetricsRow {
+            comm_time: v,
+            call_time: 0.0,
+            migration_time: 0.0,
+            control_time: 0.0,
+            ci_half_width: None,
+            calls: n,
+            denial_rate: 0.0,
+            mean_closure: 1.0,
+            transfer_load: 0.0,
+            call_p95: 0.0,
+        };
+        series.insert(
+            "conventional move (worst case)".to_owned(),
+            mk(model.conventional_conflict_worst(n)),
+        );
+        series.insert(
+            "transient placement".to_owned(),
+            mk(model.placement_conflict(n)),
+        );
+        series.insert("remote only".to_owned(), mk(model.remote_block(n)));
+        points.push(SweepPoint {
+            x: n as f64,
+            series,
+        });
+    }
+    ExperimentResult {
+        id: "fig4".into(),
+        title: "Analytic conflict cost (M=6, C=1): placement saves M+C".into(),
+        x_label: "calls N".into(),
+        y_label: "total block cost".into(),
+        points,
+    }
+}
+
+/// §4.1's robustness claim: rerunning one Fig. 8 point over different
+/// physical topologies (flat per-message latency) does not change the
+/// results.
+#[must_use]
+pub fn topology_ablation(opts: &RunOptions) -> ExperimentResult {
+    let topologies: [(&str, Topology); 4] = [
+        ("full mesh", Topology::FullMesh { nodes: 3 }),
+        ("star", Topology::Star { nodes: 3 }),
+        ("ring", Topology::Ring { nodes: 3 }),
+        ("line", Topology::Line { nodes: 3 }),
+    ];
+    let mut points = Vec::new();
+    for (pi, (_policy_label, policy)) in BASIC_SERIES.iter().enumerate() {
+        let mut series = BTreeMap::new();
+        for (si, (topo_label, topo)) in topologies.iter().enumerate() {
+            let net = Network::new(topo.clone(), LatencyModel::Exponential { mean: 1.0 });
+            let mut b = SimulationBuilder::new(net)
+                .policy(*policy)
+                .stopping(opts.stopping)
+                .warmup(500.0)
+                .seed(point_seed(opts.seed, pi, si));
+            let servers: Vec<_> = (0..3).map(|j| b.add_object(NodeId::new(2 - j))).collect();
+            for i in 0..3 {
+                b.add_client(NodeId::new(i), servers.clone(), BlockParams::paper(30.0));
+            }
+            let outcome = b.build().run();
+            series.insert((*topo_label).to_owned(), MetricsRow::from(&outcome.metrics));
+        }
+        points.push(SweepPoint {
+            x: pi as f64,
+            series,
+        });
+    }
+    ExperimentResult {
+        id: "topology".into(),
+        title: "Topology ablation at one Fig. 8 point (t_m=30): rows are policies 0=sedentary 1=migration 2=placement".into(),
+        x_label: "policy #".into(),
+        y_label: "mean communication time per call".into(),
+        points,
+    }
+}
+
+/// §2.4's egoism hazard, quantified (extension experiment).
+///
+/// "Some implementors may behave completely egoistic to tilt the system
+/// towards good behavior for their own application." One client issues
+/// move-blocks ten times as often as the three polite ones. Under
+/// conventional migration the egoist hoards the servers; under transient
+/// placement the first-mover lock keeps the allocation fair.
+///
+/// x-axis: client index (0 = the egoist); series: one per policy; the
+/// headline value is that client's mean communication time per call.
+#[must_use]
+pub fn egoism(opts: &RunOptions) -> ExperimentResult {
+    let policies: [(&str, PolicyKind); 3] = [
+        ("without migration", PolicyKind::Sedentary),
+        ("migration", PolicyKind::ConventionalMigration),
+        ("transient placement", PolicyKind::TransientPlacement),
+    ];
+    const CLIENTS: usize = 3;
+
+    // one run per policy; rows are clients (each on its own node)
+    let mut per_policy: Vec<(String, Vec<MetricsRow>, f64)> = Vec::new();
+    for (si, (label, policy)) in policies.iter().enumerate() {
+        let mut b = SimulationBuilder::new(Network::paper(3))
+            .policy(*policy)
+            .stopping(opts.stopping)
+            .warmup(500.0)
+            .seed(point_seed(opts.seed, 0, si));
+        let servers: Vec<_> = (0..3).map(|j| b.add_object(NodeId::new(2 - j))).collect();
+        for i in 0..CLIENTS {
+            let mean_gap = if i == 0 { 3.0 } else { 30.0 };
+            b.add_client(
+                NodeId::new(i as u32),
+                servers.clone(),
+                BlockParams {
+                    mean_calls: 8.0,
+                    mean_think: 1.0,
+                    mean_gap,
+                },
+            );
+        }
+        let outcome = b.build().run();
+        let m = &outcome.metrics;
+        let rows = (0..CLIENTS)
+            .map(|i| {
+                let mut row = MetricsRow::from(m);
+                row.comm_time = m.client_comm_time(i);
+                row.calls = m.per_client_comm[i].count();
+                row.ci_half_width = None;
+                row
+            })
+            .collect();
+        per_policy.push(((*label).to_owned(), rows, m.fairness_index()));
+    }
+
+    let mut points = Vec::new();
+    for client in 0..CLIENTS {
+        let mut series = BTreeMap::new();
+        for (label, rows, _) in &per_policy {
+            series.insert(label.clone(), rows[client].clone());
+        }
+        points.push(SweepPoint {
+            x: client as f64,
+            series,
+        });
+    }
+    ExperimentResult {
+        id: "egoism".into(),
+        title: format!(
+            "Egoistic mover (client 0, t_m=3 vs 30; §2.4 extension) — fairness indices: {}",
+            per_policy
+                .iter()
+                .map(|(l, _, f)| format!("{l}={f:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        x_label: "client (0=egoist)".into(),
+        y_label: "mean communication time per call, per client".into(),
+        points,
+    }
+}
+
+/// §4.2.2's scaling claim (extension experiment): "an increase in N/M will
+/// have an over-proportional effect on the break-even point" of transient
+/// placement, in contrast to the basic migration policy.
+///
+/// Sweeps the calls-per-block mean `N` (with `M = 6` fixed) and reports both
+/// policies' break-even client counts against the sedentary baseline.
+#[must_use]
+pub fn break_even_scaling(opts: &RunOptions) -> ExperimentResult {
+    let ratios = [8.0, 12.0, 16.0];
+    let clients = [1u32, 2, 4, 6, 8, 10, 12, 14, 16, 20, 25];
+    let mut points = Vec::new();
+    for (pi, &mean_calls) in ratios.iter().enumerate() {
+        // run a mini Fig. 12 sweep at this N (each ratio gets its own seed
+        // block so point seeds never collide across ratios)
+        let xs: Vec<f64> = clients.iter().map(|&c| f64::from(c)).collect();
+        let configs: Vec<ScenarioConfig> = clients
+            .iter()
+            .map(|&c| {
+                let mut config = ScenarioConfig::fig12(c);
+                config.mean_calls = mean_calls;
+                config
+            })
+            .collect();
+        let series: Vec<(&str, PolicyKind, AttachmentMode)> = BASIC_SERIES
+            .iter()
+            .map(|&(l, p)| (l, p, AttachmentMode::Unrestricted))
+            .collect();
+        let ratio_opts = RunOptions {
+            seed: opts.seed.wrapping_add((pi as u64) << 32),
+            ..*opts
+        };
+        let sweep_points = sweep_grid(&configs, &xs, &series, &ratio_opts);
+        let sweep = ExperimentResult {
+            id: String::new(),
+            title: String::new(),
+            x_label: "clients".into(),
+            y_label: String::new(),
+            points: sweep_points,
+        };
+
+        let mk = |v: Option<f64>| MetricsRow {
+            comm_time: v.unwrap_or(f64::from(*clients.last().expect("non-empty"))),
+            call_time: 0.0,
+            migration_time: 0.0,
+            control_time: 0.0,
+            ci_half_width: None,
+            calls: 0,
+            denial_rate: 0.0,
+            mean_closure: 1.0,
+            transfer_load: 0.0,
+            call_p95: 0.0,
+        };
+        let mut series = BTreeMap::new();
+        series.insert(
+            "migration break-even (clients)".to_owned(),
+            mk(sweep.crossover("migration", "without migration")),
+        );
+        series.insert(
+            "placement break-even (clients)".to_owned(),
+            mk(sweep.crossover("transient placement", "without migration")),
+        );
+        points.push(SweepPoint {
+            x: mean_calls / 6.0,
+            series,
+        });
+    }
+    ExperimentResult {
+        id: "break-even".into(),
+        title: "Break-even vs N/M ratio (§4.2.2 extension, M=6; break-evens capped at 25)".into(),
+        x_label: "N/M".into(),
+        y_label: "break-even client count vs sedentary".into(),
+        points,
+    }
+}
+
+/// §4.1 location-mechanism ablation (extension): the paper neglects "the
+/// effects of different policies for object location, like name-server
+/// lookup \[ChC91\], forward addressing \[JLH+88\], broadcast \[DLA+91\]
+/// or immediate update \[Dec86\]". All four are implemented; this sweep
+/// shows they indeed barely move the results, even under heavy conventional
+/// migration (where stale caches are most frequent).
+#[must_use]
+pub fn location_ablation(opts: &RunOptions) -> ExperimentResult {
+    use oml_sim::LocationMechanism;
+
+    let mechanisms: [(&str, LocationMechanism); 4] = [
+        ("immediate update", LocationMechanism::ImmediateUpdate),
+        ("forward addressing", LocationMechanism::ForwardAddressing),
+        (
+            "name-server lookup",
+            LocationMechanism::NameServer {
+                node: NodeId::new(0),
+            },
+        ),
+        ("broadcast", LocationMechanism::Broadcast),
+    ];
+    let xs = [5.0, 15.0, 30.0, 60.0];
+    let mut points = Vec::new();
+    for (pi, &gap) in xs.iter().enumerate() {
+        let mut series = BTreeMap::new();
+        for (si, (label, mech)) in mechanisms.iter().enumerate() {
+            let mut b = SimulationBuilder::new(Network::paper(3))
+                .policy(PolicyKind::ConventionalMigration)
+                .location_mechanism(*mech)
+                .stopping(opts.stopping)
+                .warmup(500.0)
+                .seed(point_seed(opts.seed, pi, si));
+            let servers: Vec<_> = (0..3).map(|j| b.add_object(NodeId::new(2 - j))).collect();
+            for i in 0..3 {
+                b.add_client(NodeId::new(i), servers.clone(), BlockParams::paper(gap));
+            }
+            let outcome = b.build().run();
+            series.insert((*label).to_owned(), MetricsRow::from(&outcome.metrics));
+        }
+        points.push(SweepPoint { x: gap, series });
+    }
+    ExperimentResult {
+        id: "location".into(),
+        title: "Object-location mechanisms under conventional migration (§4.1 ablation)".into(),
+        x_label: "mean gap t_m".into(),
+        y_label: "mean communication time per call".into(),
+        points,
+    }
+}
+
+/// §2.3 ablation (extension): `move` vs `visit` blocks.
+///
+/// A visit is "the combination of a move and a migrate back". Returning the
+/// object home costs a second migration per block, but keeps the servers at
+/// predictable locations instead of stranding them wherever the last user
+/// sat. This sweep quantifies the trade under both policies on the Fig. 8
+/// world.
+#[must_use]
+pub fn visit_ablation(opts: &RunOptions) -> ExperimentResult {
+    use oml_sim::BlockFlavor;
+
+    let series_defs: [(&str, PolicyKind, BlockFlavor); 4] = [
+        (
+            "migration, move blocks",
+            PolicyKind::ConventionalMigration,
+            BlockFlavor::Move,
+        ),
+        (
+            "migration, visit blocks",
+            PolicyKind::ConventionalMigration,
+            BlockFlavor::Visit,
+        ),
+        (
+            "placement, move blocks",
+            PolicyKind::TransientPlacement,
+            BlockFlavor::Move,
+        ),
+        (
+            "placement, visit blocks",
+            PolicyKind::TransientPlacement,
+            BlockFlavor::Visit,
+        ),
+    ];
+    let xs = [5.0, 10.0, 30.0, 60.0, 100.0];
+    let mut points = Vec::new();
+    for (pi, &gap) in xs.iter().enumerate() {
+        let mut series = BTreeMap::new();
+        for (si, (label, policy, flavor)) in series_defs.iter().enumerate() {
+            let mut b = SimulationBuilder::new(Network::paper(3))
+                .policy(*policy)
+                .stopping(opts.stopping)
+                .warmup(500.0)
+                .seed(point_seed(opts.seed, pi, si));
+            let servers: Vec<_> = (0..3).map(|j| b.add_object(NodeId::new(2 - j))).collect();
+            for i in 0..3 {
+                b.add_client_with_flavor(
+                    NodeId::new(i),
+                    servers.clone(),
+                    BlockParams::paper(gap),
+                    *flavor,
+                );
+            }
+            let outcome = b.build().run();
+            series.insert((*label).to_owned(), MetricsRow::from(&outcome.metrics));
+        }
+        points.push(SweepPoint { x: gap, series });
+    }
+    ExperimentResult {
+        id: "visit".into(),
+        title: "move vs visit blocks (§2.3 ablation, Fig. 8 world)".into(),
+        x_label: "mean gap t_m".into(),
+        y_label: "mean communication time per call".into(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunOptions {
+        RunOptions {
+            stopping: StoppingRule {
+                relative_precision: 0.10,
+                confidence: 0.90,
+                min_batches: 4,
+                max_samples: 8_000,
+            },
+            seed: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential_and_balances() {
+        let seq = parallel_map(20, 1, |i| i * i);
+        let par = parallel_map(20, 4, |i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(par[7], 49);
+        // empty and single-element cases
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn sweeps_are_thread_count_invariant() {
+        let mut a = tiny();
+        a.threads = 1;
+        let mut b = tiny();
+        b.threads = 4;
+        let ra = fig8(&a);
+        let rb = fig8(&b);
+        for (pa, pb) in ra.points.iter().zip(&rb.points) {
+            assert_eq!(pa.x, pb.x);
+            for (label, ma) in &pa.series {
+                let mb = &pb.series[label];
+                assert_eq!(ma.comm_time, mb.comm_time, "{label} at {}", pa.x);
+                assert_eq!(ma.calls, mb.calls);
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_is_instant_and_ordered() {
+        let r = fig4_cost();
+        assert_eq!(r.points.len(), 9);
+        for p in &r.points {
+            let conv = p.series["conventional move (worst case)"].comm_time;
+            let place = p.series["transient placement"].comm_time;
+            assert!(place < conv);
+            assert!((conv - place - 7.0).abs() < 1e-9); // M + C = 7
+        }
+    }
+
+    #[test]
+    fn fig8_smoke_produces_all_series() {
+        let mut opts = tiny();
+        opts.stopping.max_samples = 4_000;
+        let r = fig8(&opts);
+        assert_eq!(r.points.len(), 12);
+        assert_eq!(r.labels().len(), 3);
+        for p in &r.points {
+            for m in p.series.values() {
+                assert!(m.calls > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig12_smoke_break_even_ordering() {
+        // even at smoke precision, migration must exceed placement at the
+        // high-contention end
+        let opts = tiny();
+        let r = fig12(&opts);
+        let last = r.points.last().unwrap();
+        let mig = last.series["migration"].comm_time;
+        let place = last.series["transient placement"].comm_time;
+        assert!(
+            mig > place,
+            "migration ({mig}) should degrade past placement ({place}) at 25 clients"
+        );
+    }
+
+    #[test]
+    fn egoism_shows_the_hazard_and_the_remedy() {
+        let opts = tiny();
+        let r = egoism(&opts);
+        assert_eq!(r.points.len(), 3);
+        let egoist_mig = r.points[0].series["migration"].comm_time;
+        let polite_mig = r.points[1].series["migration"].comm_time;
+        // the egoist tilts the system in its own favour (§2.4)
+        assert!(
+            egoist_mig < polite_mig,
+            "egoist {egoist_mig} vs polite {polite_mig}"
+        );
+        // transient placement lowers the polite clients' cost
+        let polite_plc = r.points[1].series["transient placement"].comm_time;
+        assert!(
+            polite_plc < polite_mig,
+            "placement {polite_plc} vs migration {polite_mig} for the polite client"
+        );
+    }
+
+    #[test]
+    fn visit_blocks_cost_roughly_one_extra_migration_per_block() {
+        let opts = tiny();
+        let r = visit_ablation(&opts);
+        // at low contention the visit premium approaches M/N = 6/8 per call
+        let last = r.points.last().unwrap();
+        let mv = last.series["placement, move blocks"].comm_time;
+        let vs = last.series["placement, visit blocks"].comm_time;
+        let premium = vs - mv;
+        assert!(
+            (0.2..1.4).contains(&premium),
+            "visit premium {premium} should be near M/N = 0.75"
+        );
+    }
+
+    #[test]
+    fn run_options_presets() {
+        assert!(RunOptions::paper().stopping.relative_precision <= 0.01);
+        assert!(RunOptions::quick().stopping.max_samples < RunOptions::paper().stopping.max_samples);
+    }
+}

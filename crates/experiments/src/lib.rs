@@ -1,0 +1,32 @@
+//! # oml-experiments — regenerating every table and figure of the paper
+//!
+//! Each `figNN` function reproduces the corresponding figure of *Object
+//! Migration in Non-Monolithic Distributed Applications*:
+//!
+//! | Function | Paper | What it shows |
+//! |---|---|---|
+//! | [`experiments::fig8`] | Figs. 8/10/11 (params Fig. 9) | usage-frequency sweep: sedentary vs migration vs placement, with the call-time / migration-load decomposition |
+//! | [`experiments::fig12`] | Fig. 12 (params Fig. 13) | client scaling on 27 nodes: break-even points |
+//! | [`experiments::fig14`] | Fig. 14 (params Fig. 15) | dynamic policies vs conservative placement |
+//! | [`experiments::fig16`] | Fig. 16 (params Fig. 17) | attachment modes under overlapping working sets |
+//! | [`experiments::fig16_exclusive`] | §3.4 extension | adds the exclusive-attachment variant |
+//! | [`experiments::fig4_cost`] | Fig. 4 / §3.2 | the analytic conflict-cost table |
+//! | [`experiments::topology_ablation`] | §4.1 claim | "other structures had no effect on the results" |
+//!
+//! Results come back as [`result::ExperimentResult`] — render them with
+//! [`result::ExperimentResult::to_ascii_table`] or
+//! [`result::ExperimentResult::to_csv`], or drive everything from the
+//! `repro` binary (`repro all --quick`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+pub mod result;
+pub mod svg;
+
+pub use experiments::RunOptions;
+pub use plot::render_plot;
+pub use result::{ExperimentResult, SweepPoint};
+pub use svg::{render_svg, SvgOptions};

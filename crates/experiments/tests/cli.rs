@@ -1,0 +1,92 @@
+//! End-to-end tests of the `repro` command-line interface.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn table1_prints_the_glossary() {
+    let out = repro().arg("table1").output().expect("repro runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 1"));
+    assert!(stdout.contains("Migration duration for servers"));
+    assert!(stdout.contains("mean(8)"));
+}
+
+#[test]
+fn fig4_is_analytic_and_instant() {
+    let out = repro().args(["fig4", "--quick"]).output().expect("repro runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("placement saves M+C"));
+    assert!(stdout.contains("transient placement"));
+}
+
+#[test]
+fn fig4_plot_flag_draws_a_chart() {
+    let out = repro()
+        .args(["fig4", "--quick", "--plot"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains('┬'), "plot frame present");
+    assert!(stdout.contains("calls N"), "x label present");
+}
+
+#[test]
+fn fig4_svg_flag_writes_a_file() {
+    let dir = std::env::temp_dir().join(format!("oml-cli-test-{}", std::process::id()));
+    let out = repro()
+        .args(["fig4", "--quick", "--svg", dir.to_str().unwrap()])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(dir.join("fig4.svg")).expect("svg written");
+    assert!(svg.starts_with("<svg"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let out = repro().arg("fig99").output().expect("repro runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment"));
+}
+
+#[test]
+fn missing_experiment_fails_with_usage() {
+    let out = repro().output().expect("repro runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn bad_flag_is_reported() {
+    let out = repro().args(["fig4", "--frobnicate"]).output().expect("repro runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unexpected argument"));
+}
+
+#[test]
+fn custom_without_scenario_is_an_error() {
+    let out = repro().args(["custom", "--quick"]).output().expect("repro runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--scenario"));
+}
+
+#[test]
+fn replot_of_missing_file_is_an_error() {
+    let out = repro()
+        .args(["does-not-exist.csv", "--quick"])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,158 @@
+//! Per-message latency models.
+
+use oml_des::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// How long one remote message takes.
+///
+/// The paper normalizes time "so that a remote object invocation \[message\]
+/// has an exponentially distributed duration of 1" (§4.1); the other models
+/// support deterministic unit tests and sensitivity ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Exponentially distributed with the given mean (the paper's model).
+    Exponential {
+        /// Mean message duration.
+        mean: f64,
+    },
+    /// Every message takes exactly `value` (useful to compare the simulator
+    /// against the §3.2 closed-form costs).
+    Deterministic {
+        /// Fixed message duration.
+        value: f64,
+    },
+    /// Uniformly distributed on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// A fixed propagation `offset` plus an exponential queueing component —
+    /// a coarse model of a network with background load (§4.1 assumes the
+    /// object system shares the network with other applications).
+    ShiftedExponential {
+        /// Deterministic propagation component.
+        offset: f64,
+        /// Mean of the exponential queueing component.
+        mean: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one message duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's parameters are invalid (negative mean/value, or
+    /// `lo > hi`).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            LatencyModel::Exponential { mean } => rng.exp(mean),
+            LatencyModel::Deterministic { value } => {
+                assert!(
+                    value.is_finite() && value >= 0.0,
+                    "invalid deterministic latency: {value}"
+                );
+                value
+            }
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(
+                    lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
+                    "invalid uniform latency range: [{lo}, {hi})"
+                );
+                lo + rng.unit() * (hi - lo)
+            }
+            LatencyModel::ShiftedExponential { offset, mean } => {
+                assert!(
+                    offset.is_finite() && offset >= 0.0,
+                    "invalid latency offset: {offset}"
+                );
+                offset + rng.exp(mean)
+            }
+        }
+    }
+
+    /// The expected message duration under this model.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyModel::Exponential { mean } => mean,
+            LatencyModel::Deterministic { value } => value,
+            LatencyModel::Uniform { lo, hi } => (lo + hi) / 2.0,
+            LatencyModel::ShiftedExponential { offset, mean } => offset + mean,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// The paper's normalization: Exp(1).
+    fn default() -> Self {
+        LatencyModel::Exponential { mean: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_is_constant() {
+        let m = LatencyModel::Deterministic { value: 2.5 };
+        let mut rng = SimRng::seed_from(0);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 2.5);
+        }
+        assert_eq!(m.mean(), 2.5);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_has_right_mean() {
+        let m = LatencyModel::Uniform { lo: 1.0, hi: 3.0 };
+        let mut rng = SimRng::seed_from(4);
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let x = m.sample(&mut rng);
+            assert!((1.0..3.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 2.0).abs() < 0.02);
+        assert_eq!(m.mean(), 2.0);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let m = LatencyModel::default();
+        assert_eq!(m.mean(), 1.0);
+        let mut rng = SimRng::seed_from(8);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| m.sample(&mut rng)).sum();
+        assert!((sum / n as f64 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform latency range")]
+    fn inverted_uniform_range_panics() {
+        let mut rng = SimRng::seed_from(0);
+        let _ = LatencyModel::Uniform { lo: 3.0, hi: 1.0 }.sample(&mut rng);
+    }
+
+    #[test]
+    fn shifted_exponential_respects_offset_and_mean() {
+        let m = LatencyModel::ShiftedExponential {
+            offset: 0.5,
+            mean: 1.5,
+        };
+        assert_eq!(m.mean(), 2.0);
+        let mut rng = SimRng::seed_from(12);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = m.sample(&mut rng);
+            assert!(x >= 0.5, "never below the propagation floor");
+            sum += x;
+        }
+        assert!((sum / n as f64 - 2.0).abs() < 0.03);
+    }
+}

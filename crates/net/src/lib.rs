@@ -1,0 +1,197 @@
+//! # oml-net — network substrate for the object-migration simulator
+//!
+//! The paper's evaluation (§4.1) assumes a **fully connected network** whose
+//! messages have exponentially distributed duration with mean 1, and notes
+//! that "we also performed simulations for other structures. But this had no
+//! effects on the results." This crate provides both:
+//!
+//! * [`topology::Topology`] — full mesh plus the alternative structures used
+//!   for the robustness ablation (star, ring, torus grid, line),
+//! * [`latency::LatencyModel`] — exponential (the paper's model),
+//!   deterministic and uniform per-message durations,
+//! * [`Network`] — the combination: sample the delay of one message between
+//!   two nodes, with optional hop-scaling for non-complete topologies.
+//!
+//! Saturation effects are deliberately absent: the object system "is assumed
+//! to run concurrently with other applications", so its own traffic never
+//! congests a link (§4.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod topology;
+
+pub use latency::LatencyModel;
+pub use topology::Topology;
+
+use oml_core::ids::NodeId;
+use oml_des::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A network: a topology plus a latency model.
+///
+/// # Example
+///
+/// ```
+/// use oml_net::{LatencyModel, Network, Topology};
+/// use oml_core::ids::NodeId;
+/// use oml_des::SimRng;
+///
+/// let net = Network::paper(3);
+/// let mut rng = SimRng::seed_from(1);
+/// // local messages are free…
+/// assert_eq!(net.message_delay(NodeId::new(0), NodeId::new(0), &mut rng), 0.0);
+/// // …remote ones cost a (random, mean-1) duration.
+/// assert!(net.message_delay(NodeId::new(0), NodeId::new(1), &mut rng) >= 0.0);
+/// assert_eq!(net.topology(), &Topology::FullMesh { nodes: 3 });
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    topology: Topology,
+    latency: LatencyModel,
+    /// Whether a message's delay is multiplied by the hop count (only
+    /// meaningful for non-complete topologies).
+    scale_by_hops: bool,
+}
+
+impl Network {
+    /// Creates a network from a topology and a latency model, without hop
+    /// scaling.
+    #[must_use]
+    pub fn new(topology: Topology, latency: LatencyModel) -> Self {
+        Network {
+            topology,
+            latency,
+            scale_by_hops: false,
+        }
+    }
+
+    /// The paper's network: a full mesh of `nodes` with Exp(1) messages.
+    #[must_use]
+    pub fn paper(nodes: u32) -> Self {
+        Network::new(
+            Topology::FullMesh { nodes },
+            LatencyModel::Exponential { mean: 1.0 },
+        )
+    }
+
+    /// Builder-style: multiply each message's delay by its route's hop count
+    /// (used by the topology ablation).
+    #[must_use]
+    pub fn with_hop_scaling(mut self) -> Self {
+        self.scale_by_hops = true;
+        self
+    }
+
+    /// The topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The latency model.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.topology.len()
+    }
+
+    /// Whether the network has no nodes (never true for valid topologies).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.topology.len() == 0
+    }
+
+    /// Samples the duration of one message from `from` to `to`.
+    ///
+    /// Local messages (same node) take zero time — local actions are "about
+    /// 4 orders of magnitude below the duration of a remote action" (§4.1)
+    /// and are neglected, exactly as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is outside the topology.
+    pub fn message_delay(&self, from: NodeId, to: NodeId, rng: &mut SimRng) -> f64 {
+        let hops = self.topology.hops(from, to);
+        if hops == 0 {
+            return 0.0;
+        }
+        let base = self.latency.sample(rng);
+        if self.scale_by_hops {
+            base * hops as f64
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_network_properties() {
+        let net = Network::paper(27);
+        assert_eq!(net.len(), 27);
+        assert!(!net.is_empty());
+        assert_eq!(net.latency(), &LatencyModel::Exponential { mean: 1.0 });
+    }
+
+    #[test]
+    fn local_messages_are_free() {
+        let net = Network::paper(4);
+        let mut rng = SimRng::seed_from(0);
+        for i in 0..4 {
+            assert_eq!(
+                net.message_delay(NodeId::new(i), NodeId::new(i), &mut rng),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn remote_messages_have_mean_one() {
+        let net = Network::paper(2);
+        let mut rng = SimRng::seed_from(9);
+        let n = 100_000;
+        let total: f64 = (0..n)
+            .map(|_| net.message_delay(NodeId::new(0), NodeId::new(1), &mut rng))
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn hop_scaling_multiplies_deterministic_latency() {
+        let net = Network::new(
+            Topology::Ring { nodes: 8 },
+            LatencyModel::Deterministic { value: 1.0 },
+        )
+        .with_hop_scaling();
+        let mut rng = SimRng::seed_from(0);
+        // nodes 0 and 4 are 4 hops apart on an 8-ring
+        assert_eq!(
+            net.message_delay(NodeId::new(0), NodeId::new(4), &mut rng),
+            4.0
+        );
+    }
+
+    #[test]
+    fn without_hop_scaling_distance_is_flat() {
+        let net = Network::new(
+            Topology::Ring { nodes: 8 },
+            LatencyModel::Deterministic { value: 2.0 },
+        );
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(
+            net.message_delay(NodeId::new(0), NodeId::new(4), &mut rng),
+            2.0
+        );
+    }
+}

@@ -1,0 +1,598 @@
+//! The cluster facade: public API over the node workers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use oml_core::alliance::AllianceRegistry;
+use oml_core::attach::{AttachOutcome, AttachmentGraph, AttachmentMode};
+use oml_core::error::AttachError;
+use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
+use oml_core::object::Mobility;
+use oml_core::policy::{MovePolicy, PolicyKind};
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::RuntimeError;
+use crate::message::{Message, MAX_HOPS};
+use crate::node::NodeWorker;
+use crate::object::{Delinearizer, MobileObject, TypeRegistry};
+
+/// Monotone activity counters, readable while the cluster runs.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) invocations: std::sync::atomic::AtomicU64,
+    pub(crate) moves_granted: std::sync::atomic::AtomicU64,
+    pub(crate) moves_denied: std::sync::atomic::AtomicU64,
+    pub(crate) objects_migrated: std::sync::atomic::AtomicU64,
+    pub(crate) forwards: std::sync::atomic::AtomicU64,
+}
+
+/// A point-in-time snapshot of a cluster's activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Invocations executed (at any node).
+    pub invocations: u64,
+    /// Move-requests granted.
+    pub moves_granted: u64,
+    /// Move-requests denied.
+    pub moves_denied: u64,
+    /// Objects shipped between nodes (closure members count individually).
+    pub objects_migrated: u64,
+    /// Messages forwarded because their object had moved on.
+    pub forwards: u64,
+}
+
+/// State shared by every node worker and the cluster facade.
+pub(crate) struct Shared {
+    senders: Vec<Sender<Message>>,
+    directory: RwLock<HashMap<ObjectId, NodeId>>,
+    mobility: RwLock<HashMap<ObjectId, Mobility>>,
+    pub(crate) policy: Mutex<Box<dyn MovePolicy>>,
+    pub(crate) attachments: Mutex<AttachmentGraph>,
+    pub(crate) alliances: Mutex<AllianceRegistry>,
+    pub(crate) registry: TypeRegistry,
+    pub(crate) counters: Counters,
+    next_object: AtomicU32,
+    next_block: AtomicU32,
+    down: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn send(&self, node: NodeId, msg: Message) {
+        if !self.down.load(Ordering::Acquire) {
+            let _ = self.senders[node.index()].send(msg);
+        }
+    }
+
+    pub(crate) fn directory_get(&self, object: ObjectId) -> Option<NodeId> {
+        self.directory.read().get(&object).copied()
+    }
+
+    pub(crate) fn directory_set(&self, object: ObjectId, node: NodeId) {
+        self.directory.write().insert(object, node);
+    }
+
+    pub(crate) fn is_movable(&self, object: ObjectId) -> bool {
+        self.mobility
+            .read()
+            .get(&object)
+            .copied()
+            .unwrap_or_default()
+            .is_movable()
+    }
+}
+
+/// Configures a [`Cluster`].
+///
+/// See the crate-level documentation for a full example.
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    nodes: u32,
+    policy: PolicyKind,
+    custom_policy: Option<Box<dyn MovePolicy>>,
+    attachment_mode: AttachmentMode,
+}
+
+impl ClusterBuilder {
+    /// Number of nodes (worker threads). Defaults to 2.
+    #[must_use]
+    pub fn nodes(mut self, n: u32) -> Self {
+        assert!(n > 0, "a cluster needs at least one node");
+        self.nodes = n;
+        self
+    }
+
+    /// The migration policy interpreting `move()`-requests. Defaults to
+    /// transient placement.
+    #[must_use]
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self.custom_policy = None;
+        self
+    }
+
+    /// Installs a user-defined migration policy (any
+    /// [`oml_core::policy::MovePolicy`]) instead of a built-in.
+    #[must_use]
+    pub fn policy_custom(mut self, policy: impl MovePolicy + 'static) -> Self {
+        self.custom_policy = Some(Box::new(policy));
+        self
+    }
+
+    /// The attachment semantics. Defaults to unrestricted.
+    #[must_use]
+    pub fn attachment_mode(mut self, mode: AttachmentMode) -> Self {
+        self.attachment_mode = mode;
+        self
+    }
+
+    /// Spawns the node threads and returns the running cluster.
+    #[must_use]
+    pub fn build(self) -> Cluster {
+        let mut senders = Vec::with_capacity(self.nodes as usize);
+        let mut receivers = Vec::with_capacity(self.nodes as usize);
+        for _ in 0..self.nodes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            senders,
+            directory: RwLock::new(HashMap::new()),
+            mobility: RwLock::new(HashMap::new()),
+            policy: Mutex::new(
+                self.custom_policy
+                    .unwrap_or_else(|| self.policy.build()),
+            ),
+            attachments: Mutex::new(AttachmentGraph::new(self.attachment_mode)),
+            alliances: Mutex::new(AllianceRegistry::new()),
+            registry: TypeRegistry::new(),
+            counters: Counters::default(),
+            next_object: AtomicU32::new(0),
+            next_block: AtomicU32::new(0),
+            down: AtomicBool::new(false),
+        });
+        let handles = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let shared = Arc::clone(&shared);
+                let id = NodeId::new(i as u32);
+                std::thread::Builder::new()
+                    .name(format!("oml-node-{i}"))
+                    .spawn(move || NodeWorker::new(id, shared, rx).run())
+                    .expect("spawn node worker")
+            })
+            .collect();
+        Cluster {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+}
+
+/// A running multi-node object system.
+pub struct Cluster {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Starts configuring a cluster.
+    #[must_use]
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder {
+            nodes: 2,
+            policy: PolicyKind::TransientPlacement,
+            custom_policy: None,
+            attachment_mode: AttachmentMode::Unrestricted,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> u32 {
+        self.shared.senders.len() as u32
+    }
+
+    /// Registers the delinearizer for a type tag. Must happen before any
+    /// object of that type migrates (migrations of unregistered types are
+    /// refused rather than losing the object).
+    pub fn register_type(&self, tag: &str, f: Delinearizer) {
+        self.shared.registry.register(tag, f);
+    }
+
+    /// Creates `instance` at `node` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownNode`] for an out-of-range node and
+    /// [`RuntimeError::ShuttingDown`] if the cluster is stopping.
+    pub fn create(
+        &self,
+        node: NodeId,
+        instance: Box<dyn MobileObject>,
+    ) -> Result<ObjectId, RuntimeError> {
+        self.check_node(node)?;
+        let object = ObjectId::new(self.shared.next_object.fetch_add(1, Ordering::Relaxed));
+        // the directory knows the object before the Create lands, so early
+        // invocations park at the right node
+        self.shared.directory_set(object, node);
+        let (reply, rx) = unbounded();
+        self.shared.send(
+            node,
+            Message::Create {
+                object,
+                instance,
+                reply,
+            },
+        );
+        rx.recv().map_err(|_| RuntimeError::ShuttingDown)??;
+        Ok(object)
+    }
+
+    /// Invokes `method` on the object, wherever it currently is. Blocks
+    /// until the result message returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`]: unknown object, method failure,
+    /// forwarding exhaustion or shutdown.
+    pub fn invoke(
+        &self,
+        object: ObjectId,
+        method: &str,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, RuntimeError> {
+        let node = self
+            .shared
+            .directory_get(object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let (reply, rx) = unbounded();
+        self.shared.send(
+            node,
+            Message::Invoke {
+                object,
+                method: method.to_owned(),
+                payload: Bytes::copy_from_slice(payload),
+                hops: MAX_HOPS,
+                reply,
+            },
+        );
+        let bytes = rx.recv().map_err(|_| RuntimeError::ShuttingDown)??;
+        Ok(bytes.to_vec())
+    }
+
+    /// Opens a move-block: requests migration of `object` (and its
+    /// attachment closure) to `to` and returns an RAII guard whose `Drop`
+    /// issues the `end`-request. Check [`MoveGuard::granted`] — under
+    /// transient placement a concurrent holder leads to a denial, in which
+    /// case invocations simply stay remote.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`].
+    pub fn move_block(&self, object: ObjectId, to: NodeId) -> Result<MoveGuard<'_>, RuntimeError> {
+        self.move_block_in(object, to, None)
+    }
+
+    /// Like [`Cluster::move_block`], with an explicit cooperation context:
+    /// the migration drags the A-transitive closure of that alliance (§3.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`].
+    pub fn move_block_in(
+        &self,
+        object: ObjectId,
+        to: NodeId,
+        context: Option<AllianceId>,
+    ) -> Result<MoveGuard<'_>, RuntimeError> {
+        self.check_node(to)?;
+        let node = self
+            .shared
+            .directory_get(object)
+            .ok_or(RuntimeError::UnknownObject(object))?;
+        let block = BlockId::new(self.shared.next_block.fetch_add(1, Ordering::Relaxed));
+        let (reply, rx) = unbounded();
+        self.shared.send(
+            node,
+            Message::MoveRequest {
+                object,
+                to,
+                block,
+                context,
+                hops: MAX_HOPS,
+                reply,
+            },
+        );
+        let granted = rx.recv().map_err(|_| RuntimeError::ShuttingDown)??;
+        Ok(MoveGuard {
+            cluster: self,
+            object,
+            block,
+            from: to,
+            context,
+            granted,
+            migrate_back: None,
+            ended: false,
+        })
+    }
+
+    /// A `visit`-block (§2.3): a move combined with a migrate-back — on drop
+    /// the guard issues the end-request and sends the object home.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`].
+    pub fn visit_block(&self, object: ObjectId, to: NodeId) -> Result<MoveGuard<'_>, RuntimeError> {
+        let origin = self.shared.directory_get(object);
+        let mut guard = self.move_block_in(object, to, None)?;
+        if guard.granted {
+            guard.migrate_back = origin.filter(|&o| o != to);
+        }
+        Ok(guard)
+    }
+
+    /// Executes an operation declared with `move`/`visit` parameter modes
+    /// (§2.3, Fig. 1): call-by-move / call-by-visit.
+    ///
+    /// Each `move` argument is migrated to the callee's node for the
+    /// duration of the invocation and stays there; each `visit` argument
+    /// migrates back afterwards; `ref` arguments are untouched. Whether a
+    /// parameter migration is honoured is, as always, up to the installed
+    /// policy — under transient placement a locked argument simply stays
+    /// remote and the call proceeds anyway.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ArityMismatch`] if `args` does not match the
+    /// declaration, plus everything [`Cluster::invoke`] can report.
+    pub fn invoke_with_decl(
+        &self,
+        callee: ObjectId,
+        decl: &oml_core::lang::OperationDecl,
+        args: &[ObjectId],
+        payload: &[u8],
+    ) -> Result<Vec<u8>, RuntimeError> {
+        use oml_core::lang::ParamMode;
+
+        if args.len() != decl.params.len() {
+            return Err(RuntimeError::ArityMismatch {
+                expected: decl.params.len(),
+                got: args.len(),
+            });
+        }
+        let callee_node = self
+            .shared
+            .directory_get(callee)
+            .ok_or(RuntimeError::UnknownObject(callee))?;
+
+        // open the parameter move-blocks; the guards end them (and run the
+        // visit migrate-backs) when the invocation completes
+        let mut guards = Vec::new();
+        for (&arg, mode) in args.iter().zip(decl.modes()) {
+            match mode {
+                ParamMode::Ref => {}
+                ParamMode::Move => guards.push(self.move_block(arg, callee_node)?),
+                ParamMode::Visit => guards.push(self.visit_block(arg, callee_node)?),
+            }
+        }
+        let result = self.invoke(callee, &decl.name, payload);
+        drop(guards);
+        result
+    }
+
+    /// Where the object currently is (per the directory).
+    #[must_use]
+    pub fn location_of(&self, object: ObjectId) -> Option<NodeId> {
+        self.shared.directory_get(object)
+    }
+
+    /// A snapshot of every object's current location, in id order — the
+    /// operator's view of the placement the policies produced.
+    #[must_use]
+    pub fn placement_snapshot(&self) -> Vec<(ObjectId, NodeId)> {
+        let dir = self.shared.directory.read();
+        let mut v: Vec<(ObjectId, NodeId)> = dir.iter().map(|(&o, &n)| (o, n)).collect();
+        v.sort_unstable_by_key(|&(o, _)| o);
+        v
+    }
+
+    /// How many objects each node currently hosts (index = node id) — a
+    /// quick load-balance view.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shared.senders.len()];
+        for (_, node) in self.placement_snapshot() {
+            counts[node.index()] += 1;
+        }
+        counts
+    }
+
+    /// A snapshot of the cluster's activity counters.
+    #[must_use]
+    pub fn stats(&self) -> ClusterStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let c = &self.shared.counters;
+        ClusterStats {
+            invocations: c.invocations.load(Relaxed),
+            moves_granted: c.moves_granted.load(Relaxed),
+            moves_denied: c.moves_denied.load(Relaxed),
+            objects_migrated: c.objects_migrated.load(Relaxed),
+            forwards: c.forwards.load(Relaxed),
+        }
+    }
+
+    /// Whether the object is currently resident at `node`.
+    #[must_use]
+    pub fn is_resident(&self, object: ObjectId, node: NodeId) -> bool {
+        self.location_of(object) == Some(node)
+    }
+
+    /// `fix()` — transiently pins the object (§2.2).
+    pub fn fix(&self, object: ObjectId) {
+        self.shared.mobility.write().entry(object).or_default().fix();
+    }
+
+    /// `unfix()` — lifts a transient fix.
+    pub fn unfix(&self, object: ObjectId) {
+        self.shared.mobility.write().entry(object).or_default().unfix();
+    }
+
+    /// `refix()` — re-establishes a transient fix.
+    pub fn refix(&self, object: ObjectId) {
+        self.shared.mobility.write().entry(object).or_default().refix();
+    }
+
+    /// `attach(object, to)` in an optional cooperation context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AttachError`] (self-attachment, unknown alliance,
+    /// non-member endpoints).
+    pub fn attach(
+        &self,
+        object: ObjectId,
+        to: ObjectId,
+        context: Option<AllianceId>,
+    ) -> Result<AttachOutcome, AttachError> {
+        let alliances = self.shared.alliances.lock();
+        self.shared
+            .attachments
+            .lock()
+            .attach_checked(object, to, context, &alliances)
+    }
+
+    /// `detach(object, to)`; returns whether an edge was removed.
+    pub fn detach(&self, object: ObjectId, to: ObjectId) -> bool {
+        self.shared.attachments.lock().detach(object, to)
+    }
+
+    /// Creates an alliance.
+    pub fn create_alliance(&self, name: &str) -> AllianceId {
+        self.shared.alliances.lock().create(name)
+    }
+
+    /// Adds an object to an alliance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`oml_core::error::AllianceError`].
+    pub fn join_alliance(
+        &self,
+        alliance: AllianceId,
+        object: ObjectId,
+    ) -> Result<(), oml_core::error::AllianceError> {
+        self.shared.alliances.lock().join(alliance, object)
+    }
+
+    /// Stops all node threads and waits for them. Idempotent; also invoked
+    /// by `Drop`.
+    pub fn shutdown(&self) {
+        if self.shared.down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for tx in &self.shared.senders {
+            let _ = tx.send(Message::Shutdown);
+        }
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), RuntimeError> {
+        if node.index() < self.shared.senders.len() {
+            Ok(())
+        } else {
+            Err(RuntimeError::UnknownNode(node))
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes())
+            .field("objects", &self.shared.directory.read().len())
+            .finish()
+    }
+}
+
+/// An open move-block (§2.3). Dropping it issues the `end`-request — and,
+/// for [`Cluster::visit_block`], the migrate-back.
+#[derive(Debug)]
+pub struct MoveGuard<'c> {
+    cluster: &'c Cluster,
+    object: ObjectId,
+    block: BlockId,
+    /// The requester's node (where the object was moved to).
+    from: NodeId,
+    context: Option<AllianceId>,
+    granted: bool,
+    migrate_back: Option<NodeId>,
+    ended: bool,
+}
+
+impl MoveGuard<'_> {
+    /// Whether the move was granted (vs denied by a conflicting holder).
+    #[must_use]
+    pub fn granted(&self) -> bool {
+        self.granted
+    }
+
+    /// The object this block works on.
+    #[must_use]
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Ends the block explicitly (equivalent to dropping the guard).
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        let shared = &self.cluster.shared;
+        if let Some(node) = shared.directory_get(self.object) {
+            shared.send(
+                node,
+                Message::EndRequest {
+                    object: self.object,
+                    block: self.block,
+                    from: self.from,
+                    was_granted: self.granted,
+                    context: self.context,
+                    hops: MAX_HOPS,
+                },
+            );
+        }
+        if let Some(origin) = self.migrate_back.take() {
+            // the visit's migrate-back: an ordinary (best-effort) move
+            if let Ok(guard) = self.cluster.move_block_in(self.object, origin, self.context) {
+                let mut guard = guard;
+                // immediately release: the visit's return is not a block
+                guard.finish();
+            }
+        }
+    }
+}
+
+impl Drop for MoveGuard<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}

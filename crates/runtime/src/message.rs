@@ -1,0 +1,79 @@
+//! Inter-node messages (crate-internal).
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
+
+use crate::error::RuntimeError;
+use crate::object::MobileObject;
+
+/// Reply channel for invocations.
+pub(crate) type InvokeReply = Sender<Result<Bytes, RuntimeError>>;
+/// Reply channel for move-requests (`Ok(true)` = granted).
+pub(crate) type MoveReply = Sender<Result<bool, RuntimeError>>;
+
+/// Everything node workers exchange.
+pub(crate) enum Message {
+    /// Install a freshly created object (ships the live instance).
+    Create {
+        object: ObjectId,
+        instance: Box<dyn MobileObject>,
+        reply: Sender<Result<(), RuntimeError>>,
+    },
+    /// A trapped invocation, forwarded to the object's location.
+    Invoke {
+        object: ObjectId,
+        method: String,
+        payload: Bytes,
+        hops: u8,
+        reply: InvokeReply,
+    },
+    /// A `move()`-request, interpreted by the policy at the callee's node.
+    MoveRequest {
+        object: ObjectId,
+        to: NodeId,
+        block: BlockId,
+        context: Option<AllianceId>,
+        hops: u8,
+        reply: MoveReply,
+    },
+    /// A linearized object arriving at its new node.
+    Install {
+        object: ObjectId,
+        type_tag: String,
+        state: Bytes,
+        /// `Some` when this install completes a granted move: the block to
+        /// install for and the requester to notify.
+        install_for: Option<(BlockId, MoveReply)>,
+    },
+    /// Ship a locally hosted closure member towards `to` (no notification).
+    Surrender { object: ObjectId, to: NodeId },
+    /// A move-block completed.
+    EndRequest {
+        object: ObjectId,
+        block: BlockId,
+        from: NodeId,
+        was_granted: bool,
+        context: Option<AllianceId>,
+        hops: u8,
+    },
+    /// Stop the worker loop.
+    Shutdown,
+}
+
+impl std::fmt::Debug for Message {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Message::Create { object, .. } => write!(f, "Create({object})"),
+            Message::Invoke { object, method, .. } => write!(f, "Invoke({object}.{method})"),
+            Message::MoveRequest { object, to, .. } => write!(f, "MoveRequest({object} → {to})"),
+            Message::Install { object, .. } => write!(f, "Install({object})"),
+            Message::Surrender { object, to } => write!(f, "Surrender({object} → {to})"),
+            Message::EndRequest { object, block, .. } => write!(f, "End({object}, {block})"),
+            Message::Shutdown => write!(f, "Shutdown"),
+        }
+    }
+}
+
+/// Forwarding budget for messages chasing a migrating object.
+pub(crate) const MAX_HOPS: u8 = 16;

@@ -1,0 +1,437 @@
+//! The per-node worker: a thread owning the objects hosted at that node.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
+use oml_core::policy::{EndAction, EndRequest, MoveDecision, MoveRequest};
+
+use crate::cluster::Shared;
+use crate::error::RuntimeError;
+use crate::message::{Message, MoveReply, MAX_HOPS};
+use crate::object::MobileObject;
+
+pub(crate) struct NodeWorker {
+    id: NodeId,
+    shared: Arc<Shared>,
+    rx: Receiver<Message>,
+    /// Objects installed at this node.
+    objects: HashMap<ObjectId, Box<dyn MobileObject>>,
+    /// Messages for objects the directory says are headed here but whose
+    /// `Install` has not arrived yet — the run-time blocking of calls on
+    /// in-transit objects (§4.1).
+    awaiting: HashMap<ObjectId, Vec<Message>>,
+}
+
+impl NodeWorker {
+    pub(crate) fn new(id: NodeId, shared: Arc<Shared>, rx: Receiver<Message>) -> Self {
+        NodeWorker {
+            id,
+            shared,
+            rx,
+            objects: HashMap::new(),
+            awaiting: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            if matches!(msg, Message::Shutdown) {
+                break;
+            }
+            self.handle(msg);
+        }
+    }
+
+    fn handle(&mut self, msg: Message) {
+        match msg {
+            Message::Create {
+                object,
+                instance,
+                reply,
+            } => {
+                self.objects.insert(object, instance);
+                self.shared.directory_set(object, self.id);
+                let _ = reply.send(Ok(()));
+                self.drain_awaiting(object);
+            }
+            Message::Invoke { .. } => self.handle_invoke(msg),
+            Message::MoveRequest { .. } => self.handle_move(msg),
+            Message::Install {
+                object,
+                type_tag,
+                state,
+                install_for,
+            } => self.handle_install(object, &type_tag, &state, install_for),
+            Message::Surrender { object, to } => {
+                // Double-checked at the host: the object may have moved on.
+                if self.objects.contains_key(&object) {
+                    self.ship(object, to, None);
+                }
+            }
+            Message::EndRequest { .. } => self.handle_end(msg),
+            Message::Shutdown => unreachable!("handled in run()"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // routing
+    // ------------------------------------------------------------------
+
+    /// Routes a message for an object that is not installed here: queue it
+    /// if the object is in flight towards this node, forward it to the
+    /// directory location otherwise.
+    ///
+    /// Returns the message back if it must be failed by the caller.
+    fn route_elsewhere(&mut self, object: ObjectId, msg: Message) -> Result<(), Message> {
+        match self.shared.directory_get(object) {
+            Some(n) if n == self.id => {
+                // headed here; park until the Install arrives
+                self.awaiting.entry(object).or_default().push(msg);
+                Ok(())
+            }
+            Some(n) => {
+                let hops = match &msg {
+                    Message::Invoke { hops, .. }
+                    | Message::MoveRequest { hops, .. }
+                    | Message::EndRequest { hops, .. } => *hops,
+                    _ => MAX_HOPS,
+                };
+                if hops == 0 {
+                    return Err(msg);
+                }
+                let msg = decrement_hops(msg);
+                self.shared
+                    .counters
+                    .forwards
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.shared.send(n, msg);
+                Ok(())
+            }
+            None => Err(msg),
+        }
+    }
+
+    fn drain_awaiting(&mut self, object: ObjectId) {
+        if let Some(queued) = self.awaiting.remove(&object) {
+            for msg in queued {
+                self.handle(msg);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // invocations
+    // ------------------------------------------------------------------
+
+    fn handle_invoke(&mut self, msg: Message) {
+        let Message::Invoke {
+            object,
+            method,
+            payload,
+            hops,
+            reply,
+        } = msg
+        else {
+            unreachable!()
+        };
+        if let Some(instance) = self.objects.get_mut(&object) {
+            let result = instance
+                .invoke(&method, &payload)
+                .map(Bytes::from)
+                .map_err(|message| RuntimeError::MethodFailed { object, message });
+            self.shared
+                .counters
+                .invocations
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let _ = reply.send(result);
+            return;
+        }
+        let msg = Message::Invoke {
+            object,
+            method,
+            payload,
+            hops,
+            reply,
+        };
+        if let Err(failed) = self.route_elsewhere(object, msg) {
+            let Message::Invoke { reply, .. } = failed else {
+                unreachable!()
+            };
+            let err = if self.shared.directory_get(object).is_none() {
+                RuntimeError::UnknownObject(object)
+            } else {
+                RuntimeError::TooManyHops(object)
+            };
+            let _ = reply.send(Err(err));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // migration control
+    // ------------------------------------------------------------------
+
+    fn handle_move(&mut self, msg: Message) {
+        let Message::MoveRequest {
+            object,
+            to,
+            block,
+            context,
+            hops,
+            reply,
+        } = msg
+        else {
+            unreachable!()
+        };
+        if !self.objects.contains_key(&object) {
+            let msg = Message::MoveRequest {
+                object,
+                to,
+                block,
+                context,
+                hops,
+                reply,
+            };
+            if let Err(failed) = self.route_elsewhere(object, msg) {
+                let Message::MoveRequest { reply, .. } = failed else {
+                    unreachable!()
+                };
+                let err = if self.shared.directory_get(object).is_none() {
+                    RuntimeError::UnknownObject(object)
+                } else {
+                    RuntimeError::TooManyHops(object)
+                };
+                let _ = reply.send(Err(err));
+            }
+            return;
+        }
+
+        let movable = self.shared.is_movable(object);
+        let decision = if movable {
+            self.shared.policy.lock().on_move(&MoveRequest {
+                object,
+                at: self.id,
+                from: to,
+                block,
+            })
+        } else {
+            MoveDecision::Deny
+        };
+
+        match &decision {
+            MoveDecision::Grant => {
+                self.shared
+                    .counters
+                    .moves_granted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            MoveDecision::Deny => {
+                self.shared
+                    .counters
+                    .moves_denied
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        match decision {
+            MoveDecision::Grant if to == self.id => {
+                // already local: install (lock) in place
+                self.shared.policy.lock().on_installed(object, self.id, block);
+                let _ = reply.send(Ok(true));
+            }
+            MoveDecision::Grant => self.migrate_closure(object, to, context, Some((block, reply))),
+            MoveDecision::Deny => {
+                let _ = reply.send(Ok(false));
+            }
+        }
+    }
+
+    /// Migrates `main` and its (mode- and context-dependent) attachment
+    /// closure towards `to`. Locally hosted members ship directly; members
+    /// hosted elsewhere receive `Surrender` requests.
+    fn migrate_closure(
+        &mut self,
+        main: ObjectId,
+        to: NodeId,
+        context: Option<AllianceId>,
+        install_for: Option<(BlockId, MoveReply)>,
+    ) {
+        let closure = self.shared.attachments.lock().migration_closure(main, context);
+        for &member in &closure {
+            if member == main {
+                continue;
+            }
+            if !self.shared.is_movable(member) || self.shared.policy.lock().is_pinned(member) {
+                continue;
+            }
+            if self.objects.contains_key(&member) {
+                self.ship(member, to, None);
+            } else if let Some(host) = self.shared.directory_get(member) {
+                if host != to {
+                    self.shared.send(host, Message::Surrender { object: member, to });
+                }
+            }
+        }
+        self.ship(main, to, install_for);
+    }
+
+    /// Linearizes a locally hosted object and sends it to `to`. The
+    /// directory is updated here, atomically with the removal, so calls are
+    /// routed (and parked) at the destination from this instant on.
+    fn ship(&mut self, object: ObjectId, to: NodeId, install_for: Option<(BlockId, MoveReply)>) {
+        let Some(instance) = self.objects.get(&object) else {
+            return;
+        };
+        let type_tag = instance.type_tag().to_owned();
+        if self.shared.registry.get(&type_tag).is_none() {
+            // No delinearizer: shipping would lose the object. Refuse the
+            // migration instead (the requester, if any, learns of the
+            // failure).
+            if let Some((_, reply)) = install_for {
+                let _ = reply.send(Err(RuntimeError::UnknownType(type_tag)));
+            }
+            return;
+        }
+        let instance = self.objects.remove(&object).expect("checked above");
+        self.shared
+            .counters
+            .objects_migrated
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let state = Bytes::from(instance.linearize());
+        self.shared.directory_set(object, to);
+        if to == self.id {
+            // degenerate self-migration: reinstall immediately
+            self.handle_install(object, &type_tag, &state, install_for);
+        } else {
+            self.shared.send(
+                to,
+                Message::Install {
+                    object,
+                    type_tag,
+                    state,
+                    install_for,
+                },
+            );
+        }
+    }
+
+    fn handle_install(
+        &mut self,
+        object: ObjectId,
+        type_tag: &str,
+        state: &Bytes,
+        install_for: Option<(BlockId, MoveReply)>,
+    ) {
+        let Some(delinearize) = self.shared.registry.get(type_tag) else {
+            // The sender checked, but the registry is shared and mutable;
+            // fail the requester rather than panic the node.
+            if let Some((_, reply)) = install_for {
+                let _ = reply.send(Err(RuntimeError::UnknownType(type_tag.to_owned())));
+            }
+            return;
+        };
+        self.objects.insert(object, delinearize(state));
+        self.shared.directory_set(object, self.id);
+        {
+            let mut policy = self.shared.policy.lock();
+            policy.on_arrival(object, self.id);
+            if let Some((block, _)) = &install_for {
+                policy.on_installed(object, self.id, *block);
+            }
+        }
+        if let Some((_, reply)) = install_for {
+            let _ = reply.send(Ok(true));
+        }
+        self.drain_awaiting(object);
+    }
+
+    fn handle_end(&mut self, msg: Message) {
+        let Message::EndRequest {
+            object,
+            block,
+            from,
+            was_granted,
+            context,
+            hops,
+        } = msg
+        else {
+            unreachable!()
+        };
+        if !self.objects.contains_key(&object) {
+            let msg = Message::EndRequest {
+                object,
+                block,
+                from,
+                was_granted,
+                context,
+                hops,
+            };
+            // ends on vanished objects are dropped (nothing to unlock —
+            // the object's new host processes queued messages in order)
+            let _ = self.route_elsewhere(object, msg);
+            return;
+        }
+        let action = self.shared.policy.lock().on_end(&EndRequest {
+            object,
+            at: self.id,
+            from,
+            block,
+            was_granted,
+        });
+        if let EndAction::Migrate(target) = action {
+            if target != self.id {
+                self.migrate_closure(object, target, context, None);
+            }
+        }
+    }
+}
+
+fn decrement_hops(msg: Message) -> Message {
+    match msg {
+        Message::Invoke {
+            object,
+            method,
+            payload,
+            hops,
+            reply,
+        } => Message::Invoke {
+            object,
+            method,
+            payload,
+            hops: hops - 1,
+            reply,
+        },
+        Message::MoveRequest {
+            object,
+            to,
+            block,
+            context,
+            hops,
+            reply,
+        } => Message::MoveRequest {
+            object,
+            to,
+            block,
+            context,
+            hops: hops - 1,
+            reply,
+        },
+        Message::EndRequest {
+            object,
+            block,
+            from,
+            was_granted,
+            context,
+            hops,
+        } => Message::EndRequest {
+            object,
+            block,
+            from,
+            was_granted,
+            context,
+            hops: hops - 1,
+        },
+        other => other,
+    }
+}

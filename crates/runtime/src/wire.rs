@@ -1,0 +1,213 @@
+//! Minimal byte-encoding helpers for payloads and linearized state.
+//!
+//! The workspace deliberately has no serialization *format* dependency;
+//! objects own their wire representation. These helpers cover the common
+//! cases (integers, strings, length-prefixed sequences) on top of
+//! [`bytes::Buf`]/[`bytes::BufMut`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Incrementally builds a payload.
+///
+/// # Example
+///
+/// ```
+/// use oml_runtime::wire::{WireReader, WireWriter};
+///
+/// let bytes = WireWriter::new().u64(42).str("hello").finish();
+/// let mut r = WireReader::new(&bytes);
+/// assert_eq!(r.u64().unwrap(), 42);
+/// assert_eq!(r.str().unwrap(), "hello");
+/// assert!(r.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// Appends a little-endian `u64`.
+    #[must_use]
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Appends a little-endian `i64`.
+    #[must_use]
+    pub fn i64(mut self, v: i64) -> Self {
+        self.buf.put_i64_le(v);
+        self
+    }
+
+    /// Appends an `f64`.
+    #[must_use]
+    pub fn f64(mut self, v: f64) -> Self {
+        self.buf.put_f64_le(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    #[must_use]
+    pub fn str(mut self, s: &str) -> Self {
+        self.buf.put_u32_le(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+        self
+    }
+
+    /// Appends length-prefixed raw bytes.
+    #[must_use]
+    pub fn bytes(mut self, b: &[u8]) -> Self {
+        self.buf.put_u32_le(b.len() as u32);
+        self.buf.put_slice(b);
+        self
+    }
+
+    /// Finalizes into an immutable buffer.
+    #[must_use]
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Reads back what a [`WireWriter`] produced.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a byte slice.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    /// Whether all bytes were consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the truncation if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        if self.buf.remaining() < 8 {
+            return Err("truncated u64".to_owned());
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the truncation if fewer than 8 bytes remain.
+    pub fn i64(&mut self) -> Result<i64, String> {
+        if self.buf.remaining() < 8 {
+            return Err("truncated i64".to_owned());
+        }
+        Ok(self.buf.get_i64_le())
+    }
+
+    /// Reads an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the truncation if fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        if self.buf.remaining() < 8 {
+            return Err("truncated f64".to_owned());
+        }
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Reports truncation or invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, String> {
+        let raw = self.raw_bytes()?;
+        String::from_utf8(raw).map_err(|_| "invalid utf-8".to_owned())
+    }
+
+    /// Reads length-prefixed raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Reports truncation.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, String> {
+        self.raw_bytes()
+    }
+
+    fn raw_bytes(&mut self) -> Result<Vec<u8>, String> {
+        if self.buf.remaining() < 4 {
+            return Err("truncated length prefix".to_owned());
+        }
+        let len = self.buf.get_u32_le() as usize;
+        if self.buf.remaining() < len {
+            return Err("truncated body".to_owned());
+        }
+        let out = self.buf[..len].to_vec();
+        self.buf.advance(len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_type() {
+        let b = WireWriter::new()
+            .u64(7)
+            .i64(-9)
+            .f64(1.5)
+            .str("héllo")
+            .bytes(&[0xde, 0xad])
+            .finish();
+        let mut r = WireReader::new(&b);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.i64().unwrap(), -9);
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), vec![0xde, 0xad]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_reported_not_panicked() {
+        let b = WireWriter::new().u64(7).finish();
+        let mut r = WireReader::new(&b[..4]);
+        assert!(r.u64().unwrap_err().contains("truncated"));
+
+        let mut r = WireReader::new(&[2, 0, 0, 0, 1]); // claims 2 bytes, has 1
+        assert!(r.bytes().unwrap_err().contains("truncated body"));
+
+        let mut r = WireReader::new(&[1, 0]);
+        assert!(r.str().unwrap_err().contains("length prefix"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let b = WireWriter::new().bytes(&[0xff, 0xfe]).finish();
+        let mut r = WireReader::new(&b);
+        assert!(r.str().unwrap_err().contains("utf-8"));
+    }
+
+    #[test]
+    fn empty_reader_is_empty() {
+        assert!(WireReader::new(&[]).is_empty());
+    }
+}

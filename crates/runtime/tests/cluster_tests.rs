@@ -1,0 +1,481 @@
+//! End-to-end tests of the threads-and-channels runtime.
+
+use oml_core::attach::AttachmentMode;
+use oml_core::ids::NodeId;
+use oml_core::policy::PolicyKind;
+use oml_runtime::wire::{WireReader, WireWriter};
+use oml_runtime::{Cluster, MobileObject, RuntimeError};
+
+/// A counter whose state survives linearization.
+struct Counter(u64);
+
+impl MobileObject for Counter {
+    fn type_tag(&self) -> &'static str {
+        "counter"
+    }
+    fn invoke(&mut self, method: &str, payload: &[u8]) -> Result<Vec<u8>, String> {
+        match method {
+            "add" => {
+                let mut r = WireReader::new(payload);
+                self.0 += r.u64()?;
+                Ok(WireWriter::new().u64(self.0).finish().to_vec())
+            }
+            "get" => Ok(WireWriter::new().u64(self.0).finish().to_vec()),
+            other => Err(format!("no such method: {other}")),
+        }
+    }
+    fn linearize(&self) -> Vec<u8> {
+        WireWriter::new().u64(self.0).finish().to_vec()
+    }
+}
+
+fn register_counter(cluster: &Cluster) {
+    cluster.register_type("counter", |bytes| {
+        let mut r = WireReader::new(bytes);
+        Box::new(Counter(r.u64().expect("valid counter state")))
+    });
+}
+
+fn add(cluster: &Cluster, obj: oml_core::ids::ObjectId, v: u64) -> u64 {
+    let out = cluster
+        .invoke(obj, "add", &WireWriter::new().u64(v).finish())
+        .expect("add succeeds");
+    WireReader::new(&out).u64().unwrap()
+}
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+#[test]
+fn create_invoke_and_read_back() {
+    let cluster = Cluster::builder().nodes(2).build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    assert_eq!(add(&cluster, obj, 5), 5);
+    assert_eq!(add(&cluster, obj, 7), 12);
+    assert!(cluster.is_resident(obj, n(0)));
+    cluster.shutdown();
+}
+
+#[test]
+fn unknown_method_surfaces_as_method_failed() {
+    let cluster = Cluster::builder().nodes(1).build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    let err = cluster.invoke(obj, "frobnicate", &[]).unwrap_err();
+    assert!(matches!(err, RuntimeError::MethodFailed { .. }));
+    assert!(err.to_string().contains("frobnicate"));
+}
+
+#[test]
+fn unknown_object_is_reported() {
+    let cluster = Cluster::builder().nodes(1).build();
+    let ghost = oml_core::ids::ObjectId::new(99);
+    assert_eq!(
+        cluster.invoke(ghost, "x", &[]).unwrap_err(),
+        RuntimeError::UnknownObject(ghost)
+    );
+    assert_eq!(cluster.location_of(ghost), None);
+}
+
+#[test]
+fn move_block_migrates_state_and_releases_on_drop() {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .policy(PolicyKind::TransientPlacement)
+        .build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(41))).unwrap();
+    {
+        let guard = cluster.move_block(obj, n(2)).unwrap();
+        assert!(guard.granted());
+        assert!(cluster.is_resident(obj, n(2)));
+        // state survived the linearize/delinearize round trip
+        assert_eq!(add(&cluster, obj, 1), 42);
+    }
+    // after the end-request the lock is free: another block may take it
+    let guard = cluster.move_block(obj, n(1)).unwrap();
+    assert!(guard.granted());
+    assert!(cluster.is_resident(obj, n(1)));
+}
+
+#[test]
+fn placement_denies_concurrent_movers() {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .policy(PolicyKind::TransientPlacement)
+        .build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+
+    let first = cluster.move_block(obj, n(1)).unwrap();
+    assert!(first.granted());
+
+    // the conflicting mover is denied and the object stays put…
+    let second = cluster.move_block(obj, n(2)).unwrap();
+    assert!(!second.granted());
+    assert!(cluster.is_resident(obj, n(1)));
+    // …but its invocations still work (forwarded to the object)
+    assert_eq!(add(&cluster, obj, 3), 3);
+    drop(second); // denied end is ignored
+    assert!(cluster.is_resident(obj, n(1)));
+
+    drop(first);
+    // lock released: now the move succeeds
+    let third = cluster.move_block(obj, n(2)).unwrap();
+    assert!(third.granted());
+    assert!(cluster.is_resident(obj, n(2)));
+}
+
+#[test]
+fn conventional_migration_always_grants() {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .policy(PolicyKind::ConventionalMigration)
+        .build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    let a = cluster.move_block(obj, n(1)).unwrap();
+    assert!(a.granted());
+    // the steal: conventional semantics let the second mover take it away
+    let b = cluster.move_block(obj, n(2)).unwrap();
+    assert!(b.granted());
+    assert!(cluster.is_resident(obj, n(2)));
+    // the first block's calls are now remote, but still correct
+    assert_eq!(add(&cluster, obj, 1), 1);
+}
+
+#[test]
+fn sedentary_policy_denies_moves() {
+    let cluster = Cluster::builder()
+        .nodes(2)
+        .policy(PolicyKind::Sedentary)
+        .build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    let guard = cluster.move_block(obj, n(1)).unwrap();
+    assert!(!guard.granted());
+    assert!(cluster.is_resident(obj, n(0)));
+}
+
+#[test]
+fn fixed_objects_do_not_migrate() {
+    let cluster = Cluster::builder()
+        .nodes(2)
+        .policy(PolicyKind::ConventionalMigration)
+        .build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    cluster.fix(obj);
+    assert!(!cluster.move_block(obj, n(1)).unwrap().granted());
+    cluster.unfix(obj);
+    assert!(cluster.move_block(obj, n(1)).unwrap().granted());
+    cluster.refix(obj);
+    assert!(!cluster.move_block(obj, n(0)).unwrap().granted());
+}
+
+#[test]
+fn visit_blocks_return_home() {
+    let cluster = Cluster::builder().nodes(2).build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    {
+        let guard = cluster.visit_block(obj, n(1)).unwrap();
+        assert!(guard.granted());
+        assert!(cluster.is_resident(obj, n(1)));
+        assert_eq!(add(&cluster, obj, 9), 9);
+    }
+    // home again, state intact
+    assert!(cluster.is_resident(obj, n(0)));
+    assert_eq!(add(&cluster, obj, 1), 10);
+}
+
+#[test]
+fn attachments_drag_the_closure() {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .policy(PolicyKind::ConventionalMigration)
+        .build();
+    register_counter(&cluster);
+    let front = cluster.create(n(0), Box::new(Counter(1))).unwrap();
+    let helper = cluster.create(n(1), Box::new(Counter(2))).unwrap();
+    cluster.attach(helper, front, None).unwrap();
+
+    let guard = cluster.move_block(front, n(2)).unwrap();
+    assert!(guard.granted());
+    drop(guard);
+    assert!(cluster.is_resident(front, n(2)));
+    // the attached helper was surrendered by its host and followed
+    for _ in 0..100 {
+        if cluster.is_resident(helper, n(2)) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(cluster.is_resident(helper, n(2)));
+    // both objects still answer
+    assert_eq!(add(&cluster, front, 0), 1);
+    assert_eq!(add(&cluster, helper, 0), 2);
+}
+
+#[test]
+fn a_transitive_closure_respects_the_context() {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .policy(PolicyKind::ConventionalMigration)
+        .attachment_mode(AttachmentMode::ATransitive)
+        .build();
+    register_counter(&cluster);
+    let front = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    let mine = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    let foreign = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+
+    let us = cluster.create_alliance("us");
+    let them = cluster.create_alliance("them");
+    for o in [front, mine] {
+        cluster.join_alliance(us, o).unwrap();
+    }
+    for o in [front, foreign] {
+        cluster.join_alliance(them, o).unwrap();
+    }
+    cluster.attach(mine, front, Some(us)).unwrap();
+    cluster.attach(foreign, front, Some(them)).unwrap();
+
+    // moving in the `us` context drags `mine` but not `foreign`
+    let guard = cluster.move_block_in(front, n(1), Some(us)).unwrap();
+    assert!(guard.granted());
+    drop(guard);
+    assert!(cluster.is_resident(front, n(1)));
+    assert!(cluster.is_resident(mine, n(1)));
+    assert!(cluster.is_resident(foreign, n(0)));
+}
+
+#[test]
+fn migration_without_registered_type_is_refused() {
+    let cluster = Cluster::builder().nodes(2).build();
+    // no register_type on purpose
+    let obj = cluster.create(n(0), Box::new(Counter(7))).unwrap();
+    let err = cluster.move_block(obj, n(1)).unwrap_err();
+    assert_eq!(err, RuntimeError::UnknownType("counter".into()));
+    // the object is unharmed and still invocable
+    assert!(cluster.is_resident(obj, n(0)));
+    assert_eq!(add(&cluster, obj, 1), 8);
+}
+
+#[test]
+fn invalid_node_is_rejected() {
+    let cluster = Cluster::builder().nodes(2).build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    assert_eq!(
+        cluster.move_block(obj, n(9)).unwrap_err(),
+        RuntimeError::UnknownNode(n(9))
+    );
+    assert!(matches!(
+        cluster.create(n(9), Box::new(Counter(0))),
+        Err(RuntimeError::UnknownNode(_))
+    ));
+}
+
+#[test]
+fn shutdown_is_idempotent_and_drop_safe() {
+    let cluster = Cluster::builder().nodes(2).build();
+    cluster.shutdown();
+    cluster.shutdown();
+    drop(cluster); // Drop's shutdown is a no-op
+}
+
+#[test]
+fn proxy_handles_cover_the_primitives() {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .policy(PolicyKind::TransientPlacement)
+        .build();
+    register_counter(&cluster);
+    let id = cluster.create(n(0), Box::new(Counter(10))).unwrap();
+    let helper_id = cluster.create(n(1), Box::new(Counter(0))).unwrap();
+
+    let obj = cluster.object(id);
+    let helper = cluster.object(helper_id);
+    assert_eq!(obj.id(), id);
+    assert_eq!(obj.location(), Some(n(0)));
+
+    // invoke through the proxy
+    let out = obj
+        .invoke("add", &WireWriter::new().u64(5).finish())
+        .unwrap();
+    assert_eq!(WireReader::new(&out).u64().unwrap(), 15);
+
+    // attach + move via proxies drags the helper
+    helper.attach_to(obj, None).unwrap();
+    {
+        let g = obj.move_to(n(2)).unwrap();
+        assert!(g.granted());
+    }
+    assert!(obj.is_resident(n(2)));
+    for _ in 0..100 {
+        if helper.is_resident(n(2)) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(helper.is_resident(n(2)));
+    assert!(helper.detach_from(obj));
+
+    // fixing via the proxy
+    obj.fix();
+    assert!(!obj.move_to(n(0)).unwrap().granted());
+    obj.unfix();
+    {
+        let g = obj.visit(n(0)).unwrap();
+        assert!(g.granted());
+    }
+    assert!(obj.is_resident(n(2)), "visit returned the object");
+}
+
+#[test]
+fn concurrent_invocations_from_many_threads_are_consistent() {
+    let cluster = std::sync::Arc::new(Cluster::builder().nodes(4).build());
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let cluster = std::sync::Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _ = add(&cluster, obj, 1);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(add(&cluster, obj, 0), 400);
+}
+
+#[test]
+fn call_by_move_and_visit_follow_the_declaration() {
+    use oml_core::lang::OperationDecl;
+
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .policy(PolicyKind::ConventionalMigration)
+        .build();
+    register_counter(&cluster);
+    // the callee (a scheduler) is fixed at node 2; two argument objects live
+    // at nodes 0 and 1
+    let scheduler = cluster.create(n(2), Box::new(Counter(0))).unwrap();
+    cluster.fix(scheduler);
+    let job = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    let schedule = cluster.create(n(1), Box::new(Counter(0))).unwrap();
+
+    // Fig. 1: declare assign: visit job, move schedule -> bool
+    let decl: OperationDecl = "declare add: visit job, move schedule -> bool"
+        .parse()
+        .unwrap();
+    let out = cluster
+        .invoke_with_decl(
+            scheduler,
+            &decl,
+            &[job, schedule],
+            &WireWriter::new().u64(1).finish(),
+        )
+        .unwrap();
+    assert_eq!(WireReader::new(&out).u64().unwrap(), 1);
+
+    // the visit parameter went home; the move parameter stayed at the callee
+    assert!(cluster.is_resident(job, n(0)), "visit returns");
+    assert!(cluster.is_resident(schedule, n(2)), "move stays");
+    assert!(cluster.is_resident(scheduler, n(2)));
+}
+
+#[test]
+fn invoke_with_decl_checks_arity() {
+    use oml_core::lang::OperationDecl;
+    let cluster = Cluster::builder().nodes(2).build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    let decl: OperationDecl = "add: move x".parse().unwrap();
+    assert_eq!(
+        cluster.invoke_with_decl(obj, &decl, &[], &[]).unwrap_err(),
+        RuntimeError::ArityMismatch {
+            expected: 1,
+            got: 0
+        }
+    );
+}
+
+#[test]
+fn stats_track_activity() {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .policy(PolicyKind::TransientPlacement)
+        .build();
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    assert_eq!(cluster.stats().invocations, 0);
+    let _ = add(&cluster, obj, 1);
+    let _ = add(&cluster, obj, 1);
+    {
+        let g = cluster.move_block(obj, n(1)).unwrap();
+        assert!(g.granted());
+        let denied = cluster.move_block(obj, n(2)).unwrap();
+        assert!(!denied.granted());
+    }
+    let s = cluster.stats();
+    assert_eq!(s.invocations, 2);
+    assert_eq!(s.moves_granted, 1);
+    assert_eq!(s.moves_denied, 1);
+    assert_eq!(s.objects_migrated, 1);
+}
+
+#[test]
+fn snapshots_reflect_placement() {
+    let cluster = Cluster::builder().nodes(3).build();
+    register_counter(&cluster);
+    let a = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+    let b_obj = cluster.create(n(1), Box::new(Counter(0))).unwrap();
+    assert_eq!(cluster.occupancy(), vec![1, 1, 0]);
+    {
+        let g = cluster.move_block(a, n(2)).unwrap();
+        assert!(g.granted());
+    }
+    let snap = cluster.placement_snapshot();
+    assert_eq!(snap, vec![(a, n(2)), (b_obj, n(1))]);
+    assert_eq!(cluster.occupancy(), vec![0, 1, 1]);
+}
+
+#[test]
+fn concurrent_movers_never_lose_the_object() {
+    let cluster = std::sync::Arc::new(
+        Cluster::builder()
+            .nodes(4)
+            .policy(PolicyKind::ConventionalMigration)
+            .build(),
+    );
+    register_counter(&cluster);
+    let obj = cluster.create(n(0), Box::new(Counter(0))).unwrap();
+
+    let movers: Vec<_> = (0..4)
+        .map(|i| {
+            let cluster = std::sync::Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    if let Ok(guard) = cluster.move_block(obj, n(i)) {
+                        let _ = add(&cluster, obj, 1);
+                        drop(guard);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in movers {
+        t.join().unwrap();
+    }
+    // every increment survived every migration
+    assert_eq!(add(&cluster, obj, 0), 100);
+    assert!(cluster.location_of(obj).is_some());
+}

@@ -1,0 +1,131 @@
+//! The event vocabulary of the simulator.
+
+use oml_core::ids::{BlockId, ClientId, NodeId};
+
+/// Which leg of a (possibly nested) invocation a message belongs to.
+///
+/// Each synchronous invocation "dynamically creates a client–server
+/// relationship" (§4.1); in the two-layer structure of Fig. 7 a call to a
+/// first-layer server triggers one call into its second-layer working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Leg {
+    /// Client → first-layer server.
+    Target,
+    /// First-layer server → second-layer server.
+    Nested,
+}
+
+/// A high-level observable action, recorded in the optional run trace.
+///
+/// Distinct from [`Event`] (the engine's internal schedule entries): trace
+/// records describe *decisions and completions*, the level a person debugs
+/// policies at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A client began a move-block against an object.
+    BlockStarted {
+        /// The issuing client.
+        client: ClientId,
+        /// The target object.
+        object: oml_core::ids::ObjectId,
+    },
+    /// A move-request was granted.
+    MoveGranted {
+        /// The requesting block.
+        block: BlockId,
+    },
+    /// A move-request was denied.
+    MoveDenied {
+        /// The requesting block.
+        block: BlockId,
+    },
+    /// A migration departed towards a node with the given closure size.
+    MigrationStarted {
+        /// Destination node.
+        to: NodeId,
+        /// Number of objects in transit.
+        movers: usize,
+    },
+    /// A migration landed.
+    MigrationLanded {
+        /// Destination node.
+        to: NodeId,
+    },
+    /// A move-block completed all its calls.
+    BlockFinished {
+        /// The completed block.
+        block: BlockId,
+    },
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::BlockStarted { client, object } => {
+                write!(f, "{client} starts a block on {object}")
+            }
+            TraceEvent::MoveGranted { block } => write!(f, "move of {block} granted"),
+            TraceEvent::MoveDenied { block } => write!(f, "move of {block} denied"),
+            TraceEvent::MigrationStarted { to, movers } => {
+                write!(f, "migration of {movers} object(s) to {to} departs")
+            }
+            TraceEvent::MigrationLanded { to } => write!(f, "migration lands at {to}"),
+            TraceEvent::BlockFinished { block } => write!(f, "{block} finishes"),
+        }
+    }
+}
+
+/// Everything that can happen in the simulated world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A client's inter-block gap (`t_m`) elapsed: begin the next move-block.
+    BlockStart {
+        /// The client starting a block.
+        client: ClientId,
+    },
+    /// A move-request message reaches `node` (where the object was when the
+    /// message was sent or last forwarded).
+    MoveMsgArrive {
+        /// The requesting block.
+        block: BlockId,
+        /// The node the message was addressed to.
+        node: NodeId,
+    },
+    /// The move outcome (arrival of the object, or a denial indication)
+    /// reaches the requesting client.
+    MoveOutcome {
+        /// The requesting block.
+        block: BlockId,
+        /// Whether the move was granted.
+        granted: bool,
+    },
+    /// A migration completes: all objects in transit under it are
+    /// reinstalled at the destination.
+    MigrationLand {
+        /// Dense migration index.
+        migration: u64,
+    },
+    /// A block's think time (`t_i`) elapsed: issue the next invocation.
+    NextCall {
+        /// The block issuing the call.
+        block: BlockId,
+    },
+    /// A call message reaches `node` (where the callee was when the message
+    /// was sent or last forwarded).
+    CallMsgArrive {
+        /// Dense call index.
+        call: u64,
+        /// The node the message was addressed to.
+        node: NodeId,
+        /// Which leg of the invocation chain this is.
+        leg: Leg,
+    },
+    /// A result message arrives: for `Leg::Nested` at the first-layer
+    /// server, for `Leg::Target` back at the client (completing the call).
+    CallReturn {
+        /// Dense call index.
+        call: u64,
+        /// Which leg returned.
+        leg: Leg,
+    },
+}

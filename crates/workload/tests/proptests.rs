@@ -1,0 +1,69 @@
+//! Property-based tests over scenario configuration.
+
+use oml_workload::ScenarioConfig;
+use proptest::prelude::*;
+
+fn any_valid_config() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        1u32..40,   // nodes
+        1u32..30,   // clients
+        1u32..8,    // servers1
+        0u32..8,    // servers2
+        1.0..10.0,  // migration duration
+        0.0..4.0,   // think
+        0.0..100.0, // gap
+        0u32..4,    // working set
+        "[a-z]{1,12}",
+    )
+        .prop_map(
+            |(nodes, clients, s1, s2, m, think, gap, ws, name)| ScenarioConfig {
+                name,
+                nodes,
+                clients,
+                servers1: s1,
+                servers2: s2,
+                migration_duration: m,
+                // keep the sensibility invariant N ≥ M
+                mean_calls: m + 2.0,
+                mean_think: think,
+                mean_gap: gap,
+                working_set: if s2 == 0 { 0 } else { ws.min(s2) },
+                warmup_time: 10.0,
+            },
+        )
+}
+
+proptest! {
+    /// Every generated config validates and round-trips through the
+    /// key = value text format losslessly.
+    #[test]
+    fn config_text_round_trips(cfg in any_valid_config()) {
+        cfg.validate().expect("generated configs are valid");
+        let text = cfg.to_config_text();
+        let back = ScenarioConfig::from_config_text(&text).expect("parses back");
+        prop_assert_eq!(cfg, back);
+    }
+
+    /// Parsing is insensitive to whitespace and comment noise.
+    #[test]
+    fn config_text_survives_noise(cfg in any_valid_config(), noise in "[ \t]{0,4}") {
+        let noisy: String = cfg
+            .to_config_text()
+            .lines()
+            .flat_map(|l| [format!("{noise}{l}{noise}"), "# noise".to_owned()])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = ScenarioConfig::from_config_text(&noisy).expect("parses back");
+        prop_assert_eq!(cfg, back);
+    }
+
+    /// Table 1 values render for every symbol on every config.
+    #[test]
+    fn table1_values_always_render(cfg in any_valid_config()) {
+        for row in oml_workload::table1::table1() {
+            let v = oml_workload::table1::value_for(&cfg, row.symbol);
+            prop_assert!(!v.is_empty());
+            prop_assert!(!v.contains("unknown"));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Office automation — the paper's motivating setting (§1), on the *real*
+//! runtime.
+//!
+//! Two autonomously developed applications — an editor suite and a nightly
+//! indexer — share a document archive. Each was written assuming it is
+//! alone: each attaches the documents it works on to its own coordinator
+//! and issues move-blocks. We run the same workload twice:
+//!
+//! 1. conventional migration + unrestricted attachment (the §2.4 hazard),
+//! 2. transient placement + alliance-scoped (A-transitive) attachment
+//!    (the paper's remedy).
+//!
+//! ```text
+//! cargo run --release --example office_automation
+//! ```
+
+use oml_core::attach::AttachmentMode;
+use oml_core::ids::{NodeId, ObjectId};
+use oml_core::policy::PolicyKind;
+use oml_runtime::wire::{WireReader, WireWriter};
+use oml_runtime::{Cluster, MobileObject};
+
+/// A document: a revision counter plus a body size.
+struct Document {
+    revision: u64,
+    words: u64,
+}
+
+impl MobileObject for Document {
+    fn type_tag(&self) -> &'static str {
+        "document"
+    }
+    fn invoke(&mut self, method: &str, payload: &[u8]) -> Result<Vec<u8>, String> {
+        match method {
+            "edit" => {
+                let mut r = WireReader::new(payload);
+                self.words += r.u64()?;
+                self.revision += 1;
+                Ok(WireWriter::new().u64(self.revision).finish().to_vec())
+            }
+            "index" => Ok(WireWriter::new()
+                .u64(self.words)
+                .u64(self.revision)
+                .finish()
+                .to_vec()),
+            other => Err(format!("no such method: {other}")),
+        }
+    }
+    fn linearize(&self) -> Vec<u8> {
+        WireWriter::new()
+            .u64(self.revision)
+            .u64(self.words)
+            .finish()
+            .to_vec()
+    }
+}
+
+fn register(cluster: &Cluster) {
+    cluster.register_type("document", |bytes| {
+        let mut r = WireReader::new(bytes);
+        let revision = r.u64().expect("document state");
+        let words = r.u64().expect("document state");
+        Box::new(Document { revision, words })
+    });
+}
+
+const EDITOR_NODE: NodeId = NodeId::new(0);
+const INDEXER_NODE: NodeId = NodeId::new(1);
+const ARCHIVE_NODE: NodeId = NodeId::new(2);
+
+struct Archive {
+    docs: Vec<ObjectId>,
+}
+
+fn build_archive(cluster: &Cluster) -> Archive {
+    let docs = (0..4)
+        .map(|i| {
+            cluster
+                .create(
+                    ARCHIVE_NODE,
+                    Box::new(Document {
+                        revision: 0,
+                        words: 100 * (i + 1),
+                    }),
+                )
+                .expect("create document")
+        })
+        .collect();
+    Archive { docs }
+}
+
+/// The editor's working session: move a document here, edit it a few times.
+fn editor_session(cluster: &Cluster, doc: ObjectId, ctx: Option<oml_core::ids::AllianceId>) -> bool {
+    let guard = cluster
+        .move_block_in(doc, EDITOR_NODE, ctx)
+        .expect("move request");
+    for _ in 0..3 {
+        let _ = cluster.invoke(doc, "edit", &WireWriter::new().u64(5).finish());
+    }
+    guard.granted()
+}
+
+/// The indexer's sweep: move each document to the indexer node and scan it.
+fn indexer_sweep(cluster: &Cluster, archive: &Archive, ctx: Option<oml_core::ids::AllianceId>) -> usize {
+    let mut granted = 0;
+    for &doc in &archive.docs {
+        let guard = cluster
+            .move_block_in(doc, INDEXER_NODE, ctx)
+            .expect("move request");
+        let _ = cluster.invoke(doc, "index", &[]);
+        if guard.granted() {
+            granted += 1;
+        }
+    }
+    granted
+}
+
+fn scenario(policy: PolicyKind, mode: AttachmentMode) -> (usize, usize, Vec<Option<NodeId>>) {
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .policy(policy)
+        .attachment_mode(mode)
+        .build();
+    register(&cluster);
+    let archive = build_archive(&cluster);
+
+    // Each application attaches "its" documents to a coordinator document —
+    // autonomously, without knowing about the other application.
+    let editor_ctx = match mode {
+        AttachmentMode::ATransitive => {
+            let a = cluster.create_alliance("editor-suite");
+            for &d in &archive.docs {
+                cluster.join_alliance(a, d).unwrap();
+            }
+            Some(a)
+        }
+        _ => None,
+    };
+    let indexer_ctx = match mode {
+        AttachmentMode::ATransitive => {
+            let a = cluster.create_alliance("nightly-indexer");
+            for &d in &archive.docs {
+                cluster.join_alliance(a, d).unwrap();
+            }
+            Some(a)
+        }
+        _ => None,
+    };
+    // the editor works on docs 0 and 1 and latches doc 1 to doc 0
+    cluster.attach(archive.docs[1], archive.docs[0], editor_ctx).unwrap();
+    // the indexer chains everything for its sweep: 1→2, 2→3
+    cluster.attach(archive.docs[2], archive.docs[1], indexer_ctx).unwrap();
+    cluster.attach(archive.docs[3], archive.docs[2], indexer_ctx).unwrap();
+
+    // The probe: the editor opens a session on *its* document. How much of
+    // the archive follows it to the editor's node?
+    let granted = editor_session(&cluster, archive.docs[0], editor_ctx);
+    let dragged: Vec<Option<NodeId>> = archive
+        .docs
+        .iter()
+        .map(|&d| cluster.location_of(d))
+        .collect();
+    let pulled_along = dragged
+        .iter()
+        .skip(1)
+        .filter(|l| **l == Some(EDITOR_NODE))
+        .count();
+
+    // then the indexer sweeps as usual
+    let mut indexer_grants = 0;
+    if granted {
+        indexer_grants += indexer_sweep(&cluster, &archive, indexer_ctx);
+    }
+    cluster.shutdown();
+    (usize::from(granted), indexer_grants + pulled_along, dragged)
+}
+
+fn main() {
+    println!("office automation: an editor suite and a nightly indexer share 4 documents\n");
+
+    println!("the editor attached doc1 to doc0 (its pair); the indexer chained doc2→doc1, doc3→doc2.");
+    println!("now the editor opens a session on doc0 and pulls it to its node…\n");
+
+    let (_, _, locs) = scenario(
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::Unrestricted,
+    );
+    let dragged = locs.iter().filter(|l| **l == Some(EDITOR_NODE)).count();
+    println!("conventional migration + unrestricted attachment:");
+    println!("  after the editor's move, document locations: {locs:?}");
+    println!("  {dragged}/4 documents landed at the editor — the indexer's chain silently");
+    println!("  enlarged the editor's working set, so it migrated the whole archive (§2.4)\n");
+
+    let (_, _, locs) = scenario(PolicyKind::TransientPlacement, AttachmentMode::ATransitive);
+    let dragged = locs.iter().filter(|l| **l == Some(EDITOR_NODE)).count();
+    println!("transient placement + a-transitive attachment (alliances):");
+    println!("  after the editor's move, document locations: {locs:?}");
+    println!("  only {dragged}/4 documents moved — the move dragged exactly the editor");
+    println!("  alliance's working set; the indexer's chain stayed put (§3.4)");
+}

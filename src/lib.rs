@@ -1,0 +1,57 @@
+//! # oml — Object Migration for non-monolithic distributed applications
+//!
+//! A full reproduction of *Object Migration in Non-Monolithic Distributed
+//! Applications* (O. Ciupke, D. Kottmann, H.-D. Walter; ICDCS 1996).
+//!
+//! Non-monolithic applications are systems assembled from autonomously
+//! developed components that share mutable objects. The paper shows that
+//! conventional object-migration support — unconditional `move()` and
+//! transitive `attach()` — degrades such systems badly, and proposes two
+//! remedies: **transient placement** (migrate-if-unlocked with an explicit
+//! `end()` release) and **alliance-scoped (A-transitive) attachment**.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`des`] — deterministic discrete-event simulation engine and statistics,
+//! * [`net`] — topologies and message latency models,
+//! * [`core`] — migration policies, attachment graphs, alliances, cost model,
+//! * [`sim`] — the paper's §4 simulation model,
+//! * [`runtime`] — a real threads-and-channels distributed object runtime,
+//! * [`workload`] — scenario/workload generators for every figure,
+//! * [`experiments`] — the harness that regenerates every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oml::prelude::*;
+//!
+//! // Fig. 8 setup at one sweep point, run with the placement policy.
+//! let scenario = ScenarioConfig::fig8(30.0);
+//! let outcome = run_scenario(
+//!     &scenario,
+//!     PolicyKind::TransientPlacement,
+//!     AttachmentMode::Unrestricted,
+//!     StoppingRule::quick(),
+//!     42,
+//! );
+//! assert!(outcome.metrics.comm_time_per_call() > 0.0);
+//! ```
+
+pub use oml_core as core;
+pub use oml_des as des;
+pub use oml_experiments as experiments;
+pub use oml_net as net;
+pub use oml_runtime as runtime;
+pub use oml_sim as sim;
+pub use oml_workload as workload;
+
+/// The most common imports in one line.
+pub mod prelude {
+    pub use oml_core::attach::AttachmentMode;
+    pub use oml_core::policy::PolicyKind;
+    pub use oml_des::stats::StoppingRule;
+    pub use oml_des::{SimRng, SimTime};
+    pub use oml_sim::metrics::SimMetrics;
+    pub use oml_workload::run_scenario;
+    pub use oml_workload::scenario::ScenarioConfig;
+}

@@ -1,0 +1,93 @@
+//! The simulator is anchored to the closed-form predictions of
+//! `oml_core::cost` — where a quantity can be computed by hand, the
+//! simulation must land on it.
+
+use oml_core::attach::AttachmentMode;
+use oml_core::cost::{sedentary_call_time, uncontended_block_cost_per_call, CostModel};
+use oml_core::policy::PolicyKind;
+use oml_des::stats::StoppingRule;
+use oml_workload::{run_scenario, ScenarioConfig};
+
+fn precise() -> StoppingRule {
+    StoppingRule {
+        relative_precision: 0.01,
+        confidence: 0.99,
+        min_batches: 20,
+        max_samples: 300_000,
+    }
+}
+
+/// Fig. 8 world (one server per node): the sedentary baseline must match
+/// `2·(1 − 1/3) = 4/3` to within its confidence interval.
+#[test]
+fn fig8_sedentary_matches_closed_form() {
+    let out = run_scenario(
+        &ScenarioConfig::fig8(30.0),
+        PolicyKind::Sedentary,
+        AttachmentMode::Unrestricted,
+        precise(),
+        101,
+    );
+    let predicted = sedentary_call_time(3, 1, 1.0);
+    let measured = out.metrics.comm_time_per_call();
+    assert!(
+        (measured - predicted).abs() < 0.03,
+        "measured {measured} vs predicted {predicted}"
+    );
+}
+
+/// Fig. 12 world (27 nodes, servers away from most clients): the baseline
+/// approaches `2·(1 − 0) = 2` as the local-pick probability vanishes.
+#[test]
+fn fig12_sedentary_approaches_two() {
+    let out = run_scenario(
+        &ScenarioConfig::fig12(10),
+        PolicyKind::Sedentary,
+        AttachmentMode::Unrestricted,
+        precise(),
+        102,
+    );
+    let predicted = sedentary_call_time(3, 0, 1.0);
+    let measured = out.metrics.comm_time_per_call();
+    assert!(
+        (measured - predicted).abs() < 0.05,
+        "measured {measured} vs predicted {predicted}"
+    );
+}
+
+/// A single migrating client on the Fig. 8 world: in steady state each
+/// block pays `(M + C)` only when its uniformly picked server is not already
+/// at the client (2/3 of the time), amortized over N calls — because once a
+/// server has been pulled over it stays until another block picks a
+/// different one.
+#[test]
+fn single_client_migration_cost_matches_closed_form() {
+    let mut config = ScenarioConfig::fig8(30.0);
+    config.clients = 1;
+    let out = run_scenario(
+        &config,
+        PolicyKind::TransientPlacement,
+        AttachmentMode::Unrestricted,
+        precise(),
+        103,
+    );
+    let m = &out.metrics;
+    // the three servers gravitate to the single client's node; in the
+    // steady state at most two can be elsewhere (the ones picked less
+    // recently never move back), so eventually *all* are local and blocks
+    // cost nothing
+    let measured = m.comm_time_per_call();
+    let worst_case = uncontended_block_cost_per_call(&CostModel::paper(), 8, 2.0 / 3.0);
+    assert!(
+        measured < worst_case,
+        "steady-state cost {measured} must undercut the transient bound {worst_case}"
+    );
+    assert_eq!(m.moves_denied, 0, "no contention, no denials");
+    // after the transient, all servers live with the client: migrations stop
+    assert!(
+        (m.migrations as f64) < (m.blocks_completed as f64) * 0.05,
+        "{} migrations across {} blocks",
+        m.migrations,
+        m.blocks_completed
+    );
+}

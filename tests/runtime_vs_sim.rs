@@ -1,0 +1,191 @@
+//! Cross-substrate consistency: the simulator and the real runtime enforce
+//! the same policy semantics, because they share the same
+//! `oml_core::policy::MovePolicy` objects.
+
+use oml_core::attach::AttachmentMode;
+use oml_core::ids::NodeId;
+use oml_core::policy::PolicyKind;
+use oml_runtime::{Cluster, MobileObject};
+use oml_sim::{BlockParams, SimulationBuilder};
+use oml_net::{LatencyModel, Network, Topology};
+
+struct Blob;
+impl MobileObject for Blob {
+    fn type_tag(&self) -> &'static str {
+        "blob"
+    }
+    fn invoke(&mut self, _m: &str, _p: &[u8]) -> Result<Vec<u8>, String> {
+        Ok(Vec::new())
+    }
+    fn linearize(&self) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+fn blob_cluster(policy: PolicyKind, mode: AttachmentMode, nodes: u32) -> Cluster {
+    let cluster = Cluster::builder()
+        .nodes(nodes)
+        .policy(policy)
+        .attachment_mode(mode)
+        .build();
+    cluster.register_type("blob", |_| Box::new(Blob));
+    cluster
+}
+
+/// Placement: in both substrates the second concurrent mover is denied and
+/// the object stays with the first.
+#[test]
+fn placement_denial_agrees_across_substrates() {
+    // runtime
+    let cluster = blob_cluster(PolicyKind::TransientPlacement, AttachmentMode::Unrestricted, 3);
+    let obj = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
+    let first = cluster.move_block(obj, NodeId::new(1)).unwrap();
+    let second = cluster.move_block(obj, NodeId::new(2)).unwrap();
+    assert!(first.granted() && !second.granted());
+    assert!(cluster.is_resident(obj, NodeId::new(1)));
+    drop((first, second));
+    cluster.shutdown();
+
+    // simulator: under heavy contention the placement policy must deny a
+    // substantial share of moves while conventional migration denies none
+    let run = |policy: PolicyKind| {
+        let mut b = SimulationBuilder::new(Network::paper(3))
+            .policy(policy)
+            .warmup(100.0)
+            .seed(5);
+        let s = b.add_object(NodeId::new(2));
+        for i in 0..3 {
+            b.add_client(NodeId::new(i), vec![s], BlockParams::paper(2.0));
+        }
+        let mut sim = b.build();
+        sim.run_for(20_000.0).metrics
+    };
+    let placement = run(PolicyKind::TransientPlacement);
+    assert!(placement.moves_denied > 0, "contention must cause denials");
+    let conventional = run(PolicyKind::ConventionalMigration);
+    assert_eq!(conventional.moves_denied, 0);
+    assert!(conventional.migrations > placement.migrations);
+}
+
+/// Conventional migration: in both substrates the second mover steals the
+/// object.
+#[test]
+fn conventional_steal_agrees_across_substrates() {
+    let cluster = blob_cluster(
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::Unrestricted,
+        3,
+    );
+    let obj = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
+    let first = cluster.move_block(obj, NodeId::new(1)).unwrap();
+    let second = cluster.move_block(obj, NodeId::new(2)).unwrap();
+    assert!(first.granted() && second.granted());
+    assert!(cluster.is_resident(obj, NodeId::new(2)), "stolen by the second mover");
+    drop((first, second));
+    cluster.shutdown();
+}
+
+/// A-transitive closures select the same members in both substrates.
+#[test]
+fn a_transitive_closures_agree() {
+    // runtime
+    let cluster = blob_cluster(PolicyKind::ConventionalMigration, AttachmentMode::ATransitive, 2);
+    let front = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
+    let a_member = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
+    let b_member = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
+    let a = cluster.create_alliance("a");
+    let b = cluster.create_alliance("b");
+    for o in [front, a_member] {
+        cluster.join_alliance(a, o).unwrap();
+    }
+    for o in [front, b_member] {
+        cluster.join_alliance(b, o).unwrap();
+    }
+    cluster.attach(a_member, front, Some(a)).unwrap();
+    cluster.attach(b_member, front, Some(b)).unwrap();
+    let g = cluster.move_block_in(front, NodeId::new(1), Some(a)).unwrap();
+    assert!(g.granted());
+    drop(g);
+    assert!(cluster.is_resident(front, NodeId::new(1)));
+    assert!(cluster.is_resident(a_member, NodeId::new(1)));
+    assert!(cluster.is_resident(b_member, NodeId::new(0)));
+    cluster.shutdown();
+
+    // simulator: the same structure moves the same closure
+    let net = Network::new(
+        Topology::FullMesh { nodes: 2 },
+        LatencyModel::Deterministic { value: 1.0 },
+    );
+    let mut builder = SimulationBuilder::new(net)
+        .policy(PolicyKind::ConventionalMigration)
+        .attachment_mode(AttachmentMode::ATransitive)
+        .warmup(0.0)
+        .seed(6);
+    let front_s = builder.add_object(NodeId::new(1));
+    let a_s = builder.add_object(NodeId::new(1));
+    let b_s = builder.add_object(NodeId::new(1));
+    let ally_a = builder.create_alliance("a");
+    let ally_b = builder.create_alliance("b");
+    for o in [front_s, a_s] {
+        builder.join_alliance(ally_a, o);
+    }
+    for o in [front_s, b_s] {
+        builder.join_alliance(ally_b, o);
+    }
+    builder.attach(a_s, front_s, Some(ally_a)).unwrap();
+    builder.attach(b_s, front_s, Some(ally_b)).unwrap();
+    builder.set_move_context(front_s, Some(ally_a));
+    builder.add_client(
+        NodeId::new(0),
+        vec![front_s],
+        BlockParams {
+            mean_calls: 0.0,
+            mean_think: 0.0,
+            mean_gap: 1e12,
+        },
+    );
+    let mut sim = builder.build();
+    let _ = sim.run_for(1e5);
+    assert_eq!(sim.object_node(front_s), Some(NodeId::new(0)));
+    assert_eq!(sim.object_node(a_s), Some(NodeId::new(0)));
+    assert_eq!(sim.object_node(b_s), Some(NodeId::new(1)));
+}
+
+/// Fixing is honoured identically: fixed objects never move, in either
+/// substrate.
+#[test]
+fn fixing_agrees_across_substrates() {
+    let cluster = blob_cluster(
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::Unrestricted,
+        2,
+    );
+    let obj = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
+    cluster.fix(obj);
+    assert!(!cluster.move_block(obj, NodeId::new(1)).unwrap().granted());
+    cluster.shutdown();
+
+    let net = Network::new(
+        Topology::FullMesh { nodes: 2 },
+        LatencyModel::Deterministic { value: 1.0 },
+    );
+    let mut b = SimulationBuilder::new(net)
+        .policy(PolicyKind::ConventionalMigration)
+        .warmup(0.0)
+        .seed(7);
+    let s = b.add_object(NodeId::new(1));
+    b.fix_object(s);
+    b.add_client(
+        NodeId::new(0),
+        vec![s],
+        BlockParams {
+            mean_calls: 0.0,
+            mean_think: 0.0,
+            mean_gap: 1.0,
+        },
+    );
+    let mut sim = b.build();
+    let out = sim.run_for(500.0);
+    assert_eq!(out.metrics.migrations, 0);
+    assert_eq!(sim.object_node(s), Some(NodeId::new(1)));
+}

@@ -1,0 +1,116 @@
+//! Property-based invariants of the simulator over randomized scenarios.
+
+use oml_core::attach::AttachmentMode;
+use oml_core::policy::PolicyKind;
+use oml_des::stats::StoppingRule;
+use oml_workload::{build_scenario, ScenarioConfig};
+use proptest::prelude::*;
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop::sample::select(PolicyKind::ALL.to_vec())
+}
+
+fn any_mode() -> impl Strategy<Value = AttachmentMode> {
+    prop::sample::select(vec![
+        AttachmentMode::Unrestricted,
+        AttachmentMode::ATransitive,
+        AttachmentMode::Exclusive,
+    ])
+}
+
+fn any_scenario() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        2u32..8,    // nodes
+        1u32..6,    // clients
+        1u32..4,    // servers1
+        0u32..4,    // servers2
+        0u32..3,    // working set
+        1.0..30.0,  // mean gap
+    )
+        .prop_map(|(nodes, clients, s1, s2, ws, gap)| {
+            let mut cfg = ScenarioConfig::fig8(gap);
+            cfg.name = "random".into();
+            cfg.nodes = nodes;
+            cfg.clients = clients;
+            cfg.servers1 = s1;
+            cfg.servers2 = s2;
+            cfg.working_set = if s2 == 0 { 0 } else { ws.min(s2) };
+            cfg.warmup_time = 50.0;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random scenario runs without panicking, conserves every object
+    /// (all installed somewhere or legitimately in transit), and produces
+    /// internally consistent metrics.
+    #[test]
+    fn random_scenarios_hold_invariants(
+        cfg in any_scenario(),
+        policy in any_policy(),
+        mode in any_mode(),
+        seed in 0u64..1_000,
+    ) {
+        let mut sim = build_scenario(
+            &cfg,
+            policy,
+            mode,
+            StoppingRule {
+                relative_precision: 0.2,
+                confidence: 0.9,
+                min_batches: 2,
+                max_samples: 3_000,
+            },
+            seed,
+        );
+        let out = sim.run_for(2_000.0);
+        let m = &out.metrics;
+
+        // metric identities
+        let sum = m.call_time_per_call() + m.migration_time_per_call() + m.control_time_per_call();
+        prop_assert!((m.comm_time_per_call() - sum).abs() < 1e-9);
+        prop_assert!(m.moves_granted + m.moves_denied <= m.moves_issued + 8,
+            "decisions {} vs issued {}", m.moves_granted + m.moves_denied, m.moves_issued);
+        prop_assert!(m.total_transfer_load >= m.total_migration_time - 1e-9);
+        prop_assert!(m.objects_migrated >= m.migrations);
+
+        // the sedentary baseline truly never migrates or issues moves
+        if policy == PolicyKind::Sedentary {
+            prop_assert_eq!(m.migrations, 0);
+            prop_assert_eq!(m.moves_issued, 0);
+        }
+
+        // non-negative times
+        prop_assert!(m.total_call_time >= 0.0);
+        prop_assert!(m.total_migration_time >= 0.0);
+        prop_assert!(m.total_control_time >= 0.0);
+
+        // progress: with at least one client and finite gaps, work happened
+        prop_assert!(m.calls > 0 || out.sim_time < 2_000.0);
+    }
+
+    /// Same seed, same scenario → bit-identical headline metric.
+    #[test]
+    fn runs_are_reproducible(seed in 0u64..500) {
+        let cfg = ScenarioConfig::fig8(20.0);
+        let run = || {
+            let mut sim = build_scenario(
+                &cfg,
+                PolicyKind::TransientPlacement,
+                AttachmentMode::Unrestricted,
+                StoppingRule {
+                    relative_precision: 0.2,
+                    confidence: 0.9,
+                    min_batches: 2,
+                    max_samples: 2_000,
+                },
+                seed,
+            );
+            let out = sim.run_for(1_000.0);
+            (out.metrics.calls, out.metrics.comm_time_per_call(), out.events)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
