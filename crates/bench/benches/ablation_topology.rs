@@ -40,8 +40,8 @@ fn bench(c: &mut Criterion) {
 
     // raw per-message sampling cost, including hop computation
     for (label, topo) in &topologies {
-        let net = Network::new(topo.clone(), LatencyModel::Exponential { mean: 1.0 })
-            .with_hop_scaling();
+        let net =
+            Network::new(topo.clone(), LatencyModel::Exponential { mean: 1.0 }).with_hop_scaling();
         group.bench_function(BenchmarkId::new("message_delay", label), |b| {
             let mut rng = SimRng::seed_from(1);
             b.iter(|| {

@@ -422,7 +422,10 @@ mod tests {
     #[test]
     fn exclusive_mode_is_first_come_first_served() {
         let mut g = AttachmentGraph::new(AttachmentMode::Exclusive);
-        assert_eq!(g.attach(obj(5), obj(1), None).unwrap(), AttachOutcome::Attached);
+        assert_eq!(
+            g.attach(obj(5), obj(1), None).unwrap(),
+            AttachOutcome::Attached
+        );
         assert_eq!(
             g.attach(obj(5), obj(2), None).unwrap(),
             AttachOutcome::IgnoredExclusive
@@ -434,13 +437,19 @@ mod tests {
             AttachOutcome::AlreadyAttached
         );
         // and stars around a hub are allowed (many incoming edges)
-        assert_eq!(g.attach(obj(6), obj(1), None).unwrap(), AttachOutcome::Attached);
+        assert_eq!(
+            g.attach(obj(6), obj(1), None).unwrap(),
+            AttachOutcome::Attached
+        );
     }
 
     #[test]
     fn duplicate_and_retag_outcomes() {
         let mut g = AttachmentGraph::default();
-        assert_eq!(g.attach(obj(1), obj(2), ally(0)).unwrap(), AttachOutcome::Attached);
+        assert_eq!(
+            g.attach(obj(1), obj(2), ally(0)).unwrap(),
+            AttachOutcome::Attached
+        );
         assert_eq!(
             g.attach(obj(1), obj(2), ally(0)).unwrap(),
             AttachOutcome::AlreadyAttached
@@ -499,9 +508,7 @@ mod tests {
         let a = reg.create("ws");
         reg.join(a, obj(1)).unwrap();
         let mut g = AttachmentGraph::new(AttachmentMode::ATransitive);
-        let err = g
-            .attach_checked(obj(1), obj(2), Some(a), &reg)
-            .unwrap_err();
+        let err = g.attach_checked(obj(1), obj(2), Some(a), &reg).unwrap_err();
         assert_eq!(
             err,
             AttachError::NotAllianceMember {
@@ -528,7 +535,10 @@ mod tests {
         g.attach(obj(1), obj(3), None).unwrap();
         g.attach(obj(3), obj(1), None).unwrap(); // mutual edges
         g.attach(obj(1), obj(2), None).unwrap();
-        assert_eq!(g.neighbours(obj(1), Traversal::AllEdges), vec![obj(2), obj(3)]);
+        assert_eq!(
+            g.neighbours(obj(1), Traversal::AllEdges),
+            vec![obj(2), obj(3)]
+        );
     }
 
     #[test]
@@ -537,7 +547,10 @@ mod tests {
         g.attach(obj(1), obj(2), None).unwrap();
         g.attach(obj(4), obj(2), None).unwrap();
         let objs = g.attached_objects();
-        assert_eq!(objs.into_iter().collect::<Vec<_>>(), vec![obj(1), obj(2), obj(4)]);
+        assert_eq!(
+            objs.into_iter().collect::<Vec<_>>(),
+            vec![obj(1), obj(2), obj(4)]
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl fmt::Display for AllianceError {
         match self {
             AllianceError::UnknownAlliance(a) => write!(f, "alliance {a} does not exist"),
             AllianceError::AlreadyMember { object, alliance } => {
-                write!(f, "object {object} is already a member of alliance {alliance}")
+                write!(
+                    f,
+                    "object {object} is already a member of alliance {alliance}"
+                )
             }
             AllianceError::NotMember { object, alliance } => {
                 write!(f, "object {object} is not a member of alliance {alliance}")

@@ -101,9 +101,7 @@ impl OperationDecl {
     /// Whether any parameter migrates (move or visit).
     #[must_use]
     pub fn migrates_parameters(&self) -> bool {
-        self.params
-            .iter()
-            .any(|p| p.mode != ParamMode::Ref)
+        self.params.iter().any(|p| p.mode != ParamMode::Ref)
     }
 }
 
@@ -150,8 +148,7 @@ impl Error for ParseDeclError {}
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !s.starts_with(|c: char| c.is_ascii_digit())
 }
 
@@ -309,6 +306,9 @@ mod tests {
     fn modes_iterator_matches_params() {
         let d: OperationDecl = "g: visit a, b, move c".parse().unwrap();
         let modes: Vec<ParamMode> = d.modes().collect();
-        assert_eq!(modes, vec![ParamMode::Visit, ParamMode::Ref, ParamMode::Move]);
+        assert_eq!(
+            modes,
+            vec![ParamMode::Visit, ParamMode::Ref, ParamMode::Move]
+        );
     }
 }

@@ -59,6 +59,7 @@ pub mod cost;
 pub mod error;
 pub mod ids;
 pub mod lang;
+pub mod lease;
 pub mod object;
 pub mod policies;
 pub mod policy;

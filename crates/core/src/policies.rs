@@ -15,6 +15,7 @@
 //! worth it.
 
 use crate::ids::{BlockId, NodeId, ObjectId};
+use crate::lease::LeaseTable;
 use crate::policy::{EndAction, EndRequest, MoveDecision, MovePolicy, MoveRequest, PolicyKind};
 use std::collections::{BTreeMap, HashMap};
 
@@ -99,22 +100,42 @@ impl MovePolicy for ConventionalMigration {
 /// with an indication; the corresponding `end` is then simply ignored. The
 /// lock is released by the holder's `end`-request, which is always a local
 /// operation.
+///
+/// The locks live in a [`LeaseTable`]. Built with
+/// [`TransientPlacement::new`] they never expire — the failure-free §3.2
+/// semantics. Built with [`TransientPlacement::with_lease_ms`] each lock is
+/// a lease renewed by activity ([`MovePolicy::renew_lease`]) and reclaimed
+/// after silence ([`MovePolicy::expire_leases`]): the end-request is the
+/// fast release path, expiry the recovery path when the holder crashed or
+/// its end-request was lost.
 #[derive(Debug, Clone, Default)]
 pub struct TransientPlacement {
-    locks: HashMap<ObjectId, BlockId>,
+    locks: LeaseTable,
 }
 
 impl TransientPlacement {
-    /// Creates the policy with no locks held.
+    /// Creates the policy with no locks held and no lease expiry.
     #[must_use]
     pub fn new() -> Self {
         TransientPlacement::default()
     }
 
+    /// Creates the policy whose locks expire after `ttl_ms` of inactivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl_ms` is zero.
+    #[must_use]
+    pub fn with_lease_ms(ttl_ms: u64) -> Self {
+        TransientPlacement {
+            locks: LeaseTable::with_ttl_ms(ttl_ms),
+        }
+    }
+
     /// The block currently holding `object` in place, if any.
     #[must_use]
     pub fn lock_holder(&self, object: ObjectId) -> Option<BlockId> {
-        self.locks.get(&object).copied()
+        self.locks.holder(object)
     }
 }
 
@@ -124,7 +145,7 @@ impl MovePolicy for TransientPlacement {
     }
 
     fn on_move(&mut self, req: &MoveRequest) -> MoveDecision {
-        if self.locks.contains_key(&req.object) {
+        if self.locks.holder(req.object).is_some() {
             MoveDecision::Deny
         } else {
             MoveDecision::Grant
@@ -132,7 +153,7 @@ impl MovePolicy for TransientPlacement {
     }
 
     fn on_installed(&mut self, object: ObjectId, _node: NodeId, block: BlockId) {
-        let previous = self.locks.insert(object, block);
+        let previous = self.locks.acquire_now(object, block);
         debug_assert!(
             previous.is_none(),
             "placement granted {object} to {block} while still locked by {previous:?}"
@@ -141,12 +162,10 @@ impl MovePolicy for TransientPlacement {
 
     fn on_end(&mut self, req: &EndRequest) -> EndAction {
         if req.was_granted {
-            let held = self.locks.remove(&req.object);
-            debug_assert_eq!(
-                held,
-                Some(req.block),
-                "end-request from a non-holder released a lock"
-            );
+            // Only the live holder releases; a duplicate or stale
+            // end-request (possible under message faults, after the lease
+            // recovery path already freed the object) is a no-op.
+            let _ = self.locks.release(req.object, req.block);
         }
         // An end after a denial "is simply ignored, as nothing has to be
         // done" (§3.2).
@@ -154,7 +173,19 @@ impl MovePolicy for TransientPlacement {
     }
 
     fn is_pinned(&self, object: ObjectId) -> bool {
-        self.locks.contains_key(&object)
+        self.locks.holder(object).is_some()
+    }
+
+    fn renew_lease(&mut self, object: ObjectId, now_ms: u64) {
+        let _ = self.locks.renew(object, now_ms);
+    }
+
+    fn expire_leases(&mut self, now_ms: u64) -> Vec<(ObjectId, BlockId)> {
+        self.locks.advance(now_ms)
+    }
+
+    fn held_locks(&self) -> Vec<(ObjectId, BlockId)> {
+        self.locks.held()
     }
 }
 
@@ -172,7 +203,12 @@ struct OpenMoveLedger {
 
 impl OpenMoveLedger {
     fn record_move(&mut self, object: ObjectId, node: NodeId) {
-        *self.open.entry(object).or_default().entry(node).or_insert(0) += 1;
+        *self
+            .open
+            .entry(object)
+            .or_default()
+            .entry(node)
+            .or_insert(0) += 1;
     }
 
     fn record_end(&mut self, object: ObjectId, node: NodeId) {
@@ -219,13 +255,23 @@ impl OpenMoveLedger {
 #[derive(Debug, Clone, Default)]
 struct ComparingCore {
     ledger: OpenMoveLedger,
-    locks: HashMap<ObjectId, BlockId>,
+    locks: LeaseTable,
+    /// Where each lock holder sits — needed to retire its ledger entry if
+    /// the lease expires instead of ending normally.
+    holder_node: HashMap<ObjectId, NodeId>,
 }
 
 impl ComparingCore {
+    fn with_lease_ms(ttl_ms: u64) -> Self {
+        ComparingCore {
+            locks: LeaseTable::with_ttl_ms(ttl_ms),
+            ..ComparingCore::default()
+        }
+    }
+
     fn on_move(&mut self, req: &MoveRequest) -> MoveDecision {
         self.ledger.record_move(req.object, req.from);
-        if self.locks.contains_key(&req.object) {
+        if self.locks.holder(req.object).is_some() {
             return MoveDecision::Deny;
         }
         if req.from == req.at {
@@ -239,26 +285,45 @@ impl ComparingCore {
         }
     }
 
-    fn on_installed(&mut self, object: ObjectId, block: BlockId) {
-        let previous = self.locks.insert(object, block);
+    fn on_installed(&mut self, object: ObjectId, node: NodeId, block: BlockId) {
+        let previous = self.locks.acquire_now(object, block);
         debug_assert!(previous.is_none(), "granted {object} while locked");
+        self.holder_node.insert(object, node);
     }
 
     /// Processes the end bookkeeping; returns whether the ending block held
-    /// the lock (i.e. the object is unlocked now).
+    /// the lock (i.e. the object is unlocked now). A stale end — after the
+    /// lease recovery path already freed the lock — reports `false`, so no
+    /// reinstantiation decision hangs off it.
     fn on_end(&mut self, req: &EndRequest) -> bool {
         self.ledger.record_end(req.object, req.from);
-        if req.was_granted {
-            let held = self.locks.remove(&req.object);
-            debug_assert_eq!(held, Some(req.block));
-            true
-        } else {
-            false
+        let released = req.was_granted && self.locks.release(req.object, req.block);
+        if released {
+            self.holder_node.remove(&req.object);
         }
+        released
     }
 
     fn is_pinned(&self, object: ObjectId) -> bool {
-        self.locks.contains_key(&object)
+        self.locks.holder(object).is_some()
+    }
+
+    fn renew_lease(&mut self, object: ObjectId, now_ms: u64) {
+        let _ = self.locks.renew(object, now_ms);
+    }
+
+    /// Expired leases also retire their ledger entries: a lock that had to
+    /// be reclaimed belongs to a block that will never send its end-request
+    /// (or whose end-request was lost), and counting it as an "open move"
+    /// forever would skew every later majority comparison.
+    fn expire_leases(&mut self, now_ms: u64) -> Vec<(ObjectId, BlockId)> {
+        let expired = self.locks.advance(now_ms);
+        for &(object, _) in &expired {
+            if let Some(node) = self.holder_node.remove(&object) {
+                self.ledger.record_end(object, node);
+            }
+        }
+        expired
     }
 }
 
@@ -274,6 +339,18 @@ impl CompareNodes {
     #[must_use]
     pub fn new() -> Self {
         CompareNodes::default()
+    }
+
+    /// Creates the policy whose locks expire after `ttl_ms` of inactivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl_ms` is zero.
+    #[must_use]
+    pub fn with_lease_ms(ttl_ms: u64) -> Self {
+        CompareNodes {
+            core: ComparingCore::with_lease_ms(ttl_ms),
+        }
     }
 
     /// Open move-requests recorded for `object` at `node` (for diagnostics).
@@ -292,8 +369,8 @@ impl MovePolicy for CompareNodes {
         self.core.on_move(req)
     }
 
-    fn on_installed(&mut self, object: ObjectId, _node: NodeId, block: BlockId) {
-        self.core.on_installed(object, block);
+    fn on_installed(&mut self, object: ObjectId, node: NodeId, block: BlockId) {
+        self.core.on_installed(object, node, block);
     }
 
     fn on_end(&mut self, req: &EndRequest) -> EndAction {
@@ -303,6 +380,18 @@ impl MovePolicy for CompareNodes {
 
     fn is_pinned(&self, object: ObjectId) -> bool {
         self.core.is_pinned(object)
+    }
+
+    fn renew_lease(&mut self, object: ObjectId, now_ms: u64) {
+        self.core.renew_lease(object, now_ms);
+    }
+
+    fn expire_leases(&mut self, now_ms: u64) -> Vec<(ObjectId, BlockId)> {
+        self.core.expire_leases(now_ms)
+    }
+
+    fn held_locks(&self) -> Vec<(ObjectId, BlockId)> {
+        self.core.locks.held()
     }
 }
 
@@ -321,6 +410,18 @@ impl CompareAndReinstantiate {
     pub fn new() -> Self {
         CompareAndReinstantiate::default()
     }
+
+    /// Creates the policy whose locks expire after `ttl_ms` of inactivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl_ms` is zero.
+    #[must_use]
+    pub fn with_lease_ms(ttl_ms: u64) -> Self {
+        CompareAndReinstantiate {
+            core: ComparingCore::with_lease_ms(ttl_ms),
+        }
+    }
 }
 
 impl MovePolicy for CompareAndReinstantiate {
@@ -332,8 +433,8 @@ impl MovePolicy for CompareAndReinstantiate {
         self.core.on_move(req)
     }
 
-    fn on_installed(&mut self, object: ObjectId, _node: NodeId, block: BlockId) {
-        self.core.on_installed(object, block);
+    fn on_installed(&mut self, object: ObjectId, node: NodeId, block: BlockId) {
+        self.core.on_installed(object, node, block);
     }
 
     fn on_end(&mut self, req: &EndRequest) -> EndAction {
@@ -359,6 +460,18 @@ impl MovePolicy for CompareAndReinstantiate {
 
     fn is_pinned(&self, object: ObjectId) -> bool {
         self.core.is_pinned(object)
+    }
+
+    fn renew_lease(&mut self, object: ObjectId, now_ms: u64) {
+        self.core.renew_lease(object, now_ms);
+    }
+
+    fn expire_leases(&mut self, now_ms: u64) -> Vec<(ObjectId, BlockId)> {
+        self.core.expire_leases(now_ms)
+    }
+
+    fn held_locks(&self) -> Vec<(ObjectId, BlockId)> {
+        self.core.locks.held()
     }
 }
 
@@ -664,5 +777,80 @@ mod tests {
         // an end for a move never recorded must not underflow or panic
         let _ = p.on_end(&end(0, 1, 2, 0, false));
         assert_eq!(p.open_moves(obj(0), node(2)), 0);
+    }
+
+    #[test]
+    fn placement_lease_expiry_releases_a_crashed_holders_lock() {
+        let mut p = TransientPlacement::with_lease_ms(100);
+        assert_eq!(p.on_move(&req(0, 1, 2, 0)), MoveDecision::Grant);
+        p.on_installed(obj(0), node(2), block(0));
+        assert_eq!(p.held_locks(), vec![(obj(0), block(0))]);
+
+        // activity renews the lease: still locked well past the original TTL
+        p.renew_lease(obj(0), 80);
+        assert_eq!(p.expire_leases(150), Vec::new());
+        assert_eq!(p.on_move(&req(0, 2, 3, 1)), MoveDecision::Deny);
+
+        // then the holder goes silent (crash / lost end-request): expiry
+        // frees the object and a new mover wins
+        assert_eq!(p.expire_leases(180), vec![(obj(0), block(0))]);
+        assert!(p.held_locks().is_empty());
+        assert_eq!(p.on_move(&req(0, 2, 3, 2)), MoveDecision::Grant);
+    }
+
+    #[test]
+    fn placement_tolerates_stale_and_duplicate_ends() {
+        let mut p = TransientPlacement::with_lease_ms(50);
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        // lease expires; lock re-granted to block 1
+        let _ = p.expire_leases(60);
+        let _ = p.on_move(&req(0, 2, 3, 1));
+        p.on_installed(obj(0), node(3), block(1));
+        // block 0's end-request finally arrives — must not free block 1's lock
+        assert_eq!(p.on_end(&end(0, 3, 2, 0, true)), EndAction::None);
+        assert_eq!(p.lock_holder(obj(0)), Some(block(1)));
+        // and the real holder's end still works, even duplicated
+        assert_eq!(p.on_end(&end(0, 3, 3, 1, true)), EndAction::None);
+        assert_eq!(p.on_end(&end(0, 3, 3, 1, true)), EndAction::None);
+        assert_eq!(p.lock_holder(obj(0)), None);
+    }
+
+    #[test]
+    fn comparing_lease_expiry_retires_the_holders_ledger_entry() {
+        let mut p = CompareNodes::with_lease_ms(100);
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        assert_eq!(p.open_moves(obj(0), node(2)), 1);
+
+        // holder crashes: expiry releases the lock AND retires its open move,
+        // so the dead node does not outvote live requesters forever
+        assert_eq!(p.expire_leases(200), vec![(obj(0), block(0))]);
+        assert_eq!(p.open_moves(obj(0), node(2)), 0);
+        assert!(!p.is_pinned(obj(0)));
+        assert_eq!(p.on_move(&req(0, 2, 3, 1)), MoveDecision::Grant);
+    }
+
+    #[test]
+    fn reinstantiation_ignores_stale_ends_for_migration_decisions() {
+        let mut p = CompareAndReinstantiate::with_lease_ms(50);
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        // pile up a majority elsewhere
+        let _ = p.on_move(&req(0, 2, 3, 1));
+        let _ = p.on_move(&req(0, 2, 3, 2));
+        // the lease expires before the holder's end arrives
+        let _ = p.expire_leases(100);
+        // the stale end no longer holds the lock, so it must not trigger a
+        // reinstantiation migration
+        assert_eq!(p.on_end(&end(0, 2, 2, 0, true)), EndAction::None);
+    }
+
+    #[test]
+    fn lock_free_policies_report_no_leases() {
+        let mut p = ConventionalMigration::new();
+        p.renew_lease(obj(0), 5);
+        assert_eq!(p.expire_leases(1_000), Vec::new());
+        assert!(p.held_locks().is_empty());
     }
 }

@@ -105,6 +105,29 @@ pub trait MovePolicy: fmt::Debug + Send {
         let _ = object;
         false
     }
+
+    /// Activity inside `object`'s granted block at time `now_ms`: policies
+    /// whose locks are leases (see [`crate::lease::LeaseTable`]) extend the
+    /// lease here. The default (and every lock-free policy) does nothing.
+    fn renew_lease(&mut self, object: ObjectId, now_ms: u64) {
+        let _ = (object, now_ms);
+    }
+
+    /// Advances the policy's lease clock to `now_ms` and releases locks
+    /// whose leases ran out — the recovery path when a holder crashed or
+    /// its end-request was lost. Returns the `(object, block)` pairs that
+    /// expired. Lock-free policies (and lock tables without a TTL) return
+    /// nothing.
+    fn expire_leases(&mut self, now_ms: u64) -> Vec<(ObjectId, BlockId)> {
+        let _ = now_ms;
+        Vec::new()
+    }
+
+    /// The placement locks currently held, for diagnostics and invariant
+    /// checks. Lock-free policies return an empty list.
+    fn held_locks(&self) -> Vec<(ObjectId, BlockId)> {
+        Vec::new()
+    }
 }
 
 /// The built-in policies, as data (serializable, usable in configs and on
@@ -145,6 +168,27 @@ impl PolicyKind {
             PolicyKind::TransientPlacement => Box::new(TransientPlacement::new()),
             PolicyKind::CompareNodes => Box::new(CompareNodes::new()),
             PolicyKind::CompareAndReinstantiate => Box::new(CompareAndReinstantiate::new()),
+        }
+    }
+
+    /// Instantiates the policy with lease-based locks expiring after
+    /// `ttl_ms` of inactivity (the fault-tolerant runtime's configuration).
+    /// Policies without locks ignore the TTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl_ms` is zero.
+    #[must_use]
+    pub fn build_with_lease(self, ttl_ms: u64) -> Box<dyn MovePolicy> {
+        use crate::policies::*;
+        match self {
+            PolicyKind::Sedentary => Box::new(Sedentary::new()),
+            PolicyKind::ConventionalMigration => Box::new(ConventionalMigration::new()),
+            PolicyKind::TransientPlacement => Box::new(TransientPlacement::with_lease_ms(ttl_ms)),
+            PolicyKind::CompareNodes => Box::new(CompareNodes::with_lease_ms(ttl_ms)),
+            PolicyKind::CompareAndReinstantiate => {
+                Box::new(CompareAndReinstantiate::with_lease_ms(ttl_ms))
+            }
         }
     }
 }
@@ -215,8 +259,14 @@ mod tests {
 
     #[test]
     fn parse_accepts_aliases_and_rejects_junk() {
-        assert_eq!("move".parse::<PolicyKind>().unwrap(), PolicyKind::ConventionalMigration);
-        assert_eq!("place".parse::<PolicyKind>().unwrap(), PolicyKind::TransientPlacement);
+        assert_eq!(
+            "move".parse::<PolicyKind>().unwrap(),
+            PolicyKind::ConventionalMigration
+        );
+        assert_eq!(
+            "place".parse::<PolicyKind>().unwrap(),
+            PolicyKind::TransientPlacement
+        );
         let err = "bogus".parse::<PolicyKind>().unwrap_err();
         assert!(err.to_string().contains("bogus"));
     }

@@ -20,9 +20,8 @@ struct EdgeSpec {
 
 fn edges() -> impl Strategy<Value = Vec<EdgeSpec>> {
     proptest::collection::vec(
-        (0..N_OBJECTS, 0..N_OBJECTS, proptest::option::of(0..3u32)).prop_map(|(from, to, ctx)| {
-            EdgeSpec { from, to, ctx }
-        }),
+        (0..N_OBJECTS, 0..N_OBJECTS, proptest::option::of(0..3u32))
+            .prop_map(|(from, to, ctx)| EdgeSpec { from, to, ctx }),
         0..40,
     )
 }

@@ -60,7 +60,11 @@ impl<E> Scheduler<E> {
     ///
     /// Panics if `at` lies in the past.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
         self.queue.push(at, event);
     }
 

@@ -924,7 +924,10 @@ mod tests {
     fn replicate_aggregates_independent_runs() {
         let stats = replicate(50, 7, |seed| (seed % 100) as f64);
         assert_eq!(stats.count(), 50);
-        assert!(stats.variance() > 0.0, "seeds must differ across replications");
+        assert!(
+            stats.variance() > 0.0,
+            "seeds must differ across replications"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   break-even §4.2.2 extension: break-even client counts vs the N/M ratio
 //!   visit      §2.3 ablation: move blocks vs visit blocks
 //!   location   §4.1 ablation: the four object-location mechanisms
+//!   faults     robustness extension: degradation under message loss
 //!   <file.csv> replot a previously saved result (no re-run)
 //!   custom     run a scenario loaded with --scenario FILE (key = value
 //!              format; see ScenarioConfig::to_config_text) under all five
@@ -31,7 +32,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use oml_experiments::experiments::{
-    break_even_scaling, egoism, fig12, fig14, fig16, fig16_exclusive, fig4_cost, fig8,
+    break_even_scaling, egoism, faults, fig12, fig14, fig16, fig16_exclusive, fig4_cost, fig8,
     location_ablation, topology_ablation, visit_ablation, RunOptions,
 };
 use oml_experiments::{render_plot, render_svg, ExperimentResult, SvgOptions};
@@ -98,7 +99,9 @@ fn parse_args() -> Result<Cli, String> {
         }
     }
     if !precision_set {
-        eprintln!("(no precision flag given; defaulting to --quick — use --paper for the 1%/p=0.99 rule)");
+        eprintln!(
+            "(no precision flag given; defaulting to --quick — use --paper for the 1%/p=0.99 rule)"
+        );
     }
     Ok(Cli {
         experiment: experiment.ok_or("an experiment name is required")?,
@@ -220,6 +223,7 @@ fn main() -> ExitCode {
             "break-even" => emit(&break_even_scaling(&cli.opts), &cli),
             "visit" => emit(&visit_ablation(&cli.opts), &cli),
             "location" => emit(&location_ablation(&cli.opts), &cli),
+            "faults" => emit(&faults(&cli.opts), &cli),
             _ => return false,
         }
         true
@@ -310,6 +314,7 @@ fn main() -> ExitCode {
                 "break-even",
                 "visit",
                 "location",
+                "faults",
             ] {
                 let ok = run_one(name);
                 debug_assert!(ok);

@@ -127,7 +127,13 @@ fn sweep_grid(
     let rows = parallel_map(configs.len() * cols, opts.threads, |job| {
         let (pi, si) = (job / cols, job % cols);
         let (_, policy, mode) = series_defs[si];
-        run_point(&configs[pi], policy, mode, opts, point_seed(opts.seed, pi, si))
+        run_point(
+            &configs[pi],
+            policy,
+            mode,
+            opts,
+            point_seed(opts.seed, pi, si),
+        )
     });
     xs.iter()
         .enumerate()
@@ -174,7 +180,9 @@ const BASIC_SERIES: [(&str, PolicyKind); 3] = [
 /// Fig. 8.
 #[must_use]
 pub fn fig8(opts: &RunOptions) -> ExperimentResult {
-    let xs = [0.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+    let xs = [
+        0.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+    ];
     let configs: Vec<ScenarioConfig> = xs.iter().map(|&x| ScenarioConfig::fig8(x)).collect();
     let series: Vec<(&str, PolicyKind, AttachmentMode)> = BASIC_SERIES
         .iter()
@@ -685,6 +693,40 @@ pub fn visit_ablation(opts: &RunOptions) -> ExperimentResult {
     }
 }
 
+/// Robustness extension — per-policy degradation under message loss.
+///
+/// Re-runs the Fig. 12 hot-spot world (`D = 27`, ten concurrent clients)
+/// while sweeping the per-message loss probability. A lost message is
+/// detected and resent after a retransmission timeout of several mean
+/// latencies, so every policy degrades as loss rises — but the *ordering*
+/// is the point: a policy that spends fewer messages per call exposes
+/// fewer messages to loss, so transient placement keeps its lead over
+/// conventional migration at every loss rate.
+#[must_use]
+pub fn faults(opts: &RunOptions) -> ExperimentResult {
+    // one retransmission costs six mean message latencies — a coarse
+    // timeout-driven ARQ; E[extra delay per message] = 6·p/(1-p)
+    const RETRANSMIT_TIMEOUT: f64 = 6.0;
+    const CLIENTS: u32 = 10;
+    let xs = [0.0, 0.02, 0.05, 0.1, 0.2];
+    let configs: Vec<ScenarioConfig> = xs
+        .iter()
+        .map(|&p| ScenarioConfig::fig12(CLIENTS).with_loss(p, RETRANSMIT_TIMEOUT))
+        .collect();
+    let series: Vec<(&str, PolicyKind, AttachmentMode)> = BASIC_SERIES
+        .iter()
+        .map(|&(l, p)| (l, p, AttachmentMode::Unrestricted))
+        .collect();
+    let points = sweep_grid(&configs, &xs, &series, opts);
+    ExperimentResult {
+        id: "faults".into(),
+        title: "degradation under message loss (Fig. 12 world, C=10, retransmit timeout 6)".into(),
+        x_label: "message loss probability".into(),
+        y_label: "mean communication time per call".into(),
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -808,8 +850,34 @@ mod tests {
     }
 
     #[test]
+    fn faults_degrade_everyone_but_keep_placement_ahead() {
+        let opts = tiny();
+        let r = faults(&opts);
+        assert_eq!(r.points.len(), 5);
+        let first = r.points.first().unwrap();
+        let last = r.points.last().unwrap();
+        for label in ["without migration", "migration", "transient placement"] {
+            assert!(
+                last.series[label].comm_time > first.series[label].comm_time,
+                "{label} should cost more at 20 % loss than at 0 %"
+            );
+        }
+        for p in &r.points {
+            let mig = p.series["migration"].comm_time;
+            let place = p.series["transient placement"].comm_time;
+            assert!(
+                place < mig,
+                "placement ({place}) should stay below migration ({mig}) at loss {}",
+                p.x
+            );
+        }
+    }
+
+    #[test]
     fn run_options_presets() {
         assert!(RunOptions::paper().stopping.relative_precision <= 0.01);
-        assert!(RunOptions::quick().stopping.max_samples < RunOptions::paper().stopping.max_samples);
+        assert!(
+            RunOptions::quick().stopping.max_samples < RunOptions::paper().stopping.max_samples
+        );
     }
 }

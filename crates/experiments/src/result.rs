@@ -231,7 +231,9 @@ impl ExperimentResult {
     /// ragged rows.
     pub fn from_csv(id: &str, csv: &str) -> Result<ExperimentResult, ParseCsvError> {
         let mut lines = csv.lines();
-        let header = lines.next().ok_or_else(|| ParseCsvError("empty file".into()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| ParseCsvError("empty file".into()))?;
         let mut cols = header.split(',');
         let x_label = cols
             .next()

@@ -31,7 +31,9 @@ const PALETTE: &[&str] = &[
 const DASHES: &[&str] = &["", "6,3", "2,3", "8,3,2,3", "4,2", "1,2", "10,4", "3,6"];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders the headline metric of every series as an SVG line chart.

@@ -18,7 +18,10 @@ fn table1_prints_the_glossary() {
 
 #[test]
 fn fig4_is_analytic_and_instant() {
-    let out = repro().args(["fig4", "--quick"]).output().expect("repro runs");
+    let out = repro()
+        .args(["fig4", "--quick"])
+        .output()
+        .expect("repro runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("placement saves M+C"));
@@ -68,7 +71,10 @@ fn missing_experiment_fails_with_usage() {
 
 #[test]
 fn bad_flag_is_reported() {
-    let out = repro().args(["fig4", "--frobnicate"]).output().expect("repro runs");
+    let out = repro()
+        .args(["fig4", "--frobnicate"])
+        .output()
+        .expect("repro runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unexpected argument"));
@@ -76,7 +82,10 @@ fn bad_flag_is_reported() {
 
 #[test]
 fn custom_without_scenario_is_an_error() {
-    let out = repro().args(["custom", "--quick"]).output().expect("repro runs");
+    let out = repro()
+        .args(["custom", "--quick"])
+        .output()
+        .expect("repro runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--scenario"));

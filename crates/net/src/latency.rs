@@ -39,37 +39,60 @@ pub enum LatencyModel {
     },
 }
 
+/// A latency model whose parameters cannot describe a distribution —
+/// reported by [`LatencyModel::validate`] at *construction* time (e.g. by
+/// [`crate::Network::try_new`]), not hours into a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidLatency(String);
+
+impl std::fmt::Display for InvalidLatency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid latency model: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidLatency {}
+
 impl LatencyModel {
+    /// Checks the model's parameters: means, values and offsets must be
+    /// finite and non-negative, uniform ranges must not be inverted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLatency`] describing the offending parameter.
+    pub fn validate(&self) -> Result<(), InvalidLatency> {
+        let ok = |x: f64| x.is_finite() && x >= 0.0;
+        match *self {
+            LatencyModel::Exponential { mean } => ok(mean)
+                .then_some(())
+                .ok_or_else(|| InvalidLatency(format!("exponential mean {mean}"))),
+            LatencyModel::Deterministic { value } => ok(value)
+                .then_some(())
+                .ok_or_else(|| InvalidLatency(format!("deterministic value {value}"))),
+            LatencyModel::Uniform { lo, hi } => (ok(lo) && ok(hi) && lo <= hi)
+                .then_some(())
+                .ok_or_else(|| InvalidLatency(format!("uniform range [{lo}, {hi})"))),
+            LatencyModel::ShiftedExponential { offset, mean } => {
+                (ok(offset) && ok(mean)).then_some(()).ok_or_else(|| {
+                    InvalidLatency(format!("shifted-exponential offset {offset} / mean {mean}"))
+                })
+            }
+        }
+    }
+
     /// Draws one message duration.
     ///
-    /// # Panics
-    ///
-    /// Panics if the model's parameters are invalid (negative mean/value, or
-    /// `lo > hi`).
+    /// Parameters are checked by [`LatencyModel::validate`] when the model
+    /// enters a [`crate::Network`]; here only a debug assertion remains, so
+    /// an unvalidated model cannot panic a release-mode simulation
+    /// mid-flight.
     pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        debug_assert!(self.validate().is_ok(), "{:?}", self.validate());
         match *self {
             LatencyModel::Exponential { mean } => rng.exp(mean),
-            LatencyModel::Deterministic { value } => {
-                assert!(
-                    value.is_finite() && value >= 0.0,
-                    "invalid deterministic latency: {value}"
-                );
-                value
-            }
-            LatencyModel::Uniform { lo, hi } => {
-                assert!(
-                    lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
-                    "invalid uniform latency range: [{lo}, {hi})"
-                );
-                lo + rng.unit() * (hi - lo)
-            }
-            LatencyModel::ShiftedExponential { offset, mean } => {
-                assert!(
-                    offset.is_finite() && offset >= 0.0,
-                    "invalid latency offset: {offset}"
-                );
-                offset + rng.exp(mean)
-            }
+            LatencyModel::Deterministic { value } => value,
+            LatencyModel::Uniform { lo, hi } => lo + rng.unit() * (hi - lo),
+            LatencyModel::ShiftedExponential { offset, mean } => offset + rng.exp(mean),
         }
     }
 
@@ -132,8 +155,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid uniform latency range")]
-    fn inverted_uniform_range_panics() {
+    fn invalid_models_fail_validation_at_construction() {
+        let bad = [
+            LatencyModel::Uniform { lo: 3.0, hi: 1.0 },
+            LatencyModel::Exponential { mean: -1.0 },
+            LatencyModel::Deterministic { value: f64::NAN },
+            LatencyModel::ShiftedExponential {
+                offset: f64::INFINITY,
+                mean: 1.0,
+            },
+        ];
+        for m in bad {
+            let err = m.validate().unwrap_err();
+            assert!(err.to_string().contains("invalid latency model"), "{err}");
+        }
+        assert!(LatencyModel::default().validate().is_ok());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "uniform range")]
+    fn inverted_uniform_range_panics_in_debug_sampling() {
+        // the release-mode contract is validate-at-construction; in debug
+        // builds sampling an unvalidated model still trips an assertion
         let mut rng = SimRng::seed_from(0);
         let _ = LatencyModel::Uniform { lo: 3.0, hi: 1.0 }.sample(&mut rng);
     }

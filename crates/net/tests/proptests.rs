@@ -10,7 +10,10 @@ fn any_topology() -> impl Strategy<Value = Topology> {
         (3u32..12).prop_map(|n| Topology::FullMesh { nodes: n }),
         (3u32..12).prop_map(|n| Topology::Star { nodes: n }),
         (3u32..12).prop_map(|n| Topology::Ring { nodes: n }),
-        (2u32..5, 2u32..5).prop_map(|(w, h)| Topology::Torus { width: w, height: h }),
+        (2u32..5, 2u32..5).prop_map(|(w, h)| Topology::Torus {
+            width: w,
+            height: h
+        }),
         (3u32..12).prop_map(|n| Topology::Line { nodes: n }),
         (3u32..10, 0u32..8, any::<u64>()).prop_map(|(n, e, s)| Topology::random(n, e, s)),
     ]

@@ -1,12 +1,13 @@
 //! The cluster facade: public API over the node workers.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use oml_core::alliance::AllianceRegistry;
 use oml_core::attach::{AttachOutcome, AttachmentGraph, AttachmentMode};
 use oml_core::error::AttachError;
@@ -16,6 +17,7 @@ use oml_core::policy::{MovePolicy, PolicyKind};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::RuntimeError;
+use crate::fault::{self, Delivery, FaultInjector, FaultPlan};
 use crate::message::{Message, MAX_HOPS};
 use crate::node::NodeWorker;
 use crate::object::{Delinearizer, MobileObject, TypeRegistry};
@@ -23,11 +25,14 @@ use crate::object::{Delinearizer, MobileObject, TypeRegistry};
 /// Monotone activity counters, readable while the cluster runs.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
-    pub(crate) invocations: std::sync::atomic::AtomicU64,
-    pub(crate) moves_granted: std::sync::atomic::AtomicU64,
-    pub(crate) moves_denied: std::sync::atomic::AtomicU64,
-    pub(crate) objects_migrated: std::sync::atomic::AtomicU64,
-    pub(crate) forwards: std::sync::atomic::AtomicU64,
+    pub(crate) invocations: AtomicU64,
+    pub(crate) moves_granted: AtomicU64,
+    pub(crate) moves_denied: AtomicU64,
+    pub(crate) objects_migrated: AtomicU64,
+    pub(crate) forwards: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) leases_expired: AtomicU64,
 }
 
 /// A point-in-time snapshot of a cluster's activity.
@@ -43,11 +48,31 @@ pub struct ClusterStats {
     pub objects_migrated: u64,
     /// Messages forwarded because their object had moved on.
     pub forwards: u64,
+    /// Blocking client calls whose deadline elapsed (per attempt).
+    pub timeouts: u64,
+    /// Invocation attempts re-sent after a timeout.
+    pub retries: u64,
+    /// Placement locks released by lease expiry (the recovery path).
+    pub leases_expired: u64,
 }
+
+/// The cluster's notion of lease time: wall-clock milliseconds since build,
+/// or a hand-advanced counter for deterministic tests.
+pub(crate) enum RuntimeClock {
+    Wall(Instant),
+    Manual(AtomicU64),
+}
+
+/// One object stranded by a crashed worker: its home node, identity, and
+/// live instance, parked until that node restarts.
+pub(crate) type StashedObject = (NodeId, ObjectId, Box<dyn MobileObject>);
 
 /// State shared by every node worker and the cluster facade.
 pub(crate) struct Shared {
     senders: Vec<Sender<Message>>,
+    /// Kept so crashed nodes can be restarted on a clone of their receiver
+    /// (and so queued messages survive a crash instead of disconnecting).
+    receivers: Vec<Receiver<Message>>,
     directory: RwLock<HashMap<ObjectId, NodeId>>,
     mobility: RwLock<HashMap<ObjectId, Mobility>>,
     pub(crate) policy: Mutex<Box<dyn MovePolicy>>,
@@ -55,15 +80,88 @@ pub(crate) struct Shared {
     pub(crate) alliances: Mutex<AllianceRegistry>,
     pub(crate) registry: TypeRegistry,
     pub(crate) counters: Counters,
+    pub(crate) injector: FaultInjector,
+    /// Objects stranded by a crashed worker, waiting for its restart.
+    pub(crate) stash: Mutex<Vec<StashedObject>>,
+    pub(crate) clock: RuntimeClock,
+    call_timeout: Duration,
+    invoke_retries: u32,
+    /// SplitMix64 state for retry-backoff jitter (seeded from the fault
+    /// plan, so even the jitter is reproducible).
+    jitter: Mutex<u64>,
     next_object: AtomicU32,
     next_block: AtomicU32,
+    /// Shutdown has been initiated: new client operations are refused, but
+    /// sends still flow so queued end-requests can be flushed.
+    closing: AtomicBool,
+    /// Workers have been joined: sends now fail with `ShuttingDown` instead
+    /// of silently queueing into dead channels.
     down: AtomicBool,
 }
 
 impl Shared {
-    pub(crate) fn send(&self, node: NodeId, msg: Message) {
-        if !self.down.load(Ordering::Acquire) {
-            let _ = self.senders[node.index()].send(msg);
+    /// Routes one message to `to`, applying the fault plan. `from` is the
+    /// sending node, or `None` for the client facade.
+    ///
+    /// Control messages (invocations, move-requests, end-requests) are
+    /// subject to drops, duplicates, delays and partitions; state transfer
+    /// (`Create`/`Install`/`Surrender`) and control sentinels are always
+    /// reliable — see [`crate::fault`] for the model.
+    ///
+    /// A faithfully *lost* message still returns `Ok` (the sender cannot
+    /// observe a drop — that is what deadlines are for); `Err(ShuttingDown)`
+    /// means the cluster's workers are gone and the message can never be
+    /// processed.
+    pub(crate) fn send_from(
+        &self,
+        from: Option<NodeId>,
+        to: NodeId,
+        msg: Message,
+    ) -> Result<(), RuntimeError> {
+        if self.down.load(Ordering::Acquire) {
+            return Err(RuntimeError::ShuttingDown);
+        }
+        let faultable = matches!(
+            msg,
+            Message::Invoke { .. } | Message::MoveRequest { .. } | Message::EndRequest { .. }
+        );
+        if !faultable {
+            return self.senders[to.index()]
+                .send(msg)
+                .map_err(|_| RuntimeError::ShuttingDown);
+        }
+        let from_raw = from.map_or(fault::CLIENT, NodeId::as_u32);
+        let is_end = matches!(msg, Message::EndRequest { .. });
+        match self
+            .injector
+            .decide(from_raw, to.as_u32(), is_end, &format!("{msg:?}"))
+        {
+            Delivery::Drop => Ok(()),
+            Delivery::Deliver { copies, delay_ms } => {
+                let mut msgs = Vec::with_capacity(copies as usize);
+                if copies > 1 {
+                    if let Some(dup) = clone_control(&msg) {
+                        msgs.push(dup);
+                    }
+                }
+                msgs.push(msg);
+                let tx = self.senders[to.index()].clone();
+                if delay_ms > 0 {
+                    // deliver later from a detached thread; a message landing
+                    // after shutdown sits in a queue nobody reads — harmless
+                    std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_millis(delay_ms));
+                        for m in msgs {
+                            let _ = tx.send(m);
+                        }
+                    });
+                } else {
+                    for m in msgs {
+                        let _ = tx.send(m);
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
@@ -83,6 +181,81 @@ impl Shared {
             .unwrap_or_default()
             .is_movable()
     }
+
+    /// Milliseconds on the cluster's lease clock.
+    pub(crate) fn now_ms(&self) -> u64 {
+        match &self.clock {
+            RuntimeClock::Wall(epoch) => epoch.elapsed().as_millis() as u64,
+            RuntimeClock::Manual(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn is_closing(&self) -> bool {
+        self.closing.load(Ordering::Acquire)
+    }
+
+    fn next_jitter_ms(&self, bound_ms: u64) -> u64 {
+        let mut state = self.jitter.lock();
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = *state;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x % bound_ms.max(1)
+    }
+}
+
+/// Clones the faultable control messages (the only ones that can be
+/// duplicated); state transfer is never cloned.
+fn clone_control(msg: &Message) -> Option<Message> {
+    match msg {
+        Message::Invoke {
+            object,
+            method,
+            payload,
+            hops,
+            reply,
+        } => Some(Message::Invoke {
+            object: *object,
+            method: method.clone(),
+            payload: payload.clone(),
+            hops: *hops,
+            reply: reply.clone(),
+        }),
+        Message::MoveRequest {
+            object,
+            to,
+            block,
+            context,
+            hops,
+            reply,
+        } => Some(Message::MoveRequest {
+            object: *object,
+            to: *to,
+            block: *block,
+            context: *context,
+            hops: *hops,
+            reply: reply.clone(),
+        }),
+        Message::EndRequest {
+            object,
+            block,
+            from,
+            was_granted,
+            context,
+            hops,
+        } => Some(Message::EndRequest {
+            object: *object,
+            block: *block,
+            from: *from,
+            was_granted: *was_granted,
+            context: *context,
+            hops: *hops,
+        }),
+        _ => None,
+    }
 }
 
 /// Configures a [`Cluster`].
@@ -94,6 +267,11 @@ pub struct ClusterBuilder {
     policy: PolicyKind,
     custom_policy: Option<Box<dyn MovePolicy>>,
     attachment_mode: AttachmentMode,
+    fault_plan: Option<FaultPlan>,
+    call_timeout: Duration,
+    invoke_retries: u32,
+    lease_ms: Option<u64>,
+    manual_clock: bool,
 }
 
 impl ClusterBuilder {
@@ -129,6 +307,59 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a seeded fault plan: drops, delays, duplicates and
+    /// partitions for control messages. Without one the cluster is
+    /// fault-free (but partitions and crashes are still available).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The deadline for each blocking client call (per attempt). Defaults
+    /// to 5 seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero timeout.
+    #[must_use]
+    pub fn call_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "a zero call timeout cannot succeed");
+        self.call_timeout = timeout;
+        self
+    }
+
+    /// How many times a timed-out invocation is re-sent (invocations are
+    /// the only idempotent-by-contract call; moves and creates are never
+    /// retried). Defaults to 2.
+    #[must_use]
+    pub fn invoke_retries(mut self, retries: u32) -> Self {
+        self.invoke_retries = retries;
+        self
+    }
+
+    /// Makes placement locks leases expiring after `ttl_ms` of inactivity
+    /// (see [`oml_core::lease::LeaseTable`]). Without this, locks are held
+    /// until their end-request arrives — forever, if it never does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl_ms` is zero.
+    #[must_use]
+    pub fn lease_ms(mut self, ttl_ms: u64) -> Self {
+        assert!(ttl_ms > 0, "a lease needs a positive duration");
+        self.lease_ms = Some(ttl_ms);
+        self
+    }
+
+    /// Replaces the wall-clock lease clock with a counter advanced only by
+    /// [`Cluster::advance_clock`] — deterministic lease expiry for tests.
+    #[must_use]
+    pub fn manual_clock(mut self) -> Self {
+        self.manual_clock = true;
+        self
+    }
+
     /// Spawns the node threads and returns the running cluster.
     #[must_use]
     pub fn build(self) -> Cluster {
@@ -139,33 +370,40 @@ impl ClusterBuilder {
             senders.push(tx);
             receivers.push(rx);
         }
+        let policy = match (self.custom_policy, self.lease_ms) {
+            (Some(p), _) => p,
+            (None, Some(ttl)) => self.policy.build_with_lease(ttl),
+            (None, None) => self.policy.build(),
+        };
+        let plan = self.fault_plan.unwrap_or_else(|| FaultPlan::seeded(0));
+        let jitter_seed = plan.seed();
         let shared = Arc::new(Shared {
             senders,
+            receivers,
             directory: RwLock::new(HashMap::new()),
             mobility: RwLock::new(HashMap::new()),
-            policy: Mutex::new(
-                self.custom_policy
-                    .unwrap_or_else(|| self.policy.build()),
-            ),
+            policy: Mutex::new(policy),
             attachments: Mutex::new(AttachmentGraph::new(self.attachment_mode)),
             alliances: Mutex::new(AllianceRegistry::new()),
             registry: TypeRegistry::new(),
             counters: Counters::default(),
+            injector: FaultInjector::new(plan),
+            stash: Mutex::new(Vec::new()),
+            clock: if self.manual_clock {
+                RuntimeClock::Manual(AtomicU64::new(0))
+            } else {
+                RuntimeClock::Wall(Instant::now())
+            },
+            call_timeout: self.call_timeout,
+            invoke_retries: self.invoke_retries,
+            jitter: Mutex::new(jitter_seed),
             next_object: AtomicU32::new(0),
             next_block: AtomicU32::new(0),
+            closing: AtomicBool::new(false),
             down: AtomicBool::new(false),
         });
-        let handles = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(i, rx)| {
-                let shared = Arc::clone(&shared);
-                let id = NodeId::new(i as u32);
-                std::thread::Builder::new()
-                    .name(format!("oml-node-{i}"))
-                    .spawn(move || NodeWorker::new(id, shared, rx).run())
-                    .expect("spawn node worker")
-            })
+        let handles = (0..self.nodes as usize)
+            .map(|i| Some(spawn_worker(&shared, NodeId::new(i as u32))))
             .collect();
         Cluster {
             shared,
@@ -174,10 +412,20 @@ impl ClusterBuilder {
     }
 }
 
+fn spawn_worker(shared: &Arc<Shared>, id: NodeId) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let rx = shared.receivers[id.index()].clone();
+    std::thread::Builder::new()
+        .name(format!("oml-node-{}", id.index()))
+        .spawn(move || NodeWorker::new(id, shared, rx).run())
+        .expect("spawn node worker")
+}
+
 /// A running multi-node object system.
 pub struct Cluster {
     shared: Arc<Shared>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// One slot per node; `None` while that node is crashed.
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 impl Cluster {
@@ -189,6 +437,11 @@ impl Cluster {
             policy: PolicyKind::TransientPlacement,
             custom_policy: None,
             attachment_mode: AttachmentMode::Unrestricted,
+            fault_plan: None,
+            call_timeout: Duration::from_secs(5),
+            invoke_retries: 2,
+            lease_ms: None,
+            manual_clock: false,
         }
     }
 
@@ -209,61 +462,102 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::UnknownNode`] for an out-of-range node and
-    /// [`RuntimeError::ShuttingDown`] if the cluster is stopping.
+    /// Returns [`RuntimeError::UnknownNode`] for an out-of-range node,
+    /// [`RuntimeError::ShuttingDown`] if the cluster is stopping, and
+    /// [`RuntimeError::Timeout`] when the deadline elapses (e.g. the node
+    /// is crashed).
     pub fn create(
         &self,
         node: NodeId,
         instance: Box<dyn MobileObject>,
     ) -> Result<ObjectId, RuntimeError> {
         self.check_node(node)?;
+        self.check_live()?;
         let object = ObjectId::new(self.shared.next_object.fetch_add(1, Ordering::Relaxed));
         // the directory knows the object before the Create lands, so early
         // invocations park at the right node
         self.shared.directory_set(object, node);
         let (reply, rx) = unbounded();
-        self.shared.send(
+        self.shared.send_from(
+            None,
             node,
             Message::Create {
                 object,
                 instance,
                 reply,
             },
-        );
-        rx.recv().map_err(|_| RuntimeError::ShuttingDown)??;
+        )?;
+        self.await_reply(&rx)??;
         Ok(object)
     }
 
     /// Invokes `method` on the object, wherever it currently is. Blocks
-    /// until the result message returns.
+    /// until the result message returns or the deadline elapses; a timed-out
+    /// attempt is retried (with exponential backoff and seeded jitter, and a
+    /// fresh directory lookup per attempt) up to
+    /// [`ClusterBuilder::invoke_retries`] times — an invocation that timed
+    /// out may still have executed, so callers get at-least-once semantics
+    /// under faults.
     ///
     /// # Errors
     ///
     /// Propagates [`RuntimeError`]: unknown object, method failure,
-    /// forwarding exhaustion or shutdown.
+    /// forwarding exhaustion, shutdown, or [`RuntimeError::Timeout`] once
+    /// every attempt's deadline elapsed.
     pub fn invoke(
         &self,
         object: ObjectId,
         method: &str,
         payload: &[u8],
     ) -> Result<Vec<u8>, RuntimeError> {
-        let node = self
-            .shared
-            .directory_get(object)
-            .ok_or(RuntimeError::UnknownObject(object))?;
-        let (reply, rx) = unbounded();
-        self.shared.send(
-            node,
-            Message::Invoke {
-                object,
-                method: method.to_owned(),
-                payload: Bytes::copy_from_slice(payload),
-                hops: MAX_HOPS,
-                reply,
-            },
-        );
-        let bytes = rx.recv().map_err(|_| RuntimeError::ShuttingDown)??;
-        Ok(bytes.to_vec())
+        self.check_live()?;
+        let timeout = self.shared.call_timeout;
+        let attempts = self.shared.invoke_retries.saturating_add(1);
+        let mut waited_ms = 0u64;
+        let mut backoff_ms = 2u64;
+        for attempt in 0..attempts {
+            // re-resolve: the object may have moved (or its node restarted)
+            // since the lost attempt
+            let node = self
+                .shared
+                .directory_get(object)
+                .ok_or(RuntimeError::UnknownObject(object))?;
+            let (reply, rx) = unbounded();
+            self.shared.send_from(
+                None,
+                node,
+                Message::Invoke {
+                    object,
+                    method: method.to_owned(),
+                    payload: Bytes::copy_from_slice(payload),
+                    hops: MAX_HOPS,
+                    reply,
+                },
+            )?;
+            match rx.recv_timeout(timeout) {
+                Ok(res) => return Ok(res?.to_vec()),
+                Err(_) => {
+                    // Timeout, or the worker crashed holding our reply
+                    // channel — both mean "no answer within the deadline"
+                    waited_ms += timeout.as_millis() as u64;
+                    self.shared
+                        .counters
+                        .timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                    if attempt + 1 < attempts {
+                        self.shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        let jitter = self.shared.next_jitter_ms(backoff_ms);
+                        std::thread::sleep(Duration::from_millis(backoff_ms + jitter));
+                        backoff_ms = backoff_ms.saturating_mul(2);
+                    }
+                }
+            }
+        }
+        if self.shared.is_closing() {
+            Err(RuntimeError::ShuttingDown)
+        } else {
+            Err(RuntimeError::Timeout { waited_ms })
+        }
     }
 
     /// Opens a move-block: requests migration of `object` (and its
@@ -292,13 +586,15 @@ impl Cluster {
         context: Option<AllianceId>,
     ) -> Result<MoveGuard<'_>, RuntimeError> {
         self.check_node(to)?;
+        self.check_live()?;
         let node = self
             .shared
             .directory_get(object)
             .ok_or(RuntimeError::UnknownObject(object))?;
         let block = BlockId::new(self.shared.next_block.fetch_add(1, Ordering::Relaxed));
         let (reply, rx) = unbounded();
-        self.shared.send(
+        self.shared.send_from(
+            None,
             node,
             Message::MoveRequest {
                 object,
@@ -308,8 +604,12 @@ impl Cluster {
                 hops: MAX_HOPS,
                 reply,
             },
-        );
-        let granted = rx.recv().map_err(|_| RuntimeError::ShuttingDown)??;
+        )?;
+        // one attempt only: a move is not idempotent (re-sending could
+        // grant twice under two blocks). On timeout the request may still
+        // be in flight and later granted — the lease, not this caller,
+        // then releases the orphaned lock.
+        let granted = self.await_reply(&rx)??;
         Ok(MoveGuard {
             cluster: self,
             object,
@@ -424,6 +724,9 @@ impl Cluster {
             moves_denied: c.moves_denied.load(Relaxed),
             objects_migrated: c.objects_migrated.load(Relaxed),
             forwards: c.forwards.load(Relaxed),
+            timeouts: c.timeouts.load(Relaxed),
+            retries: c.retries.load(Relaxed),
+            leases_expired: c.leases_expired.load(Relaxed),
         }
     }
 
@@ -435,17 +738,32 @@ impl Cluster {
 
     /// `fix()` — transiently pins the object (§2.2).
     pub fn fix(&self, object: ObjectId) {
-        self.shared.mobility.write().entry(object).or_default().fix();
+        self.shared
+            .mobility
+            .write()
+            .entry(object)
+            .or_default()
+            .fix();
     }
 
     /// `unfix()` — lifts a transient fix.
     pub fn unfix(&self, object: ObjectId) {
-        self.shared.mobility.write().entry(object).or_default().unfix();
+        self.shared
+            .mobility
+            .write()
+            .entry(object)
+            .or_default()
+            .unfix();
     }
 
     /// `refix()` — re-establishes a transient fix.
     pub fn refix(&self, object: ObjectId) {
-        self.shared.mobility.write().entry(object).or_default().refix();
+        self.shared
+            .mobility
+            .write()
+            .entry(object)
+            .or_default()
+            .refix();
     }
 
     /// `attach(object, to)` in an optional cooperation context.
@@ -490,18 +808,139 @@ impl Cluster {
         self.shared.alliances.lock().join(alliance, object)
     }
 
-    /// Stops all node threads and waits for them. Idempotent; also invoked
-    /// by `Drop`.
+    /// Crashes `node`: its worker stashes the hosted objects (they survive
+    /// the "machine", like disk state) and exits without draining its
+    /// queue. Messages keep queueing for the node and are processed after
+    /// [`Cluster::restart_node`]; until then, calls against its objects
+    /// time out. Idempotent — crashing a crashed node is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownNode`] for an out-of-range node.
+    pub fn crash_node(&self, node: NodeId) -> Result<(), RuntimeError> {
+        self.check_node(node)?;
+        let handle = self.handles.lock()[node.index()].take();
+        let Some(handle) = handle else {
+            return Ok(());
+        };
+        // the crash command bypasses the injector: it is scripted, not a
+        // message fault
+        let _ = self.shared.senders[node.index()].send(Message::Crash);
+        let _ = handle.join();
+        self.shared.injector.note(format!("crash {node}"));
+        Ok(())
+    }
+
+    /// Restarts a crashed node: a fresh worker resumes on the node's
+    /// (still-queued) channel and reclaims the stashed objects. Idempotent —
+    /// restarting a running node is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownNode`] for an out-of-range node.
+    pub fn restart_node(&self, node: NodeId) -> Result<(), RuntimeError> {
+        self.check_node(node)?;
+        let mut handles = self.handles.lock();
+        if handles[node.index()].is_some() {
+            return Ok(());
+        }
+        self.shared.injector.note(format!("restart {node}"));
+        handles[node.index()] = Some(spawn_worker(&self.shared, node));
+        Ok(())
+    }
+
+    /// Severs the link between two nodes (both directions) for control
+    /// messages until [`Cluster::heal`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownNode`] for an out-of-range node.
+    pub fn partition(&self, a: NodeId, b: NodeId) -> Result<(), RuntimeError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        self.shared.injector.partition(a, b);
+        Ok(())
+    }
+
+    /// Heals a partition created by [`Cluster::partition`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownNode`] for an out-of-range node.
+    pub fn heal(&self, a: NodeId, b: NodeId) -> Result<(), RuntimeError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        self.shared.injector.heal(a, b);
+        Ok(())
+    }
+
+    /// Heals every partition.
+    pub fn heal_all(&self) {
+        self.shared.injector.heal_all();
+    }
+
+    /// The fault events injected so far (drops, duplicates, delays,
+    /// partitions, crashes, restarts) in decision order. With a seeded
+    /// plan and a sequential caller, identical runs produce identical
+    /// traces.
+    #[must_use]
+    pub fn fault_trace(&self) -> Vec<String> {
+        self.shared.injector.trace()
+    }
+
+    /// The placement locks the policy currently holds — for invariant
+    /// checks ("no leaked locks after quiescence").
+    #[must_use]
+    pub fn held_locks(&self) -> Vec<(ObjectId, BlockId)> {
+        self.shared.policy.lock().held_locks()
+    }
+
+    /// Forces a lease sweep at the current clock, returning the locks it
+    /// expired. Workers sweep on their idle ticks anyway; this is for tests
+    /// that want the sweep *now*.
+    pub fn sweep_leases(&self) -> Vec<(ObjectId, BlockId)> {
+        let now = self.shared.now_ms();
+        let expired = self.shared.policy.lock().expire_leases(now);
+        self.shared
+            .counters
+            .leases_expired
+            .fetch_add(expired.len() as u64, Ordering::Relaxed);
+        expired
+    }
+
+    /// Advances the manual lease clock by `ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was built with
+    /// [`ClusterBuilder::manual_clock`].
+    pub fn advance_clock(&self, ms: u64) {
+        match &self.shared.clock {
+            RuntimeClock::Manual(t) => {
+                t.fetch_add(ms, Ordering::Relaxed);
+            }
+            RuntimeClock::Wall(_) => {
+                panic!("advance_clock requires ClusterBuilder::manual_clock")
+            }
+        }
+    }
+
+    /// Stops all node threads and waits for them. Pending end-requests
+    /// already queued are flushed (workers drain their queues, answering
+    /// any still-waiting callers with [`RuntimeError::ShuttingDown`]); once
+    /// the workers are joined, further sends fail explicitly instead of
+    /// queueing into dead channels. Idempotent; also invoked by `Drop`.
     pub fn shutdown(&self) {
-        if self.shared.down.swap(true, Ordering::AcqRel) {
+        if self.shared.closing.swap(true, Ordering::AcqRel) {
             return;
         }
         for tx in &self.shared.senders {
             let _ = tx.send(Message::Shutdown);
         }
-        for handle in self.handles.lock().drain(..) {
+        for handle in self.handles.lock().iter_mut().filter_map(Option::take) {
             let _ = handle.join();
         }
+        self.shared.down.store(true, Ordering::Release);
     }
 
     fn check_node(&self, node: NodeId) -> Result<(), RuntimeError> {
@@ -509,6 +948,41 @@ impl Cluster {
             Ok(())
         } else {
             Err(RuntimeError::UnknownNode(node))
+        }
+    }
+
+    fn check_live(&self) -> Result<(), RuntimeError> {
+        if self.shared.is_closing() {
+            Err(RuntimeError::ShuttingDown)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Waits for a reply under the call deadline. The outer `Result` is the
+    /// transport's verdict (timeout / shutdown), the inner one the reply.
+    fn await_reply<T>(
+        &self,
+        rx: &Receiver<Result<T, RuntimeError>>,
+    ) -> Result<Result<T, RuntimeError>, RuntimeError> {
+        let timeout = self.shared.call_timeout;
+        match rx.recv_timeout(timeout) {
+            Ok(res) => Ok(res),
+            // A disconnect outside shutdown means the worker crashed while
+            // holding our reply channel — same contract as a timeout.
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                self.shared
+                    .counters
+                    .timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                if self.shared.is_closing() {
+                    Err(RuntimeError::ShuttingDown)
+                } else {
+                    Err(RuntimeError::Timeout {
+                        waited_ms: timeout.as_millis() as u64,
+                    })
+                }
+            }
         }
     }
 }
@@ -558,17 +1032,31 @@ impl MoveGuard<'_> {
 
     /// Ends the block explicitly (equivalent to dropping the guard).
     pub fn end(mut self) {
-        self.finish();
+        let _ = self.finish();
     }
 
-    fn finish(&mut self) {
+    /// Ends the block, surfacing whether the end-request could be sent —
+    /// `Err(ShuttingDown)` when the cluster's workers are already gone (a
+    /// plain drop swallows that; under leases the lock still expires).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShuttingDown`] if the end-request had no live
+    /// cluster to go to.
+    pub fn try_end(mut self) -> Result<(), RuntimeError> {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Result<(), RuntimeError> {
         if self.ended {
-            return;
+            return Ok(());
         }
         self.ended = true;
         let shared = &self.cluster.shared;
+        let mut sent = Ok(());
         if let Some(node) = shared.directory_get(self.object) {
-            shared.send(
+            sent = shared.send_from(
+                None,
                 node,
                 Message::EndRequest {
                     object: self.object,
@@ -582,17 +1070,21 @@ impl MoveGuard<'_> {
         }
         if let Some(origin) = self.migrate_back.take() {
             // the visit's migrate-back: an ordinary (best-effort) move
-            if let Ok(guard) = self.cluster.move_block_in(self.object, origin, self.context) {
+            if let Ok(guard) = self
+                .cluster
+                .move_block_in(self.object, origin, self.context)
+            {
                 let mut guard = guard;
                 // immediately release: the visit's return is not a block
-                guard.finish();
+                let _ = guard.finish();
             }
         }
+        sent
     }
 }
 
 impl Drop for MoveGuard<'_> {
     fn drop(&mut self) {
-        self.finish();
+        let _ = self.finish();
     }
 }

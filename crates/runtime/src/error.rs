@@ -26,6 +26,12 @@ pub enum RuntimeError {
     TooManyHops(ObjectId),
     /// The cluster is shutting down; the operation was dropped.
     ShuttingDown,
+    /// A blocking call's deadline elapsed before a reply arrived — the node
+    /// may be crashed, partitioned away, or the message was lost.
+    Timeout {
+        /// How long the caller waited, in milliseconds (summed over retries).
+        waited_ms: u64,
+    },
     /// An operation declaration was invoked with the wrong number of object
     /// arguments.
     ArityMismatch {
@@ -49,8 +55,14 @@ impl fmt::Display for RuntimeError {
                 write!(f, "message chasing {o} exceeded the forwarding hop limit")
             }
             RuntimeError::ShuttingDown => write!(f, "cluster is shutting down"),
+            RuntimeError::Timeout { waited_ms } => {
+                write!(f, "no reply within the deadline (waited {waited_ms} ms)")
+            }
             RuntimeError::ArityMismatch { expected, got } => {
-                write!(f, "declaration expects {expected} object arguments, got {got}")
+                write!(
+                    f,
+                    "declaration expects {expected} object arguments, got {got}"
+                )
             }
         }
     }
@@ -75,6 +87,14 @@ mod tests {
             message: "boom".into(),
         };
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn timeout_display_includes_the_wait() {
+        let e = RuntimeError::Timeout { waited_ms: 750 };
+        let s = e.to_string();
+        assert!(s.contains("750 ms"), "{s}");
+        assert!(s.contains("deadline"), "{s}");
     }
 
     #[test]

@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod fault;
 mod message;
 mod node;
 mod proxy;
@@ -85,5 +86,6 @@ pub mod wire;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterStats, MoveGuard};
 pub use error::RuntimeError;
+pub use fault::FaultPlan;
 pub use object::{Delinearizer, MobileObject};
 pub use proxy::ObjRef;

@@ -59,6 +59,9 @@ pub(crate) enum Message {
     },
     /// Stop the worker loop.
     Shutdown,
+    /// Fault injection: the worker "crashes" — it stashes its objects for a
+    /// later restart and exits without draining its queue.
+    Crash,
 }
 
 impl std::fmt::Debug for Message {
@@ -71,6 +74,7 @@ impl std::fmt::Debug for Message {
             Message::Surrender { object, to } => write!(f, "Surrender({object} → {to})"),
             Message::EndRequest { object, block, .. } => write!(f, "End({object}, {block})"),
             Message::Shutdown => write!(f, "Shutdown"),
+            Message::Crash => write!(f, "Crash"),
         }
     }
 }

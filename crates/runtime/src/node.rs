@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
 use oml_core::policy::{EndAction, EndRequest, MoveDecision, MoveRequest};
 
@@ -12,6 +13,12 @@ use crate::cluster::Shared;
 use crate::error::RuntimeError;
 use crate::message::{Message, MoveReply, MAX_HOPS};
 use crate::object::MobileObject;
+
+/// How long a worker waits for a message before running its maintenance
+/// tick (lease sweeps). Also bounds how stale a lease can go unswept —
+/// though reads treat expired leases as free immediately, so the tick only
+/// affects garbage collection, never grant/deny outcomes.
+const TICK: Duration = Duration::from_millis(25);
 
 pub(crate) struct NodeWorker {
     id: NodeId,
@@ -37,11 +44,97 @@ impl NodeWorker {
     }
 
     pub(crate) fn run(mut self) {
-        while let Ok(msg) = self.rx.recv() {
-            if matches!(msg, Message::Shutdown) {
-                break;
+        self.reclaim_stash();
+        loop {
+            match self.rx.recv_timeout(TICK) {
+                Ok(Message::Shutdown) => {
+                    self.drain_for_shutdown();
+                    break;
+                }
+                Ok(Message::Crash) => {
+                    self.stash_for_crash();
+                    break;
+                }
+                Ok(msg) => self.handle(msg),
+                Err(RecvTimeoutError::Timeout) => self.sweep_leases(),
+                Err(RecvTimeoutError::Disconnected) => break,
             }
-            self.handle(msg);
+        }
+    }
+
+    /// On (re)start: adopt any objects a previous incarnation of this node
+    /// stashed when it crashed.
+    fn reclaim_stash(&mut self) {
+        let mut stash = self.shared.stash.lock();
+        let mut rest = Vec::new();
+        for (node, object, instance) in stash.drain(..) {
+            if node == self.id {
+                self.objects.insert(object, instance);
+                self.shared.directory_set(object, self.id);
+            } else {
+                rest.push((node, object, instance));
+            }
+        }
+        *stash = rest;
+    }
+
+    /// Injected crash: park the hosted objects for a later restart (they
+    /// survive the "machine", like disk state) and vanish without draining
+    /// the queue. Parked `awaiting` messages are dropped — their reply
+    /// channels disconnect and the callers see their deadlines out.
+    fn stash_for_crash(&mut self) {
+        let mut stash = self.shared.stash.lock();
+        for (object, instance) in self.objects.drain() {
+            stash.push((self.id, object, instance));
+        }
+    }
+
+    /// Graceful shutdown: drain the queue so already-sent end-requests are
+    /// processed (locks released) and still-blocked callers get an explicit
+    /// `ShuttingDown` instead of a silent timeout.
+    fn drain_for_shutdown(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                Message::EndRequest { .. } | Message::Install { .. } => self.handle(msg),
+                Message::Create { reply, .. } => {
+                    let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                }
+                Message::Invoke { reply, .. } => {
+                    let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                }
+                Message::MoveRequest { reply, .. } => {
+                    let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                }
+                Message::Surrender { .. } | Message::Shutdown | Message::Crash => {}
+            }
+        }
+        for (_, queued) in self.awaiting.drain() {
+            for msg in queued {
+                match msg {
+                    Message::Create { reply, .. } => {
+                        let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                    }
+                    Message::Invoke { reply, .. } => {
+                        let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                    }
+                    Message::MoveRequest { reply, .. } => {
+                        let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Maintenance tick: release placement locks whose leases ran out.
+    fn sweep_leases(&mut self) {
+        let now = self.shared.now_ms();
+        let expired = self.shared.policy.lock().expire_leases(now);
+        if !expired.is_empty() {
+            self.shared
+                .counters
+                .leases_expired
+                .fetch_add(expired.len() as u64, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -72,7 +165,7 @@ impl NodeWorker {
                 }
             }
             Message::EndRequest { .. } => self.handle_end(msg),
-            Message::Shutdown => unreachable!("handled in run()"),
+            Message::Shutdown | Message::Crash => unreachable!("handled in run()"),
         }
     }
 
@@ -107,7 +200,7 @@ impl NodeWorker {
                     .counters
                     .forwards
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                self.shared.send(n, msg);
+                let _ = self.shared.send_from(Some(self.id), n, msg);
                 Ok(())
             }
             None => Err(msg),
@@ -146,6 +239,9 @@ impl NodeWorker {
                 .counters
                 .invocations
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // activity inside a granted block keeps its placement lease alive
+            let now = self.shared.now_ms();
+            self.shared.policy.lock().renew_lease(object, now);
             let _ = reply.send(result);
             return;
         }
@@ -237,7 +333,10 @@ impl NodeWorker {
         match decision {
             MoveDecision::Grant if to == self.id => {
                 // already local: install (lock) in place
-                self.shared.policy.lock().on_installed(object, self.id, block);
+                self.shared
+                    .policy
+                    .lock()
+                    .on_installed(object, self.id, block);
                 let _ = reply.send(Ok(true));
             }
             MoveDecision::Grant => self.migrate_closure(object, to, context, Some((block, reply))),
@@ -257,7 +356,11 @@ impl NodeWorker {
         context: Option<AllianceId>,
         install_for: Option<(BlockId, MoveReply)>,
     ) {
-        let closure = self.shared.attachments.lock().migration_closure(main, context);
+        let closure = self
+            .shared
+            .attachments
+            .lock()
+            .migration_closure(main, context);
         for &member in &closure {
             if member == main {
                 continue;
@@ -269,7 +372,11 @@ impl NodeWorker {
                 self.ship(member, to, None);
             } else if let Some(host) = self.shared.directory_get(member) {
                 if host != to {
-                    self.shared.send(host, Message::Surrender { object: member, to });
+                    let _ = self.shared.send_from(
+                        Some(self.id),
+                        host,
+                        Message::Surrender { object: member, to },
+                    );
                 }
             }
         }
@@ -304,7 +411,8 @@ impl NodeWorker {
             // degenerate self-migration: reinstall immediately
             self.handle_install(object, &type_tag, &state, install_for);
         } else {
-            self.shared.send(
+            let _ = self.shared.send_from(
+                Some(self.id),
                 to,
                 Message::Install {
                     object,

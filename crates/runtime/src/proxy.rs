@@ -6,8 +6,8 @@
 //! an object id with the cluster it lives in, so call sites read like local
 //! method invocations.
 
-use oml_core::error::AttachError;
 use oml_core::attach::AttachOutcome;
+use oml_core::error::AttachError;
 use oml_core::ids::{AllianceId, NodeId, ObjectId};
 
 use crate::cluster::{Cluster, MoveGuard};

@@ -45,8 +45,7 @@ fn ops(objects: usize, nodes: u32) -> impl Strategy<Value = Vec<Op>> {
     let op = prop_oneof![
         (0..objects, any::<u64>()).prop_map(|(obj, value)| Op::Set { obj, value }),
         (0..objects).prop_map(|obj| Op::Get { obj }),
-        (0..objects, 0..nodes, any::<bool>())
-            .prop_map(|(obj, to, end)| Op::Move { obj, to, end }),
+        (0..objects, 0..nodes, any::<bool>()).prop_map(|(obj, to, end)| Op::Move { obj, to, end }),
         (0..objects, 0..nodes).prop_map(|(obj, to)| Op::Visit { obj, to }),
         (0..objects).prop_map(|obj| Op::FixToggle { obj }),
         (0..objects, 0..objects).prop_map(|(a, b)| Op::Attach { a, b }),
@@ -93,14 +92,18 @@ fn run_sequence(policy: PolicyKind, mode: AttachmentMode, script: &[Op]) {
                 assert_eq!(got, expected[obj], "register {obj} lost a write");
             }
             Op::Move { obj, to, end } => {
-                let guard = cluster.move_block(objs[obj], NodeId::new(to)).expect("move");
+                let guard = cluster
+                    .move_block(objs[obj], NodeId::new(to))
+                    .expect("move");
                 if end {
                     guard.end();
                 }
                 // else: drop at scope end (same effect, different path)
             }
             Op::Visit { obj, to } => {
-                let guard = cluster.visit_block(objs[obj], NodeId::new(to)).expect("visit");
+                let guard = cluster
+                    .visit_block(objs[obj], NodeId::new(to))
+                    .expect("visit");
                 drop(guard);
             }
             Op::FixToggle { obj } => {
@@ -132,6 +135,116 @@ fn run_sequence(policy: PolicyKind, mode: AttachmentMode, script: &[Op]) {
     cluster.shutdown();
 }
 
+/// How one step of the guard-lifecycle script releases its guards.
+#[derive(Debug, Clone, Copy)]
+enum Release {
+    Drop,
+    End,
+    TryEnd,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GuardStep {
+    to: u32,
+    /// Also open a conflicting block (which placement must deny).
+    contend: Option<u32>,
+    release: Release,
+}
+
+fn guard_steps(nodes: u32) -> impl Strategy<Value = Vec<GuardStep>> {
+    let release = prop_oneof![
+        Just(Release::Drop),
+        Just(Release::End),
+        Just(Release::TryEnd),
+    ];
+    let step =
+        (0..nodes, proptest::option::of(0..nodes), release).prop_map(|(to, contend, release)| {
+            GuardStep {
+                to,
+                contend,
+                release,
+            }
+        });
+    proptest::collection::vec(step, 1..20)
+}
+
+/// Releases a guard along the chosen path; all three must behave the
+/// same as far as the lock table is concerned.
+fn release(guard: oml_runtime::MoveGuard<'_>, how: Release, shut: bool) {
+    match how {
+        Release::Drop => drop(guard),
+        Release::End => guard.end(),
+        Release::TryEnd => {
+            let r = guard.try_end();
+            if shut {
+                assert_eq!(r, Err(oml_runtime::RuntimeError::ShuttingDown));
+            } else {
+                r.expect("a live cluster accepts the end-request");
+            }
+        }
+    }
+}
+
+/// Every guard — granted, denied, or outliving the cluster — ends its
+/// block exactly once; no release path leaks a placement lock.
+fn run_guard_sequence(script: &[GuardStep], shutdown_at: Option<usize>) {
+    const NODES: u32 = 3;
+    // leased locks on a manual clock: time stands still during the
+    // script (no spurious expiry), and a lock orphaned by a guard that
+    // outlives the cluster is reclaimable by advancing the clock
+    let cluster = Cluster::builder()
+        .nodes(NODES)
+        .policy(PolicyKind::TransientPlacement)
+        .lease_ms(1_000)
+        .manual_clock()
+        .build();
+    cluster.register_type("register", |bytes| {
+        Box::new(Register(WireReader::new(bytes).u64().expect("state")))
+    });
+    let obj = cluster
+        .create(NodeId::new(0), Box::new(Register(9)))
+        .expect("create");
+
+    let mut shut = false;
+    for (i, step) in script.iter().enumerate() {
+        if shutdown_at == Some(i) {
+            // the shutdown interleaving: take a guard first, shut the
+            // cluster down under it, then run the release path anyway
+            let held = cluster.move_block(obj, NodeId::new(step.to)).expect("move");
+            cluster.shutdown();
+            shut = true;
+            release(held, step.release, true);
+        }
+        match cluster.move_block(obj, NodeId::new(step.to)) {
+            Err(e) => {
+                assert!(shut, "a live cluster grants sequential moves: {e}");
+                assert_eq!(e, oml_runtime::RuntimeError::ShuttingDown);
+                continue;
+            }
+            Ok(guard) => {
+                assert!(!shut, "no guards after shutdown");
+                assert!(guard.granted(), "sequential movers never conflict");
+                if let Some(to) = step.contend {
+                    let denied = cluster.move_block(obj, NodeId::new(to)).expect("move");
+                    assert!(!denied.granted(), "the lock is held by the open block");
+                    release(denied, step.release, false);
+                }
+                release(guard, step.release, false);
+                // a blocking invoke to the same host is a fence: the
+                // fire-and-forget end-request travels the same queue
+                cluster.invoke(obj, "get", &[]).expect("fence read");
+                assert_eq!(cluster.held_locks(), vec![], "leaked a lock at step {i}");
+            }
+        }
+    }
+    cluster.shutdown();
+    // a guard released after shutdown cannot deliver its end-request —
+    // its lock is reclaimed by the lease, never leaked forever
+    cluster.advance_clock(2_000);
+    cluster.sweep_leases();
+    assert_eq!(cluster.held_locks(), vec![], "leaked a lock past shutdown");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -153,5 +266,20 @@ proptest! {
     #[test]
     fn dynamic_policy_survives_random_scripts(script in ops(4, 3)) {
         run_sequence(PolicyKind::CompareAndReinstantiate, AttachmentMode::Unrestricted, &script);
+    }
+
+    /// Satellite of the fault work: under any interleaving of granted,
+    /// denied and shutdown-crossed guards, dropping a [`MoveGuard`]
+    /// always ends its block — no release path leaks a placement lock.
+    #[test]
+    fn move_guards_always_end_their_blocks(
+        script in guard_steps(3),
+        shutdown_frac in proptest::option::of(0.0f64..1.0),
+    ) {
+        let shutdown_at = shutdown_frac.map(|f| {
+            // scale into the script so the shutdown interleaving is hit
+            ((script.len() as f64 * f) as usize).min(script.len() - 1)
+        });
+        run_guard_sequence(&script, shutdown_at);
     }
 }

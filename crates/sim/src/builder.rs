@@ -125,7 +125,10 @@ impl SimulationBuilder {
     /// Panics if `m` is not finite and positive.
     #[must_use]
     pub fn migration_duration(mut self, m: f64) -> Self {
-        assert!(m.is_finite() && m > 0.0, "migration duration must be positive");
+        assert!(
+            m.is_finite() && m > 0.0,
+            "migration duration must be positive"
+        );
         self.migration_duration = m;
         self
     }
@@ -140,7 +143,10 @@ impl SimulationBuilder {
     /// Sets the simulated warm-up period excluded from all metrics.
     #[must_use]
     pub fn warmup(mut self, time: f64) -> Self {
-        assert!(time.is_finite() && time >= 0.0, "warm-up must be non-negative");
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "warm-up must be non-negative"
+        );
         self.warmup_time = time;
         self
     }
@@ -201,7 +207,8 @@ impl SimulationBuilder {
             "object home {node} outside the network"
         );
         let id = ObjectId::new(self.objects.len() as u32);
-        self.objects.push(ObjectState::new(ObjectDescriptor::new(id, node)));
+        self.objects
+            .push(ObjectState::new(ObjectDescriptor::new(id, node)));
         id
     }
 
@@ -339,9 +346,7 @@ impl SimulationBuilder {
         let world = World {
             net: self.network,
             rng,
-            policy: self
-                .custom_policy
-                .unwrap_or_else(|| self.policy.build()),
+            policy: self.custom_policy.unwrap_or_else(|| self.policy.build()),
             attachments: self
                 .attachments
                 .unwrap_or_else(|| AttachmentGraph::new(self.attachment_mode)),
@@ -390,7 +395,12 @@ impl Simulation {
     pub fn run(&mut self) -> SimOutcome {
         // Generous backstop: a call costs a handful of events; 64 events per
         // budgeted sample cannot starve a legitimate run.
-        let budget = self.engine.handler().stopping.max_samples.saturating_mul(64);
+        let budget = self
+            .engine
+            .handler()
+            .stopping
+            .max_samples
+            .saturating_mul(64);
         self.engine.run_while(budget, World::should_stop);
         self.outcome()
     }
@@ -691,7 +701,10 @@ mod tests {
         let mut sim = b.build();
         let out = sim.run_for(5_000.0);
         assert!(out.metrics.blocked_calls > 0, "steals must block callers");
-        assert!(out.metrics.forward_hops > 0, "messages must chase the object");
+        assert!(
+            out.metrics.forward_hops > 0,
+            "messages must chase the object"
+        );
         assert_eq!(out.metrics.moves_denied, 0);
     }
 
@@ -730,7 +743,9 @@ mod tests {
 
     #[test]
     fn trace_is_absent_unless_enabled() {
-        let mut b = SimulationBuilder::new(deterministic_net(2)).warmup(0.0).seed(1);
+        let mut b = SimulationBuilder::new(deterministic_net(2))
+            .warmup(0.0)
+            .seed(1);
         let s = b.add_object(NodeId::new(1));
         b.add_client(NodeId::new(0), vec![s], BlockParams::paper(10.0));
         let sim = b.build();
@@ -759,7 +774,9 @@ mod tests {
         };
         let immediate = run(LocationMechanism::ImmediateUpdate);
         let forwarding = run(LocationMechanism::ForwardAddressing);
-        let ns = run(LocationMechanism::NameServer { node: NodeId::new(0) });
+        let ns = run(LocationMechanism::NameServer {
+            node: NodeId::new(0),
+        });
         let bc = run(LocationMechanism::Broadcast);
 
         // cache-based mechanisms chase moved objects
@@ -772,10 +789,7 @@ mod tests {
         let base = immediate.comm_time_per_call();
         for (label, m) in [("fwd", &forwarding), ("ns", &ns), ("bc", &bc)] {
             let v = m.comm_time_per_call();
-            assert!(
-                (v - base).abs() / base < 0.35,
-                "{label}: {v} vs {base}"
-            );
+            assert!((v - base).abs() / base < 0.35, "{label}: {v} vs {base}");
         }
     }
 
@@ -802,7 +816,11 @@ mod tests {
         let out = sim.run_for(1_000.0);
         // after the single migration the object is local; at most one stale
         // delivery can ever have happened
-        assert!(out.metrics.forward_hops <= 1, "{}", out.metrics.forward_hops);
+        assert!(
+            out.metrics.forward_hops <= 1,
+            "{}",
+            out.metrics.forward_hops
+        );
         // only the single stale first call ever paid messages
         assert!(out.metrics.total_call_time <= 2.0 + 1e-9);
     }
@@ -850,8 +868,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "name-server node")]
     fn name_server_outside_network_rejected() {
-        let _ = SimulationBuilder::new(Network::paper(2))
-            .location_mechanism(LocationMechanism::NameServer { node: NodeId::new(7) });
+        let _ = SimulationBuilder::new(Network::paper(2)).location_mechanism(
+            LocationMechanism::NameServer {
+                node: NodeId::new(7),
+            },
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * their sum plus control-message overhead, the **mean communication time
 //!   per call** (Figs. 8, 12, 14, 16).
 
-use oml_des::stats::{BatchMeans, ConfidenceInterval, Histogram, OnlineStats, P2Quantile, StoppingRule};
+use oml_des::stats::{
+    BatchMeans, ConfidenceInterval, Histogram, OnlineStats, P2Quantile, StoppingRule,
+};
 use serde::{Deserialize, Serialize};
 
 /// Counters and accumulators produced by a run.

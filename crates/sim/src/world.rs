@@ -27,12 +27,12 @@ use oml_des::{EventHandler, Scheduler, SimRng, SimTime};
 use oml_net::Network;
 
 use crate::event::{Event, Leg, TraceEvent};
-use oml_des::trace::TraceBuffer;
 use crate::metrics::SimMetrics;
 use crate::state::{
     BlockFlavor, BlockState, BlockedCall, CallState, ClientState, Location, LocationMechanism,
     MigrationState, ObjectState, QueuedEnd,
 };
+use oml_des::trace::TraceBuffer;
 
 /// The complete simulation state; implements [`EventHandler`].
 ///
@@ -172,13 +172,24 @@ impl World {
         match self.objects[target.index()].location {
             Location::At(n) => {
                 let d = self.delay(client_node, n);
-                self.blocks.get_mut(&block_id).expect("live block").control_cost += d;
-                sched.schedule_in(d, Event::MoveMsgArrive { block: block_id, node: n });
+                self.blocks
+                    .get_mut(&block_id)
+                    .expect("live block")
+                    .control_cost += d;
+                sched.schedule_in(
+                    d,
+                    Event::MoveMsgArrive {
+                        block: block_id,
+                        node: n,
+                    },
+                );
             }
             Location::InTransit { .. } => {
                 // The request chases the object and is interpreted when it
                 // lands; the chasing message's cost is charged on delivery.
-                self.objects[target.index()].queued_moves.push_back(block_id);
+                self.objects[target.index()]
+                    .queued_moves
+                    .push_back(block_id);
             }
         }
     }
@@ -199,11 +210,22 @@ impl World {
                     self.metrics.forward_hops += 1;
                 }
                 let d = self.delay(node, m);
-                self.blocks.get_mut(&block_id).expect("live block").control_cost += d;
-                sched.schedule_in(d, Event::MoveMsgArrive { block: block_id, node: m });
+                self.blocks
+                    .get_mut(&block_id)
+                    .expect("live block")
+                    .control_cost += d;
+                sched.schedule_in(
+                    d,
+                    Event::MoveMsgArrive {
+                        block: block_id,
+                        node: m,
+                    },
+                );
             }
             Location::InTransit { .. } => {
-                self.objects[target.index()].queued_moves.push_back(block_id);
+                self.objects[target.index()]
+                    .queued_moves
+                    .push_back(block_id);
             }
         }
     }
@@ -222,7 +244,10 @@ impl World {
         };
         debug_assert_eq!(self.objects[target.index()].node(), Some(at));
 
-        let movable = self.objects[target.index()].descriptor.mobility.is_movable();
+        let movable = self.objects[target.index()]
+            .descriptor
+            .mobility
+            .is_movable();
         let decision = if movable {
             self.policy.on_move(&MoveRequest {
                 object: target,
@@ -241,7 +266,10 @@ impl World {
                 if self.recording(now) {
                     self.metrics.moves_granted += 1;
                 }
-                self.blocks.get_mut(&block_id).expect("live block").origin_node = Some(at);
+                self.blocks
+                    .get_mut(&block_id)
+                    .expect("live block")
+                    .origin_node = Some(at);
                 if at == from {
                     // Already local: no migration, install (and lock) here.
                     self.policy.on_installed(target, at, block_id);
@@ -262,7 +290,10 @@ impl World {
                     self.metrics.moves_denied += 1;
                 }
                 let d = self.delay(at, from);
-                self.blocks.get_mut(&block_id).expect("live block").control_cost += d;
+                self.blocks
+                    .get_mut(&block_id)
+                    .expect("live block")
+                    .control_cost += d;
                 sched.schedule_in(
                     d,
                     Event::MoveOutcome {
@@ -549,12 +580,17 @@ impl World {
                 );
             }
             Location::InTransit { .. } => {
-                self.calls.get_mut(&call_id).expect("live call").ever_blocked = true;
-                self.objects[object.index()].blocked_calls.push(BlockedCall {
-                    call: call_id,
-                    leg,
-                    from,
-                });
+                self.calls
+                    .get_mut(&call_id)
+                    .expect("live call")
+                    .ever_blocked = true;
+                self.objects[object.index()]
+                    .blocked_calls
+                    .push(BlockedCall {
+                        call: call_id,
+                        leg,
+                        from,
+                    });
             }
         }
     }
@@ -610,12 +646,17 @@ impl World {
                 );
             }
             Location::InTransit { .. } => {
-                self.calls.get_mut(&call_id).expect("live call").ever_blocked = true;
-                self.objects[object.index()].blocked_calls.push(BlockedCall {
-                    call: call_id,
-                    leg,
-                    from: node,
-                });
+                self.calls
+                    .get_mut(&call_id)
+                    .expect("live call")
+                    .ever_blocked = true;
+                self.objects[object.index()]
+                    .blocked_calls
+                    .push(BlockedCall {
+                        call: call_id,
+                        leg,
+                        from: node,
+                    });
             }
         }
     }
@@ -669,7 +710,13 @@ impl World {
         }
     }
 
-    fn on_call_return(&mut self, now: SimTime, call_id: u64, leg: Leg, sched: &mut Scheduler<Event>) {
+    fn on_call_return(
+        &mut self,
+        now: SimTime,
+        call_id: u64,
+        leg: Leg,
+        sched: &mut Scheduler<Event>,
+    ) {
         match leg {
             Leg::Nested => {
                 // Nested result reached the first-layer server; relay the

@@ -24,7 +24,7 @@ use oml_core::attach::AttachmentMode;
 use oml_core::ids::{NodeId, ObjectId};
 use oml_core::policy::PolicyKind;
 use oml_des::stats::StoppingRule;
-use oml_net::Network;
+use oml_net::{FaultConfig, Network};
 use oml_sim::metrics::SimOutcome;
 use oml_sim::{BlockParams, Simulation, SimulationBuilder};
 
@@ -57,7 +57,11 @@ pub fn build_scenario(
 ) -> Simulation {
     config.validate().expect("invalid scenario");
 
-    let mut b = SimulationBuilder::new(Network::paper(config.nodes))
+    let network = Network::paper(config.nodes).with_faults(
+        FaultConfig::new(config.loss_probability, config.retransmit_timeout)
+            .expect("scenario validation matches FaultConfig's rules"),
+    );
+    let mut b = SimulationBuilder::new(network)
         .policy(policy)
         .attachment_mode(attachment)
         .migration_duration(config.migration_duration)

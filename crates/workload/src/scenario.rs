@@ -44,6 +44,14 @@ pub struct ScenarioConfig {
     pub working_set: u32,
     /// Simulated warm-up time excluded from metrics.
     pub warmup_time: f64,
+    /// Probability that one remote message transmission is lost (each lost
+    /// attempt costs [`ScenarioConfig::retransmit_timeout`]); 0 = the
+    /// paper's reliable network.
+    #[serde(default)]
+    pub loss_probability: f64,
+    /// Sender's retransmission timeout, in normalized message-time units.
+    #[serde(default)]
+    pub retransmit_timeout: f64,
 }
 
 impl ScenarioConfig {
@@ -63,6 +71,8 @@ impl ScenarioConfig {
             mean_gap,
             working_set: 0,
             warmup_time: 500.0,
+            loss_probability: 0.0,
+            retransmit_timeout: 0.0,
         }
     }
 
@@ -82,6 +92,8 @@ impl ScenarioConfig {
             mean_gap: 30.0,
             working_set: 0,
             warmup_time: 500.0,
+            loss_probability: 0.0,
+            retransmit_timeout: 0.0,
         }
     }
 
@@ -101,6 +113,8 @@ impl ScenarioConfig {
             mean_gap: 30.0,
             working_set: 0,
             warmup_time: 500.0,
+            loss_probability: 0.0,
+            retransmit_timeout: 0.0,
         }
     }
 
@@ -120,7 +134,20 @@ impl ScenarioConfig {
             mean_gap: 30.0,
             working_set: 2,
             warmup_time: 500.0,
+            loss_probability: 0.0,
+            retransmit_timeout: 0.0,
         }
+    }
+
+    /// Builder-style: degrade the network with message loss — each remote
+    /// transmission is lost with probability `loss` and retransmitted after
+    /// `retransmit_timeout` normalized time units (see
+    /// [`oml_net::FaultConfig`]).
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64, retransmit_timeout: f64) -> Self {
+        self.loss_probability = loss;
+        self.retransmit_timeout = retransmit_timeout;
+        self
     }
 
     /// Checks internal consistency.
@@ -139,14 +166,10 @@ impl ScenarioConfig {
             return Err(ScenarioError("a scenario needs first-layer servers"));
         }
         if self.working_set > 0 && self.servers2 == 0 {
-            return Err(ScenarioError(
-                "working sets require second-layer servers",
-            ));
+            return Err(ScenarioError("working sets require second-layer servers"));
         }
         if self.working_set as usize > self.servers2.max(1) as usize {
-            return Err(ScenarioError(
-                "working sets cannot exceed the second layer",
-            ));
+            return Err(ScenarioError("working sets cannot exceed the second layer"));
         }
         if !(self.migration_duration.is_finite() && self.migration_duration > 0.0) {
             return Err(ScenarioError("migration duration must be positive"));
@@ -172,6 +195,19 @@ impl ScenarioConfig {
         if self.mean_calls > 0.0 && self.mean_calls < self.migration_duration {
             return Err(ScenarioError(
                 "move-blocks must be sensible: mean calls must reach the migration duration",
+            ));
+        }
+        // mirror oml_net::FaultConfig::new's rules so a config file fails
+        // here, not when the network is built
+        if !(0.0..1.0).contains(&self.loss_probability) {
+            return Err(ScenarioError("loss probability must lie in [0, 1)"));
+        }
+        if !(self.retransmit_timeout.is_finite() && self.retransmit_timeout >= 0.0) {
+            return Err(ScenarioError("retransmit timeout must be non-negative"));
+        }
+        if self.loss_probability > 0.0 && self.retransmit_timeout == 0.0 {
+            return Err(ScenarioError(
+                "a lossy network needs a positive retransmit timeout",
             ));
         }
         Ok(())
@@ -206,7 +242,9 @@ impl ScenarioConfig {
              mean_think = {}\n\
              mean_gap = {}\n\
              working_set = {}\n\
-             warmup_time = {}\n",
+             warmup_time = {}\n\
+             loss_probability = {}\n\
+             retransmit_timeout = {}\n",
             self.name,
             self.nodes,
             self.clients,
@@ -218,6 +256,8 @@ impl ScenarioConfig {
             self.mean_gap,
             self.working_set,
             self.warmup_time,
+            self.loss_probability,
+            self.retransmit_timeout,
         )
     }
 
@@ -242,10 +282,14 @@ impl ScenarioConfig {
                 .split_once('=')
                 .ok_or(ScenarioError("expected `key = value`"))?;
             let (key, value) = (key.trim(), value.trim());
-            let parse_u32 =
-                |v: &str| v.parse::<u32>().map_err(|_| ScenarioError("bad integer value"));
-            let parse_f64 =
-                |v: &str| v.parse::<f64>().map_err(|_| ScenarioError("bad numeric value"));
+            let parse_u32 = |v: &str| {
+                v.parse::<u32>()
+                    .map_err(|_| ScenarioError("bad integer value"))
+            };
+            let parse_f64 = |v: &str| {
+                v.parse::<f64>()
+                    .map_err(|_| ScenarioError("bad numeric value"))
+            };
             match key {
                 "name" => cfg.name = value.to_owned(),
                 "nodes" => cfg.nodes = parse_u32(value)?,
@@ -258,6 +302,8 @@ impl ScenarioConfig {
                 "mean_gap" => cfg.mean_gap = parse_f64(value)?,
                 "working_set" => cfg.working_set = parse_u32(value)?,
                 "warmup_time" => cfg.warmup_time = parse_f64(value)?,
+                "loss_probability" => cfg.loss_probability = parse_f64(value)?,
+                "retransmit_timeout" => cfg.retransmit_timeout = parse_f64(value)?,
                 _ => return Err(ScenarioError("unknown scenario key")),
             }
         }
@@ -285,7 +331,10 @@ mod tests {
     #[test]
     fn figure_constructors_match_the_parameter_boxes() {
         let f8 = ScenarioConfig::fig8(42.0);
-        assert_eq!((f8.nodes, f8.clients, f8.servers1, f8.servers2), (3, 3, 3, 0));
+        assert_eq!(
+            (f8.nodes, f8.clients, f8.servers1, f8.servers2),
+            (3, 3, 3, 0)
+        );
         assert_eq!(f8.migration_duration, 6.0);
         assert_eq!(f8.mean_calls, 8.0);
         assert_eq!(f8.mean_gap, 42.0);
@@ -337,12 +386,34 @@ mod tests {
     }
 
     #[test]
+    fn loss_parameters_validate_and_round_trip() {
+        let cfg = ScenarioConfig::fig8(30.0).with_loss(0.1, 4.0);
+        cfg.validate().unwrap();
+        let back = ScenarioConfig::from_config_text(&cfg.to_config_text()).unwrap();
+        assert_eq!(cfg, back);
+
+        assert!(ScenarioConfig::fig8(30.0)
+            .with_loss(1.0, 4.0)
+            .validate()
+            .is_err());
+        assert!(ScenarioConfig::fig8(30.0)
+            .with_loss(-0.1, 4.0)
+            .validate()
+            .is_err());
+        let err = ScenarioConfig::fig8(30.0)
+            .with_loss(0.1, 0.0)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("retransmit"), "{err}");
+    }
+
+    #[test]
     fn config_text_round_trips_every_preset() {
         for cfg in [
             ScenarioConfig::fig8(42.0),
             ScenarioConfig::fig12(7),
             ScenarioConfig::fig14(3),
-            ScenarioConfig::fig16(5),
+            ScenarioConfig::fig16(5).with_loss(0.05, 6.0),
         ] {
             let text = cfg.to_config_text();
             let back = ScenarioConfig::from_config_text(&text).unwrap();

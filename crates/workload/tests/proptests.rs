@@ -29,6 +29,8 @@ fn any_valid_config() -> impl Strategy<Value = ScenarioConfig> {
                 mean_gap: gap,
                 working_set: if s2 == 0 { 0 } else { ws.min(s2) },
                 warmup_time: 10.0,
+                loss_probability: 0.0,
+                retransmit_timeout: 0.0,
             },
         )
 }

@@ -80,8 +80,14 @@ fn main() {
     }
 
     println!();
-    println!("worst: {} — overlapping attachments chain every working set into one", worst.1);
+    println!(
+        "worst: {} — overlapping attachments chain every working set into one",
+        worst.1
+    );
     println!("       closure, so each steal migrates (and blocks) almost the whole system.");
-    println!("best:  {} — each move drags exactly the working set its", best.1);
+    println!(
+        "best:  {} — each move drags exactly the working set its",
+        best.1
+    );
     println!("       cooperation context (alliance) defines, as §3.4 prescribes.");
 }

@@ -92,9 +92,15 @@ fn main() {
     cluster.fix(scheduler);
 
     // each work cell owns a job; the schedule starts at cell A
-    let job_a = cluster.create(CELL_A, Box::new(Artifact { revision: 0 })).unwrap();
-    let job_b = cluster.create(CELL_B, Box::new(Artifact { revision: 0 })).unwrap();
-    let schedule = cluster.create(CELL_A, Box::new(Artifact { revision: 0 })).unwrap();
+    let job_a = cluster
+        .create(CELL_A, Box::new(Artifact { revision: 0 }))
+        .unwrap();
+    let job_b = cluster
+        .create(CELL_B, Box::new(Artifact { revision: 0 }))
+        .unwrap();
+    let schedule = cluster
+        .create(CELL_A, Box::new(Artifact { revision: 0 }))
+        .unwrap();
 
     // the paper's Fig. 1 declaration, parsed from its concrete syntax
     let decl: OperationDecl = "declare assign: visit job, move schedule -> bool"

@@ -90,7 +90,11 @@ fn build_archive(cluster: &Cluster) -> Archive {
 }
 
 /// The editor's working session: move a document here, edit it a few times.
-fn editor_session(cluster: &Cluster, doc: ObjectId, ctx: Option<oml_core::ids::AllianceId>) -> bool {
+fn editor_session(
+    cluster: &Cluster,
+    doc: ObjectId,
+    ctx: Option<oml_core::ids::AllianceId>,
+) -> bool {
     let guard = cluster
         .move_block_in(doc, EDITOR_NODE, ctx)
         .expect("move request");
@@ -101,7 +105,11 @@ fn editor_session(cluster: &Cluster, doc: ObjectId, ctx: Option<oml_core::ids::A
 }
 
 /// The indexer's sweep: move each document to the indexer node and scan it.
-fn indexer_sweep(cluster: &Cluster, archive: &Archive, ctx: Option<oml_core::ids::AllianceId>) -> usize {
+fn indexer_sweep(
+    cluster: &Cluster,
+    archive: &Archive,
+    ctx: Option<oml_core::ids::AllianceId>,
+) -> usize {
     let mut granted = 0;
     for &doc in &archive.docs {
         let guard = cluster
@@ -147,10 +155,16 @@ fn scenario(policy: PolicyKind, mode: AttachmentMode) -> (usize, usize, Vec<Opti
         _ => None,
     };
     // the editor works on docs 0 and 1 and latches doc 1 to doc 0
-    cluster.attach(archive.docs[1], archive.docs[0], editor_ctx).unwrap();
+    cluster
+        .attach(archive.docs[1], archive.docs[0], editor_ctx)
+        .unwrap();
     // the indexer chains everything for its sweep: 1→2, 2→3
-    cluster.attach(archive.docs[2], archive.docs[1], indexer_ctx).unwrap();
-    cluster.attach(archive.docs[3], archive.docs[2], indexer_ctx).unwrap();
+    cluster
+        .attach(archive.docs[2], archive.docs[1], indexer_ctx)
+        .unwrap();
+    cluster
+        .attach(archive.docs[3], archive.docs[2], indexer_ctx)
+        .unwrap();
 
     // The probe: the editor opens a session on *its* document. How much of
     // the archive follows it to the editor's node?
@@ -178,7 +192,9 @@ fn scenario(policy: PolicyKind, mode: AttachmentMode) -> (usize, usize, Vec<Opti
 fn main() {
     println!("office automation: an editor suite and a nightly indexer share 4 documents\n");
 
-    println!("the editor attached doc1 to doc0 (its pair); the indexer chained doc2→doc1, doc3→doc2.");
+    println!(
+        "the editor attached doc1 to doc0 (its pair); the indexer chained doc2→doc1, doc3→doc2."
+    );
     println!("now the editor opens a session on doc0 and pulls it to its node…\n");
 
     let (_, _, locs) = scenario(

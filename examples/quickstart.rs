@@ -11,8 +11,8 @@
 
 use oml::prelude::*;
 use oml_core::ids::NodeId;
-use oml_sim::SimulationBuilder;
 use oml_net::Network;
+use oml_sim::SimulationBuilder;
 
 fn run(policy: PolicyKind) -> f64 {
     let mut b = SimulationBuilder::new(Network::paper(3))
@@ -22,7 +22,11 @@ fn run(policy: PolicyKind) -> f64 {
     let servers: Vec<_> = (0..3).map(|i| b.add_object(NodeId::new(2 - i))).collect();
     for i in 0..3 {
         // mean gap 5 → high contention on the shared servers
-        b.add_client(NodeId::new(i), servers.clone(), oml_sim::BlockParams::paper(5.0));
+        b.add_client(
+            NodeId::new(i),
+            servers.clone(),
+            oml_sim::BlockParams::paper(5.0),
+        );
     }
     b.build().run().metrics.comm_time_per_call()
 }

@@ -1,0 +1,293 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply cloneable immutable buffer (`Arc<[u8]>` inside),
+//! [`BytesMut`] a growable builder, and [`Buf`]/[`BufMut`] the reading and
+//! writing traits — restricted to the little-endian accessors the workspace
+//! wire format uses.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Bytes {
+            data: v.as_bytes().into(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.data[..] == other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty builder with `cap` bytes preallocated.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BytesMut")
+            .field("len", &self.buf.len())
+            .finish()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Write access to a byte buffer (little-endian subset).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read access to a byte buffer (little-endian subset).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `cnt` bytes remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let v = f64::from_le_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(7);
+        b.put_i64_le(-9);
+        b.put_f64_le(1.5);
+        b.put_u32_le(3);
+        b.put_slice(b"abc");
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u64_le(), 7);
+        assert_eq!(r.get_i64_le(), -9);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r.get_u32_le(), 3);
+        assert_eq!(r, b"abc");
+    }
+
+    #[test]
+    fn bytes_equality_and_clone() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.clone(), b);
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(&a[..2], &[1, 2][..]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` for upstream compatibility but never serializes through
+//! serde at runtime (scenario configs use a plain `key = value` text format,
+//! wire payloads use `oml-runtime::wire`). The traits are therefore markers
+//! with blanket impls, and the derives are no-ops from [`serde_derive`].
+
+/// Marker for serializable types. Blanket-implemented for everything.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for everything.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable types. Blanket-implemented for everything.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes through serde at runtime — the
+//! derives exist so type definitions keep their upstream-compatible
+//! annotations. Both derives therefore accept the input (including
+//! `#[serde(...)]` attributes) and expand to an empty token stream; the
+//! `serde` shim crate provides blanket trait impls instead.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

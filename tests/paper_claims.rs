@@ -45,15 +45,35 @@ fn fig8_orderings() {
     // low concurrency (t_m = 100): both migration policies beat sedentary
     let low = ScenarioConfig::fig8(100.0);
     let sed = comm(&low, PolicyKind::Sedentary, AttachmentMode::Unrestricted, 2);
-    let mig = comm(&low, PolicyKind::ConventionalMigration, AttachmentMode::Unrestricted, 3);
-    let plc = comm(&low, PolicyKind::TransientPlacement, AttachmentMode::Unrestricted, 4);
+    let mig = comm(
+        &low,
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::Unrestricted,
+        3,
+    );
+    let plc = comm(
+        &low,
+        PolicyKind::TransientPlacement,
+        AttachmentMode::Unrestricted,
+        4,
+    );
     assert!(mig < sed, "migration {mig} vs sedentary {sed}");
     assert!(plc < sed, "placement {plc} vs sedentary {sed}");
 
     // high concurrency (t_m = 5): placement clearly beats migration
     let high = ScenarioConfig::fig8(5.0);
-    let mig = comm(&high, PolicyKind::ConventionalMigration, AttachmentMode::Unrestricted, 5);
-    let plc = comm(&high, PolicyKind::TransientPlacement, AttachmentMode::Unrestricted, 6);
+    let mig = comm(
+        &high,
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::Unrestricted,
+        5,
+    );
+    let plc = comm(
+        &high,
+        PolicyKind::TransientPlacement,
+        AttachmentMode::Unrestricted,
+        6,
+    );
     assert!(
         plc < mig * 0.9,
         "under contention placement ({plc}) must beat migration ({mig})"
@@ -91,8 +111,18 @@ fn fig12_break_even_ordering() {
 #[test]
 fn fig14_dynamic_gains_are_marginal() {
     let config = ScenarioConfig::fig14(12);
-    let plc = comm(&config, PolicyKind::TransientPlacement, AttachmentMode::Unrestricted, 11);
-    let cmp = comm(&config, PolicyKind::CompareNodes, AttachmentMode::Unrestricted, 12);
+    let plc = comm(
+        &config,
+        PolicyKind::TransientPlacement,
+        AttachmentMode::Unrestricted,
+        11,
+    );
+    let cmp = comm(
+        &config,
+        PolicyKind::CompareNodes,
+        AttachmentMode::Unrestricted,
+        12,
+    );
     let rei = comm(
         &config,
         PolicyKind::CompareAndReinstantiate,
@@ -112,7 +142,12 @@ fn fig14_dynamic_gains_are_marginal() {
 #[test]
 fn fig16_attachment_ordering() {
     let config = ScenarioConfig::fig16(8);
-    let sed = comm(&config, PolicyKind::Sedentary, AttachmentMode::Unrestricted, 14);
+    let sed = comm(
+        &config,
+        PolicyKind::Sedentary,
+        AttachmentMode::Unrestricted,
+        14,
+    );
     let mig_unr = comm(
         &config,
         PolicyKind::ConventionalMigration,
@@ -184,14 +219,12 @@ fn topology_does_not_change_the_story() {
     use oml_sim::{BlockParams, SimulationBuilder};
 
     let run = |topo: Topology, policy: PolicyKind, seed: u64| {
-        let mut b = SimulationBuilder::new(Network::new(
-            topo,
-            LatencyModel::Exponential { mean: 1.0 },
-        ))
-        .policy(policy)
-        .stopping(smoke())
-        .warmup(300.0)
-        .seed(seed);
+        let mut b =
+            SimulationBuilder::new(Network::new(topo, LatencyModel::Exponential { mean: 1.0 }))
+                .policy(policy)
+                .stopping(smoke())
+                .warmup(300.0)
+                .seed(seed);
         let servers: Vec<_> = (0..3).map(|j| b.add_object(NodeId::new(2 - j))).collect();
         for i in 0..3 {
             b.add_client(NodeId::new(i), servers.clone(), BlockParams::paper(10.0));
@@ -199,8 +232,16 @@ fn topology_does_not_change_the_story() {
         b.build().run().metrics.comm_time_per_call()
     };
 
-    let mesh_p = run(Topology::FullMesh { nodes: 3 }, PolicyKind::TransientPlacement, 21);
-    let mesh_m = run(Topology::FullMesh { nodes: 3 }, PolicyKind::ConventionalMigration, 22);
+    let mesh_p = run(
+        Topology::FullMesh { nodes: 3 },
+        PolicyKind::TransientPlacement,
+        21,
+    );
+    let mesh_m = run(
+        Topology::FullMesh { nodes: 3 },
+        PolicyKind::ConventionalMigration,
+        22,
+    );
     for topo in [Topology::Star { nodes: 3 }, Topology::Ring { nodes: 3 }] {
         let p = run(topo.clone(), PolicyKind::TransientPlacement, 23);
         let m = run(topo, PolicyKind::ConventionalMigration, 24);

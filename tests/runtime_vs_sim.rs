@@ -5,9 +5,9 @@
 use oml_core::attach::AttachmentMode;
 use oml_core::ids::NodeId;
 use oml_core::policy::PolicyKind;
+use oml_net::{LatencyModel, Network, Topology};
 use oml_runtime::{Cluster, MobileObject};
 use oml_sim::{BlockParams, SimulationBuilder};
-use oml_net::{LatencyModel, Network, Topology};
 
 struct Blob;
 impl MobileObject for Blob {
@@ -37,7 +37,11 @@ fn blob_cluster(policy: PolicyKind, mode: AttachmentMode, nodes: u32) -> Cluster
 #[test]
 fn placement_denial_agrees_across_substrates() {
     // runtime
-    let cluster = blob_cluster(PolicyKind::TransientPlacement, AttachmentMode::Unrestricted, 3);
+    let cluster = blob_cluster(
+        PolicyKind::TransientPlacement,
+        AttachmentMode::Unrestricted,
+        3,
+    );
     let obj = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
     let first = cluster.move_block(obj, NodeId::new(1)).unwrap();
     let second = cluster.move_block(obj, NodeId::new(2)).unwrap();
@@ -80,7 +84,10 @@ fn conventional_steal_agrees_across_substrates() {
     let first = cluster.move_block(obj, NodeId::new(1)).unwrap();
     let second = cluster.move_block(obj, NodeId::new(2)).unwrap();
     assert!(first.granted() && second.granted());
-    assert!(cluster.is_resident(obj, NodeId::new(2)), "stolen by the second mover");
+    assert!(
+        cluster.is_resident(obj, NodeId::new(2)),
+        "stolen by the second mover"
+    );
     drop((first, second));
     cluster.shutdown();
 }
@@ -89,7 +96,11 @@ fn conventional_steal_agrees_across_substrates() {
 #[test]
 fn a_transitive_closures_agree() {
     // runtime
-    let cluster = blob_cluster(PolicyKind::ConventionalMigration, AttachmentMode::ATransitive, 2);
+    let cluster = blob_cluster(
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::ATransitive,
+        2,
+    );
     let front = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
     let a_member = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
     let b_member = cluster.create(NodeId::new(0), Box::new(Blob)).unwrap();
@@ -103,7 +114,9 @@ fn a_transitive_closures_agree() {
     }
     cluster.attach(a_member, front, Some(a)).unwrap();
     cluster.attach(b_member, front, Some(b)).unwrap();
-    let g = cluster.move_block_in(front, NodeId::new(1), Some(a)).unwrap();
+    let g = cluster
+        .move_block_in(front, NodeId::new(1), Some(a))
+        .unwrap();
     assert!(g.granted());
     drop(g);
     assert!(cluster.is_resident(front, NodeId::new(1)));

@@ -20,12 +20,12 @@ fn any_mode() -> impl Strategy<Value = AttachmentMode> {
 
 fn any_scenario() -> impl Strategy<Value = ScenarioConfig> {
     (
-        2u32..8,    // nodes
-        1u32..6,    // clients
-        1u32..4,    // servers1
-        0u32..4,    // servers2
-        0u32..3,    // working set
-        1.0..30.0,  // mean gap
+        2u32..8,   // nodes
+        1u32..6,   // clients
+        1u32..4,   // servers1
+        0u32..4,   // servers2
+        0u32..3,   // working set
+        1.0..30.0, // mean gap
     )
         .prop_map(|(nodes, clients, s1, s2, ws, gap)| {
             let mut cfg = ScenarioConfig::fig8(gap);

@@ -98,7 +98,10 @@ fn batching_removes_autocorrelation() {
         })
         .collect();
     let raw_r1 = autocorrelation(&raw, 1).unwrap();
-    assert!(raw_r1 > 0.9, "raw stream must be strongly correlated: {raw_r1}");
+    assert!(
+        raw_r1 > 0.9,
+        "raw stream must be strongly correlated: {raw_r1}"
+    );
 
     let batch_means: Vec<f64> = raw
         .chunks(500)
