@@ -1,0 +1,73 @@
+//! Closure maintenance: incremental union-find queries vs the BFS oracle,
+//! across component shapes and attachment modes, plus the detach-triggered
+//! lazy-rebuild path.
+//!
+//! This is the micro-level view of the dense-arena rework: `steady_query`
+//! measures the allocation-free `migration_closure_into` on a clean
+//! component (a pure member-cycle walk), `bfs_oracle` the from-scratch
+//! traversal it replaced, and `detach_rebuild` the worst case where every
+//! query is preceded by a detach that dirties the component.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oml_core::attach::{AttachmentGraph, AttachmentMode, ClosureScratch, Traversal};
+use oml_core::ids::{AllianceId, ObjectId};
+
+/// Builds one connected chain of `n` objects (worst-case closure size).
+fn chain(mode: AttachmentMode, n: u32, ctx: Option<AllianceId>) -> AttachmentGraph {
+    let mut g = AttachmentGraph::new(mode);
+    for i in 1..n {
+        let _ = g.attach(ObjectId::new(i - 1), ObjectId::new(i), ctx);
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure_maintenance");
+    let modes = [
+        ("unrestricted", AttachmentMode::Unrestricted, None),
+        (
+            "a-transitive",
+            AttachmentMode::ATransitive,
+            Some(AllianceId::new(1)),
+        ),
+    ];
+
+    for n in [8u32, 64, 512] {
+        group.throughput(Throughput::Elements(u64::from(n)));
+        for &(label, mode, ctx) in &modes {
+            let mut g = chain(mode, n, ctx);
+            let mut scratch = ClosureScratch::new();
+            group.bench_function(BenchmarkId::new(format!("steady_query/{label}"), n), |b| {
+                b.iter(|| {
+                    g.migration_closure_into(ObjectId::new(n / 2), ctx, &mut scratch);
+                    std::hint::black_box(scratch.members().len())
+                })
+            });
+
+            let g = chain(mode, n, ctx);
+            group.bench_function(BenchmarkId::new(format!("bfs_oracle/{label}"), n), |b| {
+                b.iter(|| {
+                    std::hint::black_box(g.closure(ObjectId::new(n / 2), Traversal::AllEdges))
+                })
+            });
+        }
+
+        // Worst case for the incremental structure: detach an edge (dirtying
+        // the whole component), re-attach it, then query — every iteration
+        // pays one full lazy rebuild.
+        let mut g = chain(AttachmentMode::Unrestricted, n, None);
+        let mut scratch = ClosureScratch::new();
+        group.bench_function(BenchmarkId::new("detach_rebuild", n), |b| {
+            b.iter(|| {
+                g.detach(ObjectId::new(0), ObjectId::new(1));
+                let _ = g.attach(ObjectId::new(0), ObjectId::new(1), None);
+                g.migration_closure_into(ObjectId::new(n / 2), None, &mut scratch);
+                std::hint::black_box(scratch.members().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -35,6 +35,24 @@ fn bench(c: &mut Criterion) {
                 std::hint::black_box(acc)
             })
         });
+        // The simulator's actual queue pattern: a small steady-state pending
+        // set with one push per pop, not a bulk fill-then-drain.
+        group.bench_function(BenchmarkId::new("queue_churn_30_pending", n), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut rng = SimRng::seed_from(5);
+                for i in 0..30u64 {
+                    q.push(SimTime::new(i as f64), i);
+                }
+                let mut acc = 0u64;
+                for _ in 0..n {
+                    let ev = q.pop().expect("queue stays primed");
+                    acc = acc.wrapping_add(ev.event);
+                    q.push(ev.time + rng.unit(), ev.event);
+                }
+                std::hint::black_box(acc)
+            })
+        });
         group.bench_function(BenchmarkId::new("engine_relay", n), |b| {
             b.iter(|| {
                 let mut e = Engine::new(Relay { remaining: n });

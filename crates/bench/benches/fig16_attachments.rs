@@ -27,6 +27,20 @@ fn bench(c: &mut Criterion) {
             });
         }
     }
+    // The heaviest sweep point: every client contends on one 12-object
+    // component, so each granted move drags the full unrestricted closure.
+    let heavy = ScenarioConfig::fig16(12);
+    group.bench_function("migration/unrestricted_C=12", |b| {
+        b.iter(|| {
+            std::hint::black_box(bench_point(
+                &heavy,
+                PolicyKind::ConventionalMigration,
+                AttachmentMode::Unrestricted,
+                4_000,
+                17,
+            ))
+        })
+    });
     group.bench_function("sedentary", |b| {
         b.iter(|| {
             std::hint::black_box(bench_point(

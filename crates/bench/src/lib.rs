@@ -11,6 +11,7 @@
 //! | `cost_model` | the §3.2 closed forms and attachment-closure queries |
 //! | `ablation_topology` | latency sampling and a sim point across topologies |
 //! | `engine_throughput` | raw event-queue, RNG and statistics throughput |
+//! | `closure_maintenance` | incremental closure queries vs the BFS oracle |
 //!
 //! The benches time *fixed-size* simulation slices (capped sample budgets),
 //! so their numbers are comparable across commits; regenerating the paper's

@@ -16,8 +16,6 @@
 //! leases): it behaves exactly like the original lock map, which is what the
 //! deterministic simulator and the existing policy semantics rely on.
 
-use std::collections::HashMap;
-
 use crate::ids::{BlockId, ObjectId};
 
 /// One granted placement lock.
@@ -59,7 +57,9 @@ pub struct LeaseTable {
     ttl_ms: Option<u64>,
     /// The table's notion of "now", advanced monotonically by the caller.
     now_ms: u64,
-    entries: HashMap<ObjectId, LeaseEntry>,
+    /// Slot per object id (objects are dense u32s); scans come out in id
+    /// order for free, which keeps every sweep deterministic.
+    entries: Vec<Option<LeaseEntry>>,
 }
 
 impl LeaseTable {
@@ -83,7 +83,7 @@ impl LeaseTable {
         LeaseTable {
             ttl_ms: Some(ttl_ms),
             now_ms: 0,
-            entries: HashMap::new(),
+            entries: Vec::new(),
         }
     }
 
@@ -107,7 +107,8 @@ impl LeaseTable {
     #[must_use]
     pub fn holder(&self, object: ObjectId) -> Option<BlockId> {
         self.entries
-            .get(&object)
+            .get(object.index())
+            .and_then(Option::as_ref)
             .filter(|e| self.is_live(e))
             .map(|e| e.block)
     }
@@ -120,13 +121,13 @@ impl LeaseTable {
     pub fn acquire(&mut self, object: ObjectId, block: BlockId, now_ms: u64) -> Option<BlockId> {
         self.touch(now_ms);
         let previous = self.holder(object).filter(|&b| b != block);
-        self.entries.insert(
-            object,
-            LeaseEntry {
-                block,
-                expires_at_ms: self.expiry_from(self.now_ms),
-            },
-        );
+        if object.index() >= self.entries.len() {
+            self.entries.resize(object.index() + 1, None);
+        }
+        self.entries[object.index()] = Some(LeaseEntry {
+            block,
+            expires_at_ms: self.expiry_from(self.now_ms),
+        });
         previous
     }
 
@@ -147,7 +148,7 @@ impl LeaseTable {
     /// already freed the object.
     pub fn release(&mut self, object: ObjectId, block: BlockId) -> bool {
         if self.holder(object) == Some(block) {
-            self.entries.remove(&object);
+            self.entries[object.index()] = None;
             true
         } else {
             false
@@ -159,7 +160,11 @@ impl LeaseTable {
     pub fn renew(&mut self, object: ObjectId, now_ms: u64) -> bool {
         self.touch(now_ms);
         let expires_at_ms = self.expiry_from(self.now_ms);
-        match self.entries.get_mut(&object) {
+        match self
+            .entries
+            .get_mut(object.index())
+            .and_then(Option::as_mut)
+        {
             Some(e) if self.ttl_ms.is_none() || e.expires_at_ms > self.now_ms => {
                 e.expires_at_ms = expires_at_ms;
                 true
@@ -181,15 +186,14 @@ impl LeaseTable {
             return Vec::new();
         }
         let now = self.now_ms;
-        let mut expired: Vec<(ObjectId, BlockId)> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.expires_at_ms <= now)
-            .map(|(&o, e)| (o, e.block))
-            .collect();
-        expired.sort();
-        for (o, _) in &expired {
-            self.entries.remove(o);
+        let mut expired: Vec<(ObjectId, BlockId)> = Vec::new();
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            if let Some(e) = slot {
+                if e.expires_at_ms <= now {
+                    expired.push((ObjectId::new(i as u32), e.block));
+                    *slot = None;
+                }
+            }
         }
         expired
     }
@@ -197,20 +201,23 @@ impl LeaseTable {
     /// All live locks, sorted by object id.
     #[must_use]
     pub fn held(&self) -> Vec<(ObjectId, BlockId)> {
-        let mut v: Vec<(ObjectId, BlockId)> = self
-            .entries
+        self.entries
             .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|e| (i, e)))
             .filter(|(_, e)| self.is_live(e))
-            .map(|(&o, e)| (o, e.block))
-            .collect();
-        v.sort();
-        v
+            .map(|(i, e)| (ObjectId::new(i as u32), e.block))
+            .collect()
     }
 
     /// Number of live locks.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.values().filter(|e| self.is_live(e)).count()
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|e| self.is_live(e))
+            .count()
     }
 
     /// Whether no live lock exists.

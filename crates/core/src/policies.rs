@@ -17,7 +17,6 @@
 use crate::ids::{BlockId, NodeId, ObjectId};
 use crate::lease::LeaseTable;
 use crate::policy::{EndAction, EndRequest, MoveDecision, MovePolicy, MoveRequest, PolicyKind};
-use std::collections::{BTreeMap, HashMap};
 
 /// The "without migration" baseline: every object is treated as sedentary.
 ///
@@ -198,34 +197,37 @@ impl MovePolicy for TransientPlacement {
 /// (like the paper's) deliberately neglects that overhead.
 #[derive(Debug, Clone, Default)]
 struct OpenMoveLedger {
-    open: HashMap<ObjectId, BTreeMap<NodeId, u32>>,
+    /// `open[object][node]` — dense object- and node-indexed counters
+    /// (both id spaces are small and contiguous), grown on first touch.
+    open: Vec<Vec<u32>>,
 }
 
 impl OpenMoveLedger {
     fn record_move(&mut self, object: ObjectId, node: NodeId) {
-        *self
-            .open
-            .entry(object)
-            .or_default()
-            .entry(node)
-            .or_insert(0) += 1;
+        if object.index() >= self.open.len() {
+            self.open.resize(object.index() + 1, Vec::new());
+        }
+        let per_node = &mut self.open[object.index()];
+        if node.index() >= per_node.len() {
+            per_node.resize(node.index() + 1, 0);
+        }
+        per_node[node.index()] += 1;
     }
 
     fn record_end(&mut self, object: ObjectId, node: NodeId) {
-        if let Some(per_node) = self.open.get_mut(&object) {
-            if let Some(count) = per_node.get_mut(&node) {
-                *count = count.saturating_sub(1);
-                if *count == 0 {
-                    per_node.remove(&node);
-                }
-            }
+        if let Some(count) = self
+            .open
+            .get_mut(object.index())
+            .and_then(|per_node| per_node.get_mut(node.index()))
+        {
+            *count = count.saturating_sub(1);
         }
     }
 
     fn count(&self, object: ObjectId, node: NodeId) -> u32 {
         self.open
-            .get(&object)
-            .and_then(|m| m.get(&node))
+            .get(object.index())
+            .and_then(|per_node| per_node.get(node.index()))
             .copied()
             .unwrap_or(0)
     }
@@ -233,13 +235,20 @@ impl OpenMoveLedger {
     /// The node with the most open requests (ties broken towards the lowest
     /// node id for determinism), with its count.
     fn leader(&self, object: ObjectId) -> Option<(NodeId, u32)> {
-        let per_node = self.open.get(&object)?;
-        per_node
-            .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
-            .map(|(&n, &c)| (n, c))
+        let per_node = self.open.get(object.index())?;
+        let mut best: Option<(NodeId, u32)> = None;
+        // ascending scan + strict improvement = lowest node id wins ties
+        for (i, &count) in per_node.iter().enumerate() {
+            if count > 0 && best.is_none_or(|(_, c)| count > c) {
+                best = Some((NodeId::new(i as u32), count));
+            }
+        }
+        best
     }
 }
+
+/// Raw `NodeId` sentinel for "object holds no placement lock".
+const NO_NODE: u32 = u32::MAX;
 
 /// Shared core of the two intelligent placement strategies: placement locks
 /// plus the open-move ledger.
@@ -256,9 +265,10 @@ impl OpenMoveLedger {
 struct ComparingCore {
     ledger: OpenMoveLedger,
     locks: LeaseTable,
-    /// Where each lock holder sits — needed to retire its ledger entry if
-    /// the lease expires instead of ending normally.
-    holder_node: HashMap<ObjectId, NodeId>,
+    /// Where each lock holder sits (object-indexed, `NO_NODE` = unlocked) —
+    /// needed to retire its ledger entry if the lease expires instead of
+    /// ending normally.
+    holder_node: Vec<u32>,
 }
 
 impl ComparingCore {
@@ -288,7 +298,10 @@ impl ComparingCore {
     fn on_installed(&mut self, object: ObjectId, node: NodeId, block: BlockId) {
         let previous = self.locks.acquire_now(object, block);
         debug_assert!(previous.is_none(), "granted {object} while locked");
-        self.holder_node.insert(object, node);
+        if object.index() >= self.holder_node.len() {
+            self.holder_node.resize(object.index() + 1, NO_NODE);
+        }
+        self.holder_node[object.index()] = node.as_u32();
     }
 
     /// Processes the end bookkeeping; returns whether the ending block held
@@ -299,7 +312,7 @@ impl ComparingCore {
         self.ledger.record_end(req.object, req.from);
         let released = req.was_granted && self.locks.release(req.object, req.block);
         if released {
-            self.holder_node.remove(&req.object);
+            self.take_holder_node(req.object);
         }
         released
     }
@@ -319,11 +332,18 @@ impl ComparingCore {
     fn expire_leases(&mut self, now_ms: u64) -> Vec<(ObjectId, BlockId)> {
         let expired = self.locks.advance(now_ms);
         for &(object, _) in &expired {
-            if let Some(node) = self.holder_node.remove(&object) {
+            if let Some(node) = self.take_holder_node(object) {
                 self.ledger.record_end(object, node);
             }
         }
         expired
+    }
+
+    /// Clears and returns the recorded holder node of `object`.
+    fn take_holder_node(&mut self, object: ObjectId) -> Option<NodeId> {
+        let slot = self.holder_node.get_mut(object.index())?;
+        let raw = std::mem::replace(slot, NO_NODE);
+        (raw != NO_NODE).then(|| NodeId::new(raw))
     }
 }
 
@@ -512,7 +532,8 @@ impl MovePolicy for CompareAndReinstantiate {
 #[derive(Debug, Clone)]
 pub struct CooldownFixing {
     cooldown: u32,
-    remaining: HashMap<ObjectId, u32>,
+    /// Object-indexed denial budget (0 = no active cooldown).
+    remaining: Vec<u32>,
 }
 
 impl CooldownFixing {
@@ -522,7 +543,7 @@ impl CooldownFixing {
     pub fn new(cooldown: u32) -> Self {
         CooldownFixing {
             cooldown,
-            remaining: HashMap::new(),
+            remaining: Vec::new(),
         }
     }
 
@@ -543,7 +564,7 @@ impl MovePolicy for CooldownFixing {
         if req.from == req.at {
             return MoveDecision::Grant;
         }
-        if let Some(r) = self.remaining.get_mut(&req.object) {
+        if let Some(r) = self.remaining.get_mut(req.object.index()) {
             if *r > 0 {
                 *r -= 1;
                 return MoveDecision::Deny;
@@ -553,7 +574,10 @@ impl MovePolicy for CooldownFixing {
     }
 
     fn on_installed(&mut self, object: ObjectId, _node: NodeId, _block: BlockId) {
-        self.remaining.insert(object, self.cooldown);
+        if object.index() >= self.remaining.len() {
+            self.remaining.resize(object.index() + 1, 0);
+        }
+        self.remaining[object.index()] = self.cooldown;
     }
 
     fn on_end(&mut self, _req: &EndRequest) -> EndAction {

@@ -1,6 +1,6 @@
 //! A stable, deterministic event queue.
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use crate::SimTime;
@@ -45,6 +45,26 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
+/// The heap priority, packed into a single integer comparison.
+///
+/// `SimTime` is finite and non-negative by construction, and for such values
+/// the IEEE-754 bit pattern orders exactly like the number itself. Packing
+/// the time bits above the sequence number therefore gives one `u128` whose
+/// natural order is precisely "earliest time first, FIFO within a tie" — and
+/// a single integer compare is what every sift step of the heap executes,
+/// instead of an f64 compare plus a tie-break branch.
+fn pack_key(time: SimTime, seq: u64) -> u128 {
+    (u128::from(time.as_f64().to_bits()) << 64) | u128::from(seq)
+}
+
+fn unpack_key<E>(key: u128, event: E) -> ScheduledEvent<E> {
+    ScheduledEvent {
+        time: SimTime::new(f64::from_bits((key >> 64) as u64)),
+        seq: key as u64,
+        event,
+    }
+}
+
 /// A time-ordered queue of events with FIFO tie-breaking.
 ///
 /// # Example
@@ -64,8 +84,33 @@ impl<E> Ord for ScheduledEvent<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    heap: BinaryHeap<Reverse<(u128, EventSlot<E>)>>,
     next_seq: u64,
+}
+
+/// Wraps the payload so the heap's ordering never looks at it (events need
+/// not be comparable, and comparing them would violate stability anyway).
+#[derive(Debug, Clone)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl<E> Eq for EventSlot<E> {}
+
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> Ordering {
+        Ordering::Equal
+    }
 }
 
 impl<E> EventQueue<E> {
@@ -82,20 +127,25 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, event });
+        self.heap
+            .push(Reverse((pack_key(time, seq), EventSlot(event))));
         seq
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty. Ties are returned in insertion order.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        self.heap.pop()
+        self.heap
+            .pop()
+            .map(|Reverse((key, slot))| unpack_key(key, slot.0))
     }
 
     /// Returns the activation time of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        self.heap
+            .peek()
+            .map(|Reverse((key, _))| SimTime::new(f64::from_bits((key >> 64) as u64)))
     }
 
     /// Number of pending events.

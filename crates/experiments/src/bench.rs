@@ -1,0 +1,295 @@
+//! `repro bench` — the tracked performance baseline.
+//!
+//! Runs a fixed quick-precision suite (the attachment-heavy Fig. 16 sweeps
+//! plus the three single-layer figures), measures wall time and simulator
+//! event throughput per experiment, and writes `BENCH_02.json` at the
+//! invocation directory. The suite re-uses the *exact* configs, series and
+//! per-point seeds of the corresponding `figNN` experiment functions, so its
+//! numbers track the same work the figures do.
+//!
+//! The recorded [`BASELINE`] values were measured on this suite immediately
+//! **before** the dense-arena/incremental-closure rework (commit `966c926`,
+//! BTreeMap adjacency + allocating BFS per migration, HashMap world state),
+//! single-threaded. Every later run writes both the baseline and the fresh
+//! numbers, so the speedup trajectory is part of the artifact.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use oml_core::attach::AttachmentMode;
+use oml_core::policy::PolicyKind;
+use oml_workload::{run_scenario, ScenarioConfig};
+
+use crate::experiments::{point_seed, RunOptions};
+
+/// Wall time and event throughput of one benchmark experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchExperiment {
+    /// Experiment id (`fig16`, `fig16x`, …).
+    pub name: &'static str,
+    /// Total wall-clock seconds for the whole sweep.
+    pub wall_s: f64,
+    /// Total simulator events handled across all sweep points.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// One full suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Per-experiment measurements, in suite order.
+    pub experiments: Vec<BenchExperiment>,
+}
+
+/// Pre-rework reference numbers: `(name, wall_s, events)`, quick precision,
+/// seed `0x0b9e_c7ed`, one worker thread, measured on the seed implementation
+/// (BTreeMap attachment graph, allocating closure BFS, HashMap world state).
+pub const BASELINE: [(&str, f64, u64); 5] = [
+    ("fig16", 0.442, 3_767_189),
+    ("fig16x", 0.567, 4_974_848),
+    ("fig8", 0.613, 5_722_263),
+    ("fig12", 0.295, 2_417_558),
+    ("fig14", 0.517, 4_233_462),
+];
+
+/// One figure's series: label, policy, attachment mode per curve.
+type SeriesGrid<'a> = &'a [(&'a str, PolicyKind, AttachmentMode)];
+
+/// The series of the basic three-policy figures.
+const BASIC: [(&str, PolicyKind, AttachmentMode); 3] = [
+    (
+        "without migration",
+        PolicyKind::Sedentary,
+        AttachmentMode::Unrestricted,
+    ),
+    (
+        "migration",
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::Unrestricted,
+    ),
+    (
+        "transient placement",
+        PolicyKind::TransientPlacement,
+        AttachmentMode::Unrestricted,
+    ),
+];
+
+const FIG16: [(&str, PolicyKind, AttachmentMode); 5] = [
+    (
+        "without migration",
+        PolicyKind::Sedentary,
+        AttachmentMode::Unrestricted,
+    ),
+    (
+        "migration + unrestricted",
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::Unrestricted,
+    ),
+    (
+        "migration + a-transitive",
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::ATransitive,
+    ),
+    (
+        "placement + unrestricted",
+        PolicyKind::TransientPlacement,
+        AttachmentMode::Unrestricted,
+    ),
+    (
+        "placement + a-transitive",
+        PolicyKind::TransientPlacement,
+        AttachmentMode::ATransitive,
+    ),
+];
+
+const FIG16X: [(&str, PolicyKind, AttachmentMode); 7] = [
+    FIG16[0],
+    FIG16[1],
+    FIG16[2],
+    FIG16[3],
+    FIG16[4],
+    (
+        "migration + exclusive",
+        PolicyKind::ConventionalMigration,
+        AttachmentMode::Exclusive,
+    ),
+    (
+        "placement + exclusive",
+        PolicyKind::TransientPlacement,
+        AttachmentMode::Exclusive,
+    ),
+];
+
+fn run_grid(configs: &[ScenarioConfig], series: SeriesGrid, opts: &RunOptions) -> (f64, u64) {
+    let start = Instant::now();
+    let mut events = 0u64;
+    for (pi, config) in configs.iter().enumerate() {
+        for (si, &(_, policy, mode)) in series.iter().enumerate() {
+            let out = run_scenario(
+                config,
+                policy,
+                mode,
+                opts.stopping,
+                point_seed(opts.seed, pi, si),
+            );
+            events += out.events;
+            std::hint::black_box(&out.metrics);
+        }
+    }
+    (start.elapsed().as_secs_f64(), events)
+}
+
+/// Runs the fixed benchmark suite at the given precision and seed.
+///
+/// The sweep grids mirror `fig8`/`fig12`/`fig14`/`fig16`/`fig16x` exactly
+/// (same configs, same series order, same per-point seeds) but run on one
+/// thread so wall times are comparable across machines and commits.
+#[must_use]
+pub fn run_bench_suite(opts: &RunOptions) -> BenchReport {
+    let fig16_cs = [1u32, 2, 4, 6, 8, 10, 12];
+    let fig16_cfg: Vec<ScenarioConfig> =
+        fig16_cs.iter().map(|&c| ScenarioConfig::fig16(c)).collect();
+    let fig8_xs = [
+        0.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+    ];
+    let fig8_cfg: Vec<ScenarioConfig> = fig8_xs.iter().map(|&x| ScenarioConfig::fig8(x)).collect();
+    let fig12_cs = [1u32, 2, 4, 6, 8, 10, 12, 14, 16, 20, 25];
+    let fig12_cfg: Vec<ScenarioConfig> =
+        fig12_cs.iter().map(|&c| ScenarioConfig::fig12(c)).collect();
+    let fig14_cs = [1u32, 2, 4, 6, 9, 12, 16, 20, 24];
+    let fig14_cfg: Vec<ScenarioConfig> =
+        fig14_cs.iter().map(|&c| ScenarioConfig::fig14(c)).collect();
+    let fig14_series: [(&str, PolicyKind, AttachmentMode); 3] = [
+        (
+            "conservative place-policy",
+            PolicyKind::TransientPlacement,
+            AttachmentMode::Unrestricted,
+        ),
+        (
+            "comparing the nodes",
+            PolicyKind::CompareNodes,
+            AttachmentMode::Unrestricted,
+        ),
+        (
+            "comparing and reinstantiation",
+            PolicyKind::CompareAndReinstantiate,
+            AttachmentMode::Unrestricted,
+        ),
+    ];
+
+    let jobs: [(&'static str, &[ScenarioConfig], SeriesGrid); 5] = [
+        ("fig16", &fig16_cfg, &FIG16),
+        ("fig16x", &fig16_cfg, &FIG16X),
+        ("fig8", &fig8_cfg, &BASIC),
+        ("fig12", &fig12_cfg, &BASIC),
+        ("fig14", &fig14_cfg, &fig14_series),
+    ];
+
+    let mut experiments = Vec::new();
+    for (name, configs, series) in jobs {
+        let (wall_s, events) = run_grid(configs, series, opts);
+        experiments.push(BenchExperiment {
+            name,
+            wall_s,
+            events,
+            events_per_sec: if wall_s > 0.0 {
+                events as f64 / wall_s
+            } else {
+                0.0
+            },
+        });
+    }
+    BenchReport { experiments }
+}
+
+fn json_experiments(out: &mut String, rows: &[BenchExperiment]) {
+    for (i, e) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}}}{}",
+            e.name, e.wall_s, e.events, e.events_per_sec, sep
+        );
+    }
+}
+
+/// Renders the report (plus the recorded pre-rework baseline and the derived
+/// speedups) as the `BENCH_02.json` document.
+#[must_use]
+pub fn render_bench_json(report: &BenchReport, seed: u64) -> String {
+    let baseline: Vec<BenchExperiment> = BASELINE
+        .iter()
+        .map(|&(name, wall_s, events)| BenchExperiment {
+            name,
+            wall_s,
+            events,
+            events_per_sec: if wall_s > 0.0 {
+                events as f64 / wall_s
+            } else {
+                0.0
+            },
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench_id\": \"BENCH_02\",");
+    let _ = writeln!(out, "  \"precision\": \"quick\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"threads\": 1,");
+    let _ = writeln!(
+        out,
+        "  \"baseline_note\": \"pre-arena seed implementation (commit 966c926): BTreeMap adjacency, allocating closure BFS, HashMap world state\","
+    );
+    out.push_str("  \"baseline\": {\n");
+    json_experiments(&mut out, &baseline);
+    out.push_str("  },\n");
+    out.push_str("  \"current\": {\n");
+    json_experiments(&mut out, &report.experiments);
+    out.push_str("  },\n");
+    out.push_str("  \"speedup_vs_baseline\": {\n");
+    for (i, e) in report.experiments.iter().enumerate() {
+        let sep = if i + 1 == report.experiments.len() {
+            ""
+        } else {
+            ","
+        };
+        let base = baseline.iter().find(|b| b.name == e.name);
+        let speedup = base.map_or(f64::NAN, |b| b.wall_s / e.wall_s);
+        let _ = writeln!(out, "    \"{}\": {:.2}{}", e.name, speedup, sep);
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oml_des::stats::StoppingRule;
+
+    #[test]
+    fn bench_suite_runs_and_reports() {
+        let opts = RunOptions {
+            stopping: StoppingRule {
+                relative_precision: 0.2,
+                confidence: 0.9,
+                min_batches: 2,
+                max_samples: 500,
+            },
+            seed: 1,
+            threads: 1,
+        };
+        let report = run_bench_suite(&opts);
+        assert_eq!(report.experiments.len(), 5);
+        for e in &report.experiments {
+            assert!(e.events > 0, "{} handled no events", e.name);
+            assert!(e.wall_s > 0.0);
+        }
+        let json = render_bench_json(&report, 1);
+        assert!(json.contains("\"bench_id\": \"BENCH_02\""));
+        assert!(json.contains("\"fig16\""));
+        assert!(json.contains("speedup_vs_baseline"));
+    }
+}

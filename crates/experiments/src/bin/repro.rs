@@ -19,6 +19,7 @@
 //!   visit      §2.3 ablation: move blocks vs visit blocks
 //!   location   §4.1 ablation: the four object-location mechanisms
 //!   faults     robustness extension: degradation under message loss
+//!   bench      fixed quick-precision perf suite; writes BENCH_02.json
 //!   <file.csv> replot a previously saved result (no re-run)
 //!   custom     run a scenario loaded with --scenario FILE (key = value
 //!              format; see ScenarioConfig::to_config_text) under all five
@@ -31,6 +32,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use oml_experiments::bench::{render_bench_json, run_bench_suite};
 use oml_experiments::experiments::{
     break_even_scaling, egoism, faults, fig12, fig14, fig16, fig16_exclusive, fig4_cost, fig8,
     location_ablation, topology_ablation, visit_ablation, RunOptions,
@@ -230,6 +232,35 @@ fn main() -> ExitCode {
     };
 
     match cli.experiment.as_str() {
+        "bench" => {
+            // The bench suite is the tracked baseline: always quick precision
+            // and one thread, whatever flags were given, so numbers stay
+            // comparable across commits.
+            let opts = RunOptions {
+                seed: cli.opts.seed,
+                threads: 1,
+                ..RunOptions::quick()
+            };
+            let report = run_bench_suite(&opts);
+            for e in &report.experiments {
+                println!(
+                    "{:<8} {:>8.3} s  {:>10} events  {:>12.0} events/s",
+                    e.name, e.wall_s, e.events, e.events_per_sec
+                );
+            }
+            let json = render_bench_json(&report, opts.seed);
+            let path = PathBuf::from("BENCH_02.json");
+            match fs::write(&path, json) {
+                Ok(()) => {
+                    println!("wrote {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "custom" => {
             let Some(path) = &cli.scenario else {
                 eprintln!("error: `custom` needs --scenario FILE");

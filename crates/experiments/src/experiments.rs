@@ -147,7 +147,7 @@ fn sweep_grid(
         .collect()
 }
 
-fn point_seed(base: u64, point: usize, series: usize) -> u64 {
+pub(crate) fn point_seed(base: u64, point: usize, series: usize) -> u64 {
     base.wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add((point as u64) << 8)
         .wrapping_add(series as u64)

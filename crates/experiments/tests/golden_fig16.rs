@@ -1,0 +1,127 @@
+//! Same-seed regression guard for the simulation's numeric output.
+//!
+//! One small Fig. 16 sweep point (4 clients, seed `0x5eed`, a fixed 6 000
+//! sample budget) is run through the public API for three policy × mode
+//! combinations, and every `MetricsRow` field is compared against values
+//! recorded from the pre-arena seed implementation (commit `966c926`,
+//! BTreeMap adjacency + allocating BFS closure + HashMap world state).
+//!
+//! The dense-arena/incremental-closure rework is required to be a pure
+//! representation change: same seed, same event order, same floating-point
+//! summation order, same numbers. If a future change breaks any of those
+//! invariants — a reordered closure, a stray RNG draw, a resequenced event —
+//! this test names the exact metric that moved.
+//!
+//! Floats are compared to 1e-9 relative tolerance (not bit-exact) so the
+//! guard survives cross-platform `libm` differences in `ln`; integer fields
+//! are exact.
+
+use oml_core::attach::AttachmentMode;
+use oml_core::policy::PolicyKind;
+use oml_des::stats::StoppingRule;
+use oml_sim::metrics::MetricsRow;
+use oml_workload::{run_scenario, ScenarioConfig};
+
+/// `(comm_time, call_time, migration_time, control_time, calls, denial_rate,
+/// mean_closure, transfer_load, call_p95, events)` recorded from the
+/// pre-rework implementation.
+struct Golden {
+    label: &'static str,
+    policy: PolicyKind,
+    mode: AttachmentMode,
+    comm_time: f64,
+    call_time: f64,
+    migration_time: f64,
+    control_time: f64,
+    calls: u64,
+    denial_rate: f64,
+    mean_closure: f64,
+    transfer_load: f64,
+    call_p95: f64,
+    events: u64,
+}
+
+const GOLDENS: [Golden; 3] = [
+    Golden {
+        label: "migration + unrestricted",
+        policy: PolicyKind::ConventionalMigration,
+        mode: AttachmentMode::Unrestricted,
+        comm_time: 2.632590649757688,
+        call_time: 1.7313376632292397,
+        migration_time: 0.8146917068306465,
+        control_time: 0.08656127969780174,
+        calls: 6017,
+        denial_rate: 0.0,
+        mean_closure: 12.0,
+        transfer_load: 9.776300481967757,
+        call_p95: 8.773824616700834,
+        events: 35212,
+    },
+    Golden {
+        label: "placement + a-transitive",
+        policy: PolicyKind::TransientPlacement,
+        mode: AttachmentMode::ATransitive,
+        comm_time: 1.4753841615520191,
+        call_time: 0.7415070233862038,
+        migration_time: 0.5975020815986678,
+        control_time: 0.13637505656714755,
+        calls: 6005,
+        denial_rate: 0.12879581151832462,
+        mean_closure: 2.702341137123746,
+        transfer_load: 1.614654454621149,
+        call_p95: 4.085677217615149,
+        events: 35345,
+    },
+    Golden {
+        label: "migration + exclusive",
+        policy: PolicyKind::ConventionalMigration,
+        mode: AttachmentMode::Exclusive,
+        comm_time: 2.1561218332037453,
+        call_time: 1.2538955076933436,
+        migration_time: 0.777,
+        control_time: 0.12522632551040197,
+        calls: 6000,
+        denial_rate: 0.0,
+        mean_closure: 2.01029601029601,
+        transfer_load: 1.562,
+        call_p95: 5.36340540466812,
+        events: 35179,
+    },
+];
+
+fn assert_close(label: &str, field: &str, got: f64, want: f64) {
+    let tol = 1e-9 * (1.0 + want.abs());
+    assert!(
+        (got - want).abs() <= tol,
+        "{label}: {field} drifted from the recorded golden value: got {got:?}, want {want:?}"
+    );
+}
+
+#[test]
+fn fig16_point_reproduces_pre_rework_metrics() {
+    let rule = StoppingRule {
+        relative_precision: 1e-9,
+        confidence: 0.99,
+        min_batches: u64::MAX,
+        max_samples: 6_000,
+    };
+    for g in &GOLDENS {
+        let out = run_scenario(&ScenarioConfig::fig16(4), g.policy, g.mode, rule, 0x5eed);
+        let row = MetricsRow::from(&out.metrics);
+        assert_eq!(row.calls, g.calls, "{}: calls", g.label);
+        assert_eq!(out.events, g.events, "{}: events", g.label);
+        assert_close(g.label, "comm_time", row.comm_time, g.comm_time);
+        assert_close(g.label, "call_time", row.call_time, g.call_time);
+        assert_close(
+            g.label,
+            "migration_time",
+            row.migration_time,
+            g.migration_time,
+        );
+        assert_close(g.label, "control_time", row.control_time, g.control_time);
+        assert_close(g.label, "denial_rate", row.denial_rate, g.denial_rate);
+        assert_close(g.label, "mean_closure", row.mean_closure, g.mean_closure);
+        assert_close(g.label, "transfer_load", row.transfer_load, g.transfer_load);
+        assert_close(g.label, "call_p95", row.call_p95, g.call_p95);
+    }
+}

@@ -1,9 +1,7 @@
 //! Assembling and running simulations.
 
-use std::collections::HashMap;
-
 use oml_core::alliance::AllianceRegistry;
-use oml_core::attach::{AttachOutcome, AttachmentGraph, AttachmentMode};
+use oml_core::attach::{AttachOutcome, AttachmentGraph, AttachmentMode, ClosureScratch};
 use oml_core::error::AttachError;
 use oml_core::ids::{AllianceId, ClientId, NodeId, ObjectId};
 use oml_core::object::{Mobility, ObjectDescriptor};
@@ -12,6 +10,7 @@ use oml_des::stats::StoppingRule;
 use oml_des::{Engine, SimRng, SimTime};
 use oml_net::Network;
 
+use crate::dense::{NodeObjectTable, ScanMap};
 use crate::event::Event;
 use crate::metrics::{SimMetrics, SimOutcome};
 use crate::state::{BlockFlavor, BlockParams, ClientState, LocationMechanism, ObjectState};
@@ -342,6 +341,8 @@ impl SimulationBuilder {
         let n_clients = self.clients.len();
         let mut metrics = SimMetrics::new(self.batch_size);
         metrics.init_clients(n_clients);
+        let n_nodes = self.network.len() as usize;
+        let n_objects = self.objects.len();
 
         let world = World {
             net: self.network,
@@ -352,11 +353,11 @@ impl SimulationBuilder {
                 .unwrap_or_else(|| AttachmentGraph::new(self.attachment_mode)),
             objects: self.objects,
             clients: self.clients,
-            blocks: HashMap::new(),
+            blocks: ScanMap::new(),
             next_block: 0,
-            calls: HashMap::new(),
+            calls: ScanMap::new(),
             next_call: 0,
-            migrations: HashMap::new(),
+            migrations: ScanMap::new(),
             next_migration: 0,
             migration_duration: self.migration_duration,
             warmup_time: self.warmup_time,
@@ -364,8 +365,10 @@ impl SimulationBuilder {
             stopping: self.stopping,
             trace: self.trace_capacity.map(oml_des::trace::TraceBuffer::new),
             location_mechanism: self.location_mechanism,
-            location_cache: HashMap::new(),
-            forward_pointers: HashMap::new(),
+            location_cache: NodeObjectTable::new(n_nodes, n_objects),
+            forward_pointers: NodeObjectTable::new(n_nodes, n_objects),
+            closure_scratch: ClosureScratch::new(),
+            mover_pool: Vec::new(),
         };
         let mut engine = Engine::new(world);
         // All clients start their first block at t = 0; the warm-up period
@@ -401,7 +404,22 @@ impl Simulation {
             .stopping
             .max_samples
             .saturating_mul(64);
-        self.engine.run_while(budget, World::should_stop);
+        // The stopping rule is a function of the sample stream alone, so its
+        // verdict can only change when a sample lands. Most events deliver
+        // none; re-evaluating the confidence interval on every event would
+        // dominate the hot loop for nothing. Checking only when the count
+        // moves stops at the *exact* same event as the naive predicate: while
+        // the count is unchanged the verdict is the unchanged `false` (had it
+        // been `true`, the run would already have stopped).
+        let mut checked_at = u64::MAX;
+        self.engine.run_while(budget, |world| {
+            let n = world.metrics().samples.sample_count();
+            if n == checked_at {
+                return false;
+            }
+            checked_at = n;
+            world.should_stop()
+        });
         self.outcome()
     }
 

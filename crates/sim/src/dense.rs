@@ -1,0 +1,140 @@
+//! Dense, deterministic replacements for the world's hot-path hash maps.
+//!
+//! The simulator's bookkeeping maps share two properties that make a general
+//! `HashMap` the wrong tool: the live entry count is tiny (bounded by the
+//! number of clients — each client drives at most one move-block, call chain
+//! and triggered migration at a time), and determinism forbids any
+//! iteration-order dependence. [`ScanMap`] is a linear-scan association list
+//! with `swap_remove` deletion: inserts and removals never allocate once the
+//! backing `Vec` has reached steady-state capacity, and a scan over a handful
+//! of entries beats hashing on every access. [`NodeObjectTable`] is the
+//! node×object matrix behind the location caches: both dimensions are fixed
+//! at build time, so a flat `Vec` lookup replaces hashing a `(NodeId,
+//! ObjectId)` pair entirely.
+
+use oml_core::ids::{NodeId, ObjectId};
+
+/// A small association list keyed by a `Copy` key.
+///
+/// All operations are O(live entries); the world keeps live counts bounded by
+/// the client count, where a scan is faster than any hash. Iteration order is
+/// insertion-plus-`swap_remove` order and is therefore deterministic — but no
+/// caller iterates; the map is only ever probed by key.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScanMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Copy + Eq, V> ScanMap<K, V> {
+    pub(crate) fn new() -> Self {
+        ScanMap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts a fresh entry. Keys are monotonically allocated by the world
+    /// and never reused, so the entry must not already exist.
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        debug_assert!(!self.entries.iter().any(|(k, _)| *k == key));
+        self.entries.push((key, value));
+    }
+
+    pub(crate) fn get(&self, key: K) -> Option<&V> {
+        self.entries
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    pub(crate) fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        self.entries
+            .iter_mut()
+            .find(|&&mut (k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    pub(crate) fn remove(&mut self, key: K) -> Option<V> {
+        let i = self.entries.iter().position(|&(k, _)| k == key)?;
+        Some(self.entries.swap_remove(i).1)
+    }
+}
+
+impl<K: Copy + Eq, V> std::ops::Index<K> for ScanMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: K) -> &V {
+        self.get(key).expect("key present in ScanMap")
+    }
+}
+
+/// Raw `NodeId` sentinel for "no entry".
+const EMPTY: u32 = u32::MAX;
+
+/// A node×object matrix of optional node ids, O(1) lookup with no hashing.
+///
+/// Backs the per-node location caches and the forwarding-pointer table; both
+/// dimensions are known when the world is built and never grow afterwards.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeObjectTable {
+    objects: usize,
+    data: Vec<u32>,
+}
+
+impl NodeObjectTable {
+    pub(crate) fn new(nodes: usize, objects: usize) -> Self {
+        NodeObjectTable {
+            objects,
+            data: vec![EMPTY; nodes * objects],
+        }
+    }
+
+    fn idx(&self, node: NodeId, object: ObjectId) -> usize {
+        debug_assert!(object.index() < self.objects);
+        node.index() * self.objects + object.index()
+    }
+
+    pub(crate) fn get(&self, node: NodeId, object: ObjectId) -> Option<NodeId> {
+        match self.data[self.idx(node, object)] {
+            EMPTY => None,
+            raw => Some(NodeId::new(raw)),
+        }
+    }
+
+    pub(crate) fn set(&mut self, node: NodeId, object: ObjectId, value: NodeId) {
+        let i = self.idx(node, object);
+        self.data[i] = value.as_u32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_map_behaves_like_a_map() {
+        let mut m: ScanMap<u64, &str> = ScanMap::new();
+        m.insert(1, "a");
+        m.insert(9, "b");
+        m.insert(4, "c");
+        assert_eq!(m.get(9), Some(&"b"));
+        assert_eq!(m[4], "c");
+        *m.get_mut(1).unwrap() = "z";
+        assert_eq!(m.remove(1), Some("z"));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.get(4), Some(&"c"));
+    }
+
+    #[test]
+    fn node_object_table_round_trips() {
+        let mut t = NodeObjectTable::new(3, 4);
+        let (n0, n2) = (NodeId::new(0), NodeId::new(2));
+        let o = ObjectId::new(3);
+        assert_eq!(t.get(n0, o), None);
+        t.set(n0, o, n2);
+        assert_eq!(t.get(n0, o), Some(n2));
+        t.set(n0, o, n0);
+        assert_eq!(t.get(n0, o), Some(n0));
+        assert_eq!(t.get(n2, o), None);
+    }
+}

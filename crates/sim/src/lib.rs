@@ -50,6 +50,7 @@
 mod builder;
 mod world;
 
+pub(crate) mod dense;
 pub mod event;
 pub mod metrics;
 pub mod state;

@@ -17,15 +17,14 @@
 //! * Messages that arrive where the object used to be chase it with
 //!   forward-addressing hops.
 
-use std::collections::HashMap;
-
-use oml_core::attach::AttachmentGraph;
+use oml_core::attach::{AttachmentGraph, ClosureScratch};
 use oml_core::ids::{BlockId, ClientId, NodeId, ObjectId};
 use oml_core::policy::{EndRequest, MoveDecision, MovePolicy, MoveRequest};
 use oml_des::stats::StoppingRule;
 use oml_des::{EventHandler, Scheduler, SimRng, SimTime};
 use oml_net::Network;
 
+use crate::dense::{NodeObjectTable, ScanMap};
 use crate::event::{Event, Leg, TraceEvent};
 use crate::metrics::SimMetrics;
 use crate::state::{
@@ -46,11 +45,11 @@ pub struct World {
     pub(crate) attachments: AttachmentGraph,
     pub(crate) objects: Vec<ObjectState>,
     pub(crate) clients: Vec<ClientState>,
-    pub(crate) blocks: HashMap<BlockId, BlockState>,
+    pub(crate) blocks: ScanMap<BlockId, BlockState>,
     pub(crate) next_block: u32,
-    pub(crate) calls: HashMap<u64, CallState>,
+    pub(crate) calls: ScanMap<u64, CallState>,
     pub(crate) next_call: u64,
-    pub(crate) migrations: HashMap<u64, MigrationState>,
+    pub(crate) migrations: ScanMap<u64, MigrationState>,
     pub(crate) next_migration: u64,
     /// `M`: base migration duration for a unit-size object.
     pub(crate) migration_duration: f64,
@@ -65,10 +64,15 @@ pub struct World {
     pub(crate) location_mechanism: LocationMechanism,
     /// Per-node cached object locations (used by every mechanism except
     /// immediate update).
-    pub(crate) location_cache: HashMap<(NodeId, ObjectId), NodeId>,
+    pub(crate) location_cache: NodeObjectTable,
     /// Forwarding pointers: the node an object departed from remembers where
     /// it went (Emerald-style forward addressing).
-    pub(crate) forward_pointers: HashMap<(NodeId, ObjectId), NodeId>,
+    pub(crate) forward_pointers: NodeObjectTable,
+    /// Reusable buffers for [`AttachmentGraph::migration_closure_into`], so
+    /// the closure of a migration is computed without allocating.
+    pub(crate) closure_scratch: ClosureScratch,
+    /// Retired mover lists, recycled by the next migration.
+    pub(crate) mover_pool: Vec<Vec<ObjectId>>,
 }
 
 impl World {
@@ -111,13 +115,12 @@ impl World {
     /// object's home node until a result message teaches it better).
     fn cached_location(&self, from: NodeId, object: ObjectId) -> NodeId {
         self.location_cache
-            .get(&(from, object))
-            .copied()
+            .get(from, object)
             .unwrap_or(self.objects[object.index()].descriptor.home)
     }
 
     fn learn_location(&mut self, at: NodeId, object: ObjectId, is: NodeId) {
-        self.location_cache.insert((at, object), is);
+        self.location_cache.set(at, object, is);
     }
 
     /// Samples one message delay between two nodes.
@@ -166,14 +169,14 @@ impl World {
 
     fn send_move(&mut self, block_id: BlockId, sched: &mut Scheduler<Event>) {
         let (target, client_node) = {
-            let b = &self.blocks[&block_id];
+            let b = &self.blocks[block_id];
             (b.target, b.client_node)
         };
         match self.objects[target.index()].location {
             Location::At(n) => {
                 let d = self.delay(client_node, n);
                 self.blocks
-                    .get_mut(&block_id)
+                    .get_mut(block_id)
                     .expect("live block")
                     .control_cost += d;
                 sched.schedule_in(
@@ -201,7 +204,7 @@ impl World {
         node: NodeId,
         sched: &mut Scheduler<Event>,
     ) {
-        let target = self.blocks[&block_id].target;
+        let target = self.blocks[block_id].target;
         match self.objects[target.index()].location {
             Location::At(n) if n == node => self.process_move(now, block_id, node, sched),
             Location::At(m) => {
@@ -211,7 +214,7 @@ impl World {
                 }
                 let d = self.delay(node, m);
                 self.blocks
-                    .get_mut(&block_id)
+                    .get_mut(block_id)
                     .expect("live block")
                     .control_cost += d;
                 sched.schedule_in(
@@ -239,7 +242,7 @@ impl World {
         sched: &mut Scheduler<Event>,
     ) {
         let (target, from) = {
-            let b = &self.blocks[&block_id];
+            let b = &self.blocks[block_id];
             (b.target, b.client_node)
         };
         debug_assert_eq!(self.objects[target.index()].node(), Some(at));
@@ -267,7 +270,7 @@ impl World {
                     self.metrics.moves_granted += 1;
                 }
                 self.blocks
-                    .get_mut(&block_id)
+                    .get_mut(block_id)
                     .expect("live block")
                     .origin_node = Some(at);
                 if at == from {
@@ -291,7 +294,7 @@ impl World {
                 }
                 let d = self.delay(at, from);
                 self.blocks
-                    .get_mut(&block_id)
+                    .get_mut(block_id)
                     .expect("live block")
                     .control_cost += d;
                 sched.schedule_in(
@@ -312,7 +315,7 @@ impl World {
         granted: bool,
         sched: &mut Scheduler<Event>,
     ) {
-        let block = self.blocks.get_mut(&block_id).expect("live block");
+        let block = self.blocks.get_mut(block_id).expect("live block");
         debug_assert!(block.granted.is_none());
         block.granted = Some(granted);
         sched.schedule_in(0.0, Event::NextCall { block: block_id });
@@ -335,15 +338,18 @@ impl World {
         sched: &mut Scheduler<Event>,
     ) {
         let ctx = self.objects[main.index()].move_context;
-        let closure = self.attachments.migration_closure(main, ctx);
+        self.attachments
+            .migration_closure_into(main, ctx, &mut self.closure_scratch);
 
         let mid = self.next_migration;
         self.next_migration += 1;
 
-        let mut movers = Vec::new();
+        let mut movers = self.mover_pool.pop().unwrap_or_default();
+        debug_assert!(movers.is_empty());
         let mut transfer_load = 0.0;
         let mut land_delay: f64 = 0.0;
-        for &member in &closure {
+        for i in 0..self.closure_scratch.members().len() {
+            let member = self.closure_scratch.members()[i];
             let obj = &self.objects[member.index()];
             let movable = obj.descriptor.mobility.is_movable();
             // A placement lock makes an object transiently sedentary (§3.2),
@@ -362,7 +368,7 @@ impl World {
         for &member in &movers {
             if let Location::At(old) = self.objects[member.index()].location {
                 // Emerald-style forwarding pointer at the departure node.
-                self.forward_pointers.insert((old, member), to);
+                self.forward_pointers.set(old, member, to);
             }
             self.objects[member.index()].location = Location::InTransit { to, migration: mid };
         }
@@ -383,7 +389,7 @@ impl World {
             }
         }
         if let Some(bid) = install_block {
-            if let Some(block) = self.blocks.get_mut(&bid) {
+            if let Some(block) = self.blocks.get_mut(bid) {
                 block.migration_cost += land_delay;
             }
         }
@@ -409,7 +415,7 @@ impl World {
     }
 
     fn on_migration_land(&mut self, now: SimTime, mid: u64, sched: &mut Scheduler<Event>) {
-        let mig = self.migrations.remove(&mid).expect("live migration");
+        let mig = self.migrations.remove(mid).expect("live migration");
         self.record_trace(now, TraceEvent::MigrationLanded { to: mig.to });
         for &mover in &mig.movers {
             self.objects[mover.index()].location = Location::At(mig.to);
@@ -434,6 +440,9 @@ impl World {
         for &mover in &mig.movers {
             self.drain_after_landing(now, mover, mig.to, sched);
         }
+        let mut movers = mig.movers;
+        movers.clear();
+        self.mover_pool.push(movers);
     }
 
     fn drain_after_landing(
@@ -514,7 +523,7 @@ impl World {
 
     fn on_next_call(&mut self, now: SimTime, block_id: BlockId, sched: &mut Scheduler<Event>) {
         let (target, client_node) = {
-            let b = &self.blocks[&block_id];
+            let b = &self.blocks[block_id];
             (b.target, b.client_node)
         };
         let nested = {
@@ -544,7 +553,7 @@ impl World {
     }
 
     fn leg_object(&self, call_id: u64, leg: Leg) -> ObjectId {
-        let call = &self.calls[&call_id];
+        let call = &self.calls[call_id];
         match leg {
             Leg::Target => call.target,
             Leg::Nested => call.nested.expect("nested leg without nested target"),
@@ -580,10 +589,7 @@ impl World {
                 );
             }
             Location::InTransit { .. } => {
-                self.calls
-                    .get_mut(&call_id)
-                    .expect("live call")
-                    .ever_blocked = true;
+                self.calls.get_mut(call_id).expect("live call").ever_blocked = true;
                 self.objects[object.index()]
                     .blocked_calls
                     .push(BlockedCall {
@@ -615,11 +621,7 @@ impl World {
                     // follow the forwarding pointer this node left behind
                     // (it may itself be stale → the chase continues there)
                     LocationMechanism::ForwardAddressing => {
-                        let next = self
-                            .forward_pointers
-                            .get(&(node, object))
-                            .copied()
-                            .unwrap_or(m);
+                        let next = self.forward_pointers.get(node, object).unwrap_or(m);
                         (1, self.delay(node, next), next)
                     }
                     // ask the name server, which redirects the message
@@ -646,10 +648,7 @@ impl World {
                 );
             }
             Location::InTransit { .. } => {
-                self.calls
-                    .get_mut(&call_id)
-                    .expect("live call")
-                    .ever_blocked = true;
+                self.calls.get_mut(call_id).expect("live call").ever_blocked = true;
                 self.objects[object.index()]
                     .blocked_calls
                     .push(BlockedCall {
@@ -665,7 +664,7 @@ impl World {
         match leg {
             Leg::Target => {
                 let (has_nested, client_node, target) = {
-                    let call = self.calls.get_mut(&call_id).expect("live call");
+                    let call = self.calls.get_mut(call_id).expect("live call");
                     call.exec_node = Some(node);
                     (call.nested.is_some(), call.client_node, call.target)
                 };
@@ -676,7 +675,7 @@ impl World {
                 if has_nested {
                     self.send_leg(call_id, Leg::Nested, node, sched);
                 } else {
-                    let client_node = self.calls[&call_id].client_node;
+                    let client_node = self.calls[call_id].client_node;
                     let d = self.delay(node, client_node);
                     sched.schedule_in(
                         d,
@@ -691,7 +690,7 @@ impl World {
                 // Execute at the second-layer server, send the result back
                 // to where the first-layer server ran.
                 let (exec_node, nested) = {
-                    let call = &self.calls[&call_id];
+                    let call = &self.calls[call_id];
                     (
                         call.exec_node.expect("target leg ran first"),
                         call.nested.expect("nested leg has a target"),
@@ -722,7 +721,7 @@ impl World {
                 // Nested result reached the first-layer server; relay the
                 // overall result to the client.
                 let (exec_node, client_node) = {
-                    let call = &self.calls[&call_id];
+                    let call = &self.calls[call_id];
                     (call.exec_node.expect("exec node set"), call.client_node)
                 };
                 let d = self.delay(exec_node, client_node);
@@ -735,14 +734,14 @@ impl World {
                 );
             }
             Leg::Target => {
-                let call = self.calls.remove(&call_id).expect("live call");
+                let call = self.calls.remove(call_id).expect("live call");
                 let duration = now.as_f64() - call.issued_at;
                 if call.ever_blocked && self.recording(now) {
                     self.metrics.blocked_calls += 1;
                 }
                 let block_id = call.block;
                 let (done, total, client) = {
-                    let block = self.blocks.get_mut(&block_id).expect("live block");
+                    let block = self.blocks.get_mut(block_id).expect("live block");
                     block.calls_done += 1;
                     block.call_durations.push(duration);
                     (block.calls_done, block.n_calls, block.client)
@@ -766,7 +765,7 @@ impl World {
 
     fn finish_block(&mut self, now: SimTime, block_id: BlockId, sched: &mut Scheduler<Event>) {
         let (client_id, target, issued_move, granted, origin, client_node) = {
-            let b = &self.blocks[&block_id];
+            let b = &self.blocks[block_id];
             (
                 b.client,
                 b.target,
@@ -807,7 +806,7 @@ impl World {
         // the block's migration and control overhead evenly distributed
         // (Fig. 8's definition).
         if self.recording(now) {
-            let block = &self.blocks[&block_id];
+            let block = &self.blocks[block_id];
             let n = block.call_durations.len().max(1) as f64;
             let overhead = (block.migration_cost + block.control_cost) / n;
             for &d in &block.call_durations {
@@ -823,7 +822,7 @@ impl World {
         }
 
         self.record_trace(now, TraceEvent::BlockFinished { block: block_id });
-        self.blocks.remove(&block_id);
+        self.blocks.remove(block_id);
 
         let gap = {
             let client = &mut self.clients[client_id.index()];
