@@ -1,0 +1,791 @@
+//! The trace invariant checker.
+//!
+//! [`check_trace`] replays a collected event trace through a set of state
+//! machines and verifies the paper's safety invariants:
+//!
+//! * **Single residency** — between migrations an object is live on exactly
+//!   one node: every `Install` is either the object's first appearance, a
+//!   re-install at its current host (crash-stash reclamation), or the
+//!   completion of a `Ship` that *happened-before* it (checked with vector
+//!   clocks, not wall-clock interleaving).
+//! * **Place-lock exclusivity** (§3.2) — no two blocks hold an object's
+//!   placement lock concurrently, and a denied mover never mutates
+//!   placement: a block that was denied can only appear as a lock holder if
+//!   an earlier grant (a duplicated move-request's first copy) explains it.
+//! * **Closure atomicity** (§3.3/§3.4) — an A-transitive closure migrates
+//!   as a unit: every locally co-hosted, movable, unpinned member the
+//!   runtime committed to (the `ClosureBegin` member list) ships to the
+//!   same destination before the main object does.
+//! * **Lease soundness** — no lock is granted while another block's
+//!   unexpired lease is held; renewals extend exactly the live lease.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use oml_core::ids::{BlockId, NodeId, ObjectId};
+
+use crate::event::{process_name, EventKind, TraceEvent};
+use crate::vclock::assign_clocks;
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An object was installed at a second node while still resident at the
+    /// first — two live replicas.
+    DoubleResidency {
+        /// The twice-resident object.
+        object: ObjectId,
+        /// Where it already lived.
+        resident_at: u32,
+        /// Where the second install happened.
+        also_at: u32,
+    },
+    /// An install completed a migration, but the ship that started it does
+    /// not happen-before the install (concurrent under the vector-clock
+    /// order) — the "migration" had no causal path.
+    NonCausalInstall {
+        /// The installed object.
+        object: ObjectId,
+        /// The installing node.
+        at: u32,
+    },
+    /// An in-flight object landed at a node other than the ship's target.
+    MisroutedInstall {
+        /// The misrouted object.
+        object: ObjectId,
+        /// Where the ship was headed.
+        expected: NodeId,
+        /// Where the install happened.
+        got: u32,
+    },
+    /// A node shipped an object it was not hosting.
+    ShipWithoutResidency {
+        /// The phantom object.
+        object: ObjectId,
+        /// The node that shipped it.
+        at: u32,
+    },
+    /// Two blocks held one object's (non-expiring) placement lock at once.
+    LockOverlap {
+        /// The doubly locked object.
+        object: ObjectId,
+        /// The block already holding the lock.
+        holder: BlockId,
+        /// The block that acquired over it.
+        claimant: BlockId,
+    },
+    /// A lock was granted while another block's lease still had time left.
+    LeaseOverlap {
+        /// The doubly leased object.
+        object: ObjectId,
+        /// The block whose lease was still live.
+        holder: BlockId,
+        /// The block that was granted anyway.
+        claimant: BlockId,
+        /// Milliseconds the holder's lease still had at the overlap.
+        remaining_ms: u64,
+    },
+    /// A block whose move was denied later appeared as a lock holder with
+    /// no earlier grant explaining it.
+    DeniedMoverMutatedPlacement {
+        /// The object the denied block locked.
+        object: ObjectId,
+        /// The denied-yet-holding block.
+        block: BlockId,
+    },
+    /// A lock was acquired by a block that was never granted a move.
+    LockWithoutGrant {
+        /// The locked object.
+        object: ObjectId,
+        /// The unexplained holder.
+        block: BlockId,
+    },
+    /// A lock-release event named a block that was not the holder.
+    ReleaseMismatch {
+        /// The object whose release misfired.
+        object: ObjectId,
+        /// The block the release named.
+        block: BlockId,
+        /// The actual holder, if any.
+        holder: Option<BlockId>,
+    },
+    /// A closure member the runtime committed to ship was left behind when
+    /// the main object departed.
+    ClosureMemberLeftBehind {
+        /// The closure's main object.
+        main: ObjectId,
+        /// The abandoned member.
+        member: ObjectId,
+        /// The destination the closure was headed to.
+        to: NodeId,
+    },
+    /// Closure members shipped but the main object never did — the closure
+    /// was torn apart by a mid-migration failure.
+    ClosureTorn {
+        /// The main object that stayed behind.
+        main: ObjectId,
+        /// The destination the members went to.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DoubleResidency {
+                object,
+                resident_at,
+                also_at,
+            } => write!(
+                f,
+                "double residency: {object} installed at {} while still resident at {}",
+                process_name(*also_at),
+                process_name(*resident_at)
+            ),
+            Violation::NonCausalInstall { object, at } => write!(
+                f,
+                "non-causal install: {object} landed at {} with no happens-before path from its ship",
+                process_name(*at)
+            ),
+            Violation::MisroutedInstall {
+                object,
+                expected,
+                got,
+            } => write!(
+                f,
+                "misrouted install: {object} shipped towards {expected} but landed at {}",
+                process_name(*got)
+            ),
+            Violation::ShipWithoutResidency { object, at } => write!(
+                f,
+                "ship without residency: {} shipped {object} it was not hosting",
+                process_name(*at)
+            ),
+            Violation::LockOverlap {
+                object,
+                holder,
+                claimant,
+            } => write!(
+                f,
+                "lock overlap: {claimant} acquired {object} while {holder} still held it"
+            ),
+            Violation::LeaseOverlap {
+                object,
+                holder,
+                claimant,
+                remaining_ms,
+            } => write!(
+                f,
+                "lease overlap: {claimant} granted {object} while {holder}'s lease had {remaining_ms} ms left"
+            ),
+            Violation::DeniedMoverMutatedPlacement { object, block } => write!(
+                f,
+                "denied mover mutated placement: {block} was denied yet locked {object}"
+            ),
+            Violation::LockWithoutGrant { object, block } => {
+                write!(f, "lock without grant: {block} locked {object} without a granted move")
+            }
+            Violation::ReleaseMismatch {
+                object,
+                block,
+                holder,
+            } => write!(
+                f,
+                "release mismatch: {block} released {object} held by {holder:?}"
+            ),
+            Violation::ClosureMemberLeftBehind { main, member, to } => write!(
+                f,
+                "closure atomicity: member {member} left behind when {main}'s closure migrated to {to}"
+            ),
+            Violation::ClosureTorn { main, to } => write!(
+                f,
+                "closure torn: members shipped to {to} but main object {main} never did"
+            ),
+        }
+    }
+}
+
+/// How an object currently stands in the residency state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Residency {
+    /// Installed at a node; the index points at the installing event.
+    Resident { node: u32 },
+    /// Shipped and not yet installed; `ship_idx` indexes the ship event.
+    InFlight { to: NodeId, ship_idx: usize },
+}
+
+/// A closure migration in progress at one node.
+#[derive(Debug)]
+struct PendingClosure {
+    main: ObjectId,
+    to: NodeId,
+    process: u32,
+    remaining: BTreeSet<ObjectId>,
+    shipped_any_member: bool,
+}
+
+/// A held placement lock as the checker models it.
+#[derive(Debug, Clone, Copy)]
+struct HeldLock {
+    block: BlockId,
+    last_active_ms: u64,
+    ttl_ms: Option<u64>,
+}
+
+/// The checker's verdict over one trace.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Every violation found, in trace order.
+    pub violations: Vec<Violation>,
+    /// Events examined.
+    pub events: usize,
+    /// Distinct processes seen.
+    pub processes: usize,
+    /// Distinct objects seen in residency events.
+    pub objects: usize,
+    /// `Recv` events whose message id had no matching `Send` (instrumentation
+    /// gaps — zero on a fully traced run).
+    pub orphan_recvs: usize,
+}
+
+impl CheckReport {
+    /// Whether the trace satisfied every invariant.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "checked {} events across {} processes, {} objects ({} orphan recvs)",
+            self.events, self.processes, self.objects, self.orphan_recvs
+        )?;
+        if self.violations.is_empty() {
+            write!(f, "all invariants hold")
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Replays `trace` through the invariant state machines (see the module
+/// docs) and reports every violation.
+#[must_use]
+#[allow(clippy::too_many_lines)] // one state machine per invariant, one match
+pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
+    let clocks = assign_clocks(trace);
+    let mut report = CheckReport {
+        events: trace.len(),
+        ..CheckReport::default()
+    };
+
+    let mut processes: BTreeSet<u32> = BTreeSet::new();
+    let mut objects: BTreeSet<ObjectId> = BTreeSet::new();
+    let mut sends: BTreeSet<u64> = BTreeSet::new();
+
+    let mut residency: BTreeMap<ObjectId, Residency> = BTreeMap::new();
+    let mut locks: BTreeMap<ObjectId, HeldLock> = BTreeMap::new();
+    let mut granted: BTreeSet<BlockId> = BTreeSet::new();
+    let mut denied: BTreeSet<BlockId> = BTreeSet::new();
+    let mut closures: Vec<PendingClosure> = Vec::new();
+
+    for (idx, ev) in trace.iter().enumerate() {
+        processes.insert(ev.process);
+        match &ev.kind {
+            EventKind::Send { msg_id, .. } => {
+                sends.insert(*msg_id);
+            }
+            EventKind::Recv { msg_id } => {
+                if !sends.contains(msg_id) {
+                    report.orphan_recvs += 1;
+                }
+            }
+            EventKind::Install { object } => {
+                objects.insert(*object);
+                match residency.get(object) {
+                    None => {
+                        residency.insert(*object, Residency::Resident { node: ev.process });
+                    }
+                    Some(Residency::Resident { node }) if *node == ev.process => {
+                        // duplicate install / crash-stash reclamation at the
+                        // same host: a refresh, not a second replica
+                    }
+                    Some(Residency::Resident { node }) => {
+                        report.violations.push(Violation::DoubleResidency {
+                            object: *object,
+                            resident_at: *node,
+                            also_at: ev.process,
+                        });
+                        residency.insert(*object, Residency::Resident { node: ev.process });
+                    }
+                    Some(Residency::InFlight { to, ship_idx }) => {
+                        if to.as_u32() != ev.process {
+                            report.violations.push(Violation::MisroutedInstall {
+                                object: *object,
+                                expected: *to,
+                                got: ev.process,
+                            });
+                        } else if !clocks[*ship_idx].le(&clocks[idx]) {
+                            report.violations.push(Violation::NonCausalInstall {
+                                object: *object,
+                                at: ev.process,
+                            });
+                        }
+                        residency.insert(*object, Residency::Resident { node: ev.process });
+                    }
+                }
+            }
+            EventKind::Ship { object, to } => {
+                objects.insert(*object);
+                match residency.get(object) {
+                    Some(Residency::Resident { node }) if *node == ev.process => {
+                        residency.insert(
+                            *object,
+                            Residency::InFlight {
+                                to: *to,
+                                ship_idx: idx,
+                            },
+                        );
+                    }
+                    _ => {
+                        report.violations.push(Violation::ShipWithoutResidency {
+                            object: *object,
+                            at: ev.process,
+                        });
+                        residency.insert(
+                            *object,
+                            Residency::InFlight {
+                                to: *to,
+                                ship_idx: idx,
+                            },
+                        );
+                    }
+                }
+                // closure bookkeeping: a ship of a pending member (at the
+                // closure's node, towards its destination) checks it off;
+                // the main object's ship closes the closure out
+                for pc in &mut closures {
+                    if pc.process != ev.process {
+                        continue;
+                    }
+                    if pc.remaining.remove(object) && *to == pc.to {
+                        pc.shipped_any_member = true;
+                    } else if *object == pc.main {
+                        for member in std::mem::take(&mut pc.remaining) {
+                            report.violations.push(Violation::ClosureMemberLeftBehind {
+                                main: pc.main,
+                                member,
+                                to: pc.to,
+                            });
+                        }
+                        pc.main = ObjectId::new(u32::MAX); // closed
+                    }
+                }
+                closures.retain(|pc| pc.main != ObjectId::new(u32::MAX));
+            }
+            EventKind::MoveGranted { block, .. } => {
+                granted.insert(*block);
+            }
+            EventKind::MoveDenied { block, .. } => {
+                denied.insert(*block);
+            }
+            EventKind::LockAcquired {
+                object,
+                block,
+                now_ms,
+                ttl_ms,
+            } => {
+                if let Some(held) = locks.get(object) {
+                    if held.block != *block {
+                        match held.ttl_ms {
+                            None => report.violations.push(Violation::LockOverlap {
+                                object: *object,
+                                holder: held.block,
+                                claimant: *block,
+                            }),
+                            Some(ttl) => {
+                                let expires = held.last_active_ms.saturating_add(ttl);
+                                if expires > *now_ms {
+                                    report.violations.push(Violation::LeaseOverlap {
+                                        object: *object,
+                                        holder: held.block,
+                                        claimant: *block,
+                                        remaining_ms: expires - *now_ms,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                if !granted.contains(block) {
+                    if denied.contains(block) {
+                        report
+                            .violations
+                            .push(Violation::DeniedMoverMutatedPlacement {
+                                object: *object,
+                                block: *block,
+                            });
+                    } else {
+                        report.violations.push(Violation::LockWithoutGrant {
+                            object: *object,
+                            block: *block,
+                        });
+                    }
+                }
+                locks.insert(
+                    *object,
+                    HeldLock {
+                        block: *block,
+                        last_active_ms: *now_ms,
+                        ttl_ms: *ttl_ms,
+                    },
+                );
+            }
+            EventKind::LeaseRenewed { object, now_ms } => {
+                if let Some(held) = locks.get_mut(object) {
+                    // the lease table only extends live leases; mirror that
+                    let live = held
+                        .ttl_ms
+                        .is_none_or(|ttl| held.last_active_ms.saturating_add(ttl) > *now_ms);
+                    if live {
+                        held.last_active_ms = *now_ms;
+                    }
+                }
+            }
+            EventKind::LockReleased { object, block, .. } => match locks.get(object) {
+                Some(held) if held.block == *block => {
+                    locks.remove(object);
+                }
+                other => {
+                    report.violations.push(Violation::ReleaseMismatch {
+                        object: *object,
+                        block: *block,
+                        holder: other.map(|h| h.block),
+                    });
+                }
+            },
+            EventKind::ClosureBegin { main, to, members } => {
+                closures.push(PendingClosure {
+                    main: *main,
+                    to: *to,
+                    process: ev.process,
+                    remaining: members.iter().copied().collect(),
+                    shipped_any_member: false,
+                });
+            }
+            EventKind::MoveRequested { .. }
+            | EventKind::SurrenderRequested { .. }
+            | EventKind::Attach { .. }
+            | EventKind::Detach { .. }
+            | EventKind::Crash { .. }
+            | EventKind::Restart { .. } => {}
+        }
+    }
+
+    // a closure whose members departed but whose main object never shipped
+    // was torn by a mid-migration failure
+    for pc in &closures {
+        if pc.shipped_any_member {
+            report.violations.push(Violation::ClosureTorn {
+                main: pc.main,
+                to: pc.to,
+            });
+        }
+    }
+
+    report.processes = processes.len();
+    report.objects = objects.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn obj(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn blk(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+    fn install(p: u32, o: u32) -> TraceEvent {
+        TraceEvent::new(p, EventKind::Install { object: obj(o) })
+    }
+    fn ship(p: u32, o: u32, to: u32) -> TraceEvent {
+        TraceEvent::new(
+            p,
+            EventKind::Ship {
+                object: obj(o),
+                to: NodeId::new(to),
+            },
+        )
+    }
+    fn send(p: u32, id: u64, to: u32) -> TraceEvent {
+        TraceEvent::new(
+            p,
+            EventKind::Send {
+                msg_id: id,
+                to,
+                desc: String::new(),
+            },
+        )
+    }
+    fn recv(p: u32, id: u64) -> TraceEvent {
+        TraceEvent::new(p, EventKind::Recv { msg_id: id })
+    }
+
+    #[test]
+    fn clean_migration_passes() {
+        let trace = vec![
+            install(0, 1),
+            ship(0, 1, 2),
+            send(0, 9, 2),
+            recv(2, 9),
+            install(2, 1),
+        ];
+        let report = check_trace(&trace);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.objects, 1);
+    }
+
+    #[test]
+    fn install_without_causal_ship_is_flagged() {
+        // the ship and install are on different processes with no message
+        // edge between them: concurrent, hence non-causal
+        let trace = vec![install(0, 1), ship(0, 1, 2), install(2, 1)];
+        let report = check_trace(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::NonCausalInstall { .. }]
+        ));
+    }
+
+    #[test]
+    fn misrouted_install_is_flagged() {
+        let trace = vec![
+            install(0, 1),
+            ship(0, 1, 2),
+            send(0, 9, 3),
+            recv(3, 9),
+            install(3, 1),
+        ];
+        let report = check_trace(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::MisroutedInstall { .. }]
+        ));
+    }
+
+    #[test]
+    fn ship_of_unhosted_object_is_flagged() {
+        let trace = vec![ship(0, 1, 2)];
+        let report = check_trace(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ShipWithoutResidency { .. }]
+        ));
+    }
+
+    #[test]
+    fn reinstall_at_same_node_is_a_refresh() {
+        // crash-stash reclamation reinstalls at the same host
+        let trace = vec![install(0, 1), install(0, 1)];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn lock_lifecycle_is_clean() {
+        let trace = vec![
+            TraceEvent::new(
+                0,
+                EventKind::MoveGranted {
+                    object: obj(1),
+                    block: blk(0),
+                },
+            ),
+            TraceEvent::new(
+                0,
+                EventKind::LockAcquired {
+                    object: obj(1),
+                    block: blk(0),
+                    now_ms: 0,
+                    ttl_ms: Some(100),
+                },
+            ),
+            TraceEvent::new(
+                0,
+                EventKind::LeaseRenewed {
+                    object: obj(1),
+                    now_ms: 50,
+                },
+            ),
+            TraceEvent::new(
+                0,
+                EventKind::LockReleased {
+                    object: obj(1),
+                    block: blk(0),
+                    cause: crate::event::ReleaseCause::End,
+                },
+            ),
+        ];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn acquire_after_expiry_is_sound() {
+        let trace = vec![
+            TraceEvent::new(
+                0,
+                EventKind::MoveGranted {
+                    object: obj(1),
+                    block: blk(0),
+                },
+            ),
+            TraceEvent::new(
+                0,
+                EventKind::LockAcquired {
+                    object: obj(1),
+                    block: blk(0),
+                    now_ms: 0,
+                    ttl_ms: Some(100),
+                },
+            ),
+            TraceEvent::new(
+                0,
+                EventKind::MoveGranted {
+                    object: obj(1),
+                    block: blk(1),
+                },
+            ),
+            // 100 ms TTL, acquired at 0, next grant at 150: lease had expired
+            TraceEvent::new(
+                0,
+                EventKind::LockAcquired {
+                    object: obj(1),
+                    block: blk(1),
+                    now_ms: 150,
+                    ttl_ms: Some(100),
+                },
+            ),
+        ];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn duplicate_grant_then_deny_is_not_a_denied_mutation() {
+        // a duplicated move-request: first copy granted (lock taken), the
+        // second copy denied — the block appears in both sets, but the lock
+        // acquisition is explained by the grant
+        let trace = vec![
+            TraceEvent::new(
+                0,
+                EventKind::MoveGranted {
+                    object: obj(1),
+                    block: blk(0),
+                },
+            ),
+            TraceEvent::new(
+                0,
+                EventKind::LockAcquired {
+                    object: obj(1),
+                    block: blk(0),
+                    now_ms: 0,
+                    ttl_ms: None,
+                },
+            ),
+            TraceEvent::new(
+                0,
+                EventKind::MoveDenied {
+                    object: obj(1),
+                    block: blk(0),
+                },
+            ),
+        ];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn closure_members_shipping_before_main_pass() {
+        let trace = vec![
+            install(0, 1),
+            install(0, 2),
+            TraceEvent::new(
+                0,
+                EventKind::ClosureBegin {
+                    main: obj(1),
+                    to: NodeId::new(2),
+                    members: vec![obj(2)],
+                },
+            ),
+            ship(0, 2, 2),
+            ship(0, 1, 2),
+        ];
+        let report = check_trace(&trace);
+        // non-causal installs are absent because nothing installed yet; the
+        // closure itself is clean
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn closure_member_left_behind_is_flagged() {
+        let trace = vec![
+            install(0, 1),
+            install(0, 2),
+            TraceEvent::new(
+                0,
+                EventKind::ClosureBegin {
+                    main: obj(1),
+                    to: NodeId::new(2),
+                    members: vec![obj(2)],
+                },
+            ),
+            // main ships without the member
+            ship(0, 1, 2),
+        ];
+        let report = check_trace(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ClosureMemberLeftBehind { .. }]
+        ));
+    }
+
+    #[test]
+    fn torn_closure_is_flagged() {
+        let trace = vec![
+            install(0, 1),
+            install(0, 2),
+            TraceEvent::new(
+                0,
+                EventKind::ClosureBegin {
+                    main: obj(1),
+                    to: NodeId::new(2),
+                    members: vec![obj(2)],
+                },
+            ),
+            // the member departs but the main object never does
+            ship(0, 2, 2),
+        ];
+        let report = check_trace(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::ClosureTorn { .. }]
+        ));
+    }
+
+    #[test]
+    fn report_renders_violations() {
+        let trace = vec![install(0, 1), install(2, 1)];
+        let report = check_trace(&trace);
+        assert!(!report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("double residency"), "{text}");
+    }
+}

@@ -1,0 +1,217 @@
+//! The structured trace-event schema the runtime emits and the checker
+//! consumes.
+//!
+//! Every event belongs to a **process** — a node worker, or the client
+//! facade ([`CLIENT_PROCESS`]) — and the collector appends events in real
+//! time, so the slice of a trace belonging to one process is that process's
+//! program order. Cross-process edges come from [`EventKind::Send`] /
+//! [`EventKind::Recv`] pairs sharing a message id; the checker derives the
+//! happens-before partial order from exactly these two ingredients (see
+//! [`crate::vclock`]).
+//!
+//! The schema is deliberately close to the paper's vocabulary: move
+//! requests/grants/denials (§3.2), placement-lock acquire/release with lease
+//! timestamps (§3.2 + the lease recovery extension), attachment closure
+//! transfers (§3.3/§3.4), and residency transitions (ship/install) that the
+//! directory's immediate-update location management produces.
+
+use oml_core::ids::{BlockId, NodeId, ObjectId};
+
+/// The process id used for events emitted by the client facade (which is
+/// not a cluster node but still participates in the protocol).
+pub const CLIENT_PROCESS: u32 = u32::MAX;
+
+/// Why a placement lock stopped being held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseCause {
+    /// The holder's `end`-request arrived — the fast path.
+    End,
+    /// The lease ran out — the recovery path for lost end-requests.
+    LeaseExpiry,
+    /// The hosting node crashed and its volatile lock state was discarded.
+    Crash,
+}
+
+impl std::fmt::Display for ReleaseCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReleaseCause::End => f.write_str("end"),
+            ReleaseCause::LeaseExpiry => f.write_str("lease-expiry"),
+            ReleaseCause::Crash => f.write_str("crash"),
+        }
+    }
+}
+
+/// One protocol event. The comments name the runtime site that emits each.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A message left `from` towards node `to` (`Shared::send_from`). The
+    /// `msg_id` is unique per physical copy — a duplicated message produces
+    /// two sends with two ids.
+    Send {
+        /// Unique id of this physical message copy.
+        msg_id: u64,
+        /// Destination node (raw id).
+        to: u32,
+        /// Short description (the message's `Debug` rendering).
+        desc: String,
+    },
+    /// A node worker dequeued the message (`NodeWorker::run`).
+    Recv {
+        /// The id the matching [`EventKind::Send`] carried.
+        msg_id: u64,
+    },
+    /// The object became resident at the emitting node (create handler,
+    /// install handler, or crash-stash reclamation on restart).
+    Install {
+        /// The object now hosted here.
+        object: ObjectId,
+    },
+    /// The object stopped being resident at the emitting node: it was
+    /// linearized and sent towards `to` (`NodeWorker::ship`).
+    Ship {
+        /// The departing object.
+        object: ObjectId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// The client issued a move-request (`Cluster::move_block_in`).
+    MoveRequested {
+        /// The object the move names.
+        object: ObjectId,
+        /// The requester's node (the move's target).
+        to: NodeId,
+        /// The issuing move-block.
+        block: BlockId,
+    },
+    /// The policy granted a move (`NodeWorker::handle_move`).
+    MoveGranted {
+        /// The granted object.
+        object: ObjectId,
+        /// The granted block.
+        block: BlockId,
+    },
+    /// The policy denied a move (`NodeWorker::handle_move`).
+    MoveDenied {
+        /// The denied object.
+        object: ObjectId,
+        /// The denied block.
+        block: BlockId,
+    },
+    /// A placement lock was taken (`MovePolicy::on_installed` call sites).
+    LockAcquired {
+        /// The locked object.
+        object: ObjectId,
+        /// The holding block.
+        block: BlockId,
+        /// The cluster's lease clock at acquisition.
+        now_ms: u64,
+        /// The lease TTL, or `None` for never-expiring locks.
+        ttl_ms: Option<u64>,
+    },
+    /// A placement lock was released.
+    LockReleased {
+        /// The unlocked object.
+        object: ObjectId,
+        /// The block that held it.
+        block: BlockId,
+        /// Fast path, lease recovery, or crash cleanup.
+        cause: ReleaseCause,
+    },
+    /// Activity inside a granted block renewed its lease
+    /// (`NodeWorker::handle_invoke`).
+    LeaseRenewed {
+        /// The active object.
+        object: ObjectId,
+        /// The cluster's lease clock at renewal.
+        now_ms: u64,
+    },
+    /// An A-transitive closure migration began: `members` is the set of
+    /// co-hosted, movable, unpinned objects the runtime committed to ship
+    /// together with `main` (`NodeWorker::migrate_closure`).
+    ClosureBegin {
+        /// The object whose move dragged the closure.
+        main: ObjectId,
+        /// The common destination.
+        to: NodeId,
+        /// Locally hosted members that must ship with `main`.
+        members: Vec<ObjectId>,
+    },
+    /// A remotely hosted closure member was asked to surrender (best-effort:
+    /// the remote host skips it if the member has already moved on).
+    SurrenderRequested {
+        /// The remote member.
+        member: ObjectId,
+        /// The closure's destination.
+        to: NodeId,
+    },
+    /// `attach(a, b)` succeeded (client facade).
+    Attach {
+        /// Attached object.
+        a: ObjectId,
+        /// Attachment target.
+        b: ObjectId,
+    },
+    /// `detach(a, b)` removed an edge (client facade).
+    Detach {
+        /// Detached object.
+        a: ObjectId,
+        /// Former attachment target.
+        b: ObjectId,
+    },
+    /// A node crashed (scripted fault).
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node restarted.
+    Restart {
+        /// The restarted node.
+        node: NodeId,
+    },
+}
+
+/// One event in a collected trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The emitting process: a node's raw id, or [`CLIENT_PROCESS`].
+    pub process: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(process: u32, kind: EventKind) -> Self {
+        TraceEvent { process, kind }
+    }
+}
+
+/// Renders a process id the way traces print them.
+#[must_use]
+pub fn process_name(process: u32) -> String {
+    if process == CLIENT_PROCESS {
+        "client".to_owned()
+    } else {
+        format!("n{process}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_names_distinguish_client() {
+        assert_eq!(process_name(CLIENT_PROCESS), "client");
+        assert_eq!(process_name(3), "n3");
+    }
+
+    #[test]
+    fn release_causes_display() {
+        assert_eq!(ReleaseCause::End.to_string(), "end");
+        assert_eq!(ReleaseCause::LeaseExpiry.to_string(), "lease-expiry");
+        assert_eq!(ReleaseCause::Crash.to_string(), "crash");
+    }
+}

@@ -1,0 +1,31 @@
+//! oml-check — protocol invariant and race checker for the migration
+//! runtime.
+//!
+//! Two analysis engines:
+//!
+//! 1. **Trace invariant checker** ([`checker::check_trace`]): consumes the
+//!    structured event traces the runtime emits when built with tracing
+//!    enabled, derives the happens-before partial order from vector clocks
+//!    ([`vclock`]), and verifies the paper's safety invariants — single
+//!    residency, place-lock exclusivity (denied movers never mutate
+//!    placement), closure atomicity, and lease soundness.
+//! 2. **Lock-order analyzer** ([`lockorder`]): a debug-build recorder over
+//!    the runtime's named `Mutex`/`RwLock` sites that accumulates the lock
+//!    acquisition graph and fails on cycles (potential deadlocks), with an
+//!    allowlist check so undocumented nestings fail CI.
+//!
+//! The crate depends only on `oml-core` (for the id newtypes) and performs
+//! no I/O: the runtime emits, this crate judges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+
+pub mod checker;
+pub mod event;
+pub mod lockorder;
+pub mod vclock;
+
+pub use checker::{check_trace, CheckReport, Violation};
+pub use event::{process_name, EventKind, ReleaseCause, TraceEvent, CLIENT_PROCESS};
+pub use vclock::{assign_clocks, VClock};

@@ -675,6 +675,8 @@ mod tests {
     fn obj(i: u32) -> ObjectId {
         ObjectId::new(i)
     }
+    // wrapped so call sites read like the `Option<AllianceId>` parameters
+    #[allow(clippy::unnecessary_wraps)]
     fn ally(i: u32) -> Option<AllianceId> {
         Some(AllianceId::new(i))
     }

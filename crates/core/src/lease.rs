@@ -155,6 +155,20 @@ impl LeaseTable {
         }
     }
 
+    /// Unconditionally releases `object`'s lock, returning the holder it
+    /// displaced (live or expired).
+    ///
+    /// This is the crash-cleanup path: when a node fails, the lock state it
+    /// hosted is volatile and dies with it, so the substrate forcibly frees
+    /// the locks of every object stranded on the crashed node — no holder
+    /// check, because the holder's end-request can never arrive.
+    pub fn force_release(&mut self, object: ObjectId) -> Option<BlockId> {
+        self.entries
+            .get_mut(object.index())
+            .and_then(Option::take)
+            .map(|e| e.block)
+    }
+
     /// Extends `object`'s lease to `now_ms + ttl` if it is currently held.
     /// Returns whether a live lease was renewed.
     pub fn renew(&mut self, object: ObjectId, now_ms: u64) -> bool {
@@ -344,5 +358,20 @@ mod tests {
     #[should_panic(expected = "positive duration")]
     fn zero_ttl_rejected() {
         let _ = LeaseTable::with_ttl_ms(0);
+    }
+
+    #[test]
+    fn force_release_frees_live_and_expired_entries() {
+        let mut t = LeaseTable::with_ttl_ms(10);
+        let (o, b) = ids(0, 7);
+        t.acquire(o, b, 0);
+        assert_eq!(t.force_release(o), Some(b));
+        assert_eq!(t.holder(o), None);
+        assert_eq!(t.force_release(o), None);
+        // an expired entry is still reported, so crash cleanup can log it
+        t.acquire(o, b, 0);
+        t.touch(100);
+        assert_eq!(t.holder(o), None);
+        assert_eq!(t.force_release(o), Some(b));
     }
 }

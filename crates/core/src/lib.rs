@@ -52,6 +52,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+// numeric casts are pervasive in the id newtypes and cost model; the rest
+// are style calls this crate deliberately makes (documented per-lint)
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::elidable_lifetime_names,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    clippy::must_use_candidate,
+    clippy::wildcard_imports
+)]
 
 pub mod alliance;
 pub mod attach;

@@ -175,12 +175,23 @@ impl MovePolicy for TransientPlacement {
         self.locks.holder(object).is_some()
     }
 
+    fn lease_ttl_ms(&self) -> Option<u64> {
+        self.locks.ttl_ms()
+    }
+
     fn renew_lease(&mut self, object: ObjectId, now_ms: u64) {
         let _ = self.locks.renew(object, now_ms);
     }
 
     fn expire_leases(&mut self, now_ms: u64) -> Vec<(ObjectId, BlockId)> {
         self.locks.advance(now_ms)
+    }
+
+    fn release_locks_for(&mut self, objects: &[ObjectId]) -> Vec<(ObjectId, BlockId)> {
+        objects
+            .iter()
+            .filter_map(|&o| self.locks.force_release(o).map(|b| (o, b)))
+            .collect()
     }
 
     fn held_locks(&self) -> Vec<(ObjectId, BlockId)> {
@@ -339,6 +350,22 @@ impl ComparingCore {
         expired
     }
 
+    /// Crash cleanup: like lease expiry, but for an explicit object set and
+    /// without waiting for a TTL — the holder node is gone, its blocks will
+    /// never end, and their ledger entries must retire with the locks.
+    fn release_locks_for(&mut self, objects: &[ObjectId]) -> Vec<(ObjectId, BlockId)> {
+        let mut released = Vec::new();
+        for &object in objects {
+            if let Some(block) = self.locks.force_release(object) {
+                if let Some(node) = self.take_holder_node(object) {
+                    self.ledger.record_end(object, node);
+                }
+                released.push((object, block));
+            }
+        }
+        released
+    }
+
     /// Clears and returns the recorded holder node of `object`.
     fn take_holder_node(&mut self, object: ObjectId) -> Option<NodeId> {
         let slot = self.holder_node.get_mut(object.index())?;
@@ -402,12 +429,20 @@ impl MovePolicy for CompareNodes {
         self.core.is_pinned(object)
     }
 
+    fn lease_ttl_ms(&self) -> Option<u64> {
+        self.core.locks.ttl_ms()
+    }
+
     fn renew_lease(&mut self, object: ObjectId, now_ms: u64) {
         self.core.renew_lease(object, now_ms);
     }
 
     fn expire_leases(&mut self, now_ms: u64) -> Vec<(ObjectId, BlockId)> {
         self.core.expire_leases(now_ms)
+    }
+
+    fn release_locks_for(&mut self, objects: &[ObjectId]) -> Vec<(ObjectId, BlockId)> {
+        self.core.release_locks_for(objects)
     }
 
     fn held_locks(&self) -> Vec<(ObjectId, BlockId)> {
@@ -482,12 +517,20 @@ impl MovePolicy for CompareAndReinstantiate {
         self.core.is_pinned(object)
     }
 
+    fn lease_ttl_ms(&self) -> Option<u64> {
+        self.core.locks.ttl_ms()
+    }
+
     fn renew_lease(&mut self, object: ObjectId, now_ms: u64) {
         self.core.renew_lease(object, now_ms);
     }
 
     fn expire_leases(&mut self, now_ms: u64) -> Vec<(ObjectId, BlockId)> {
         self.core.expire_leases(now_ms)
+    }
+
+    fn release_locks_for(&mut self, objects: &[ObjectId]) -> Vec<(ObjectId, BlockId)> {
+        self.core.release_locks_for(objects)
     }
 
     fn held_locks(&self) -> Vec<(ObjectId, BlockId)> {
@@ -868,6 +911,47 @@ mod tests {
         // the stale end no longer holds the lock, so it must not trigger a
         // reinstantiation migration
         assert_eq!(p.on_end(&end(0, 2, 2, 0, true)), EndAction::None);
+    }
+
+    #[test]
+    fn placement_crash_release_frees_the_stranded_lock_immediately() {
+        let mut p = TransientPlacement::with_lease_ms(1_000);
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        let _ = p.on_move(&req(1, 1, 3, 1));
+        p.on_installed(obj(1), node(3), block(1));
+
+        // node 2 crashes hosting object 0: its lock is released at once,
+        // long before the lease would have expired; object 1 is untouched
+        let released = p.release_locks_for(&[obj(0)]);
+        assert_eq!(released, vec![(obj(0), block(0))]);
+        assert_eq!(p.lock_holder(obj(0)), None);
+        assert_eq!(p.lock_holder(obj(1)), Some(block(1)));
+        assert_eq!(p.on_move(&req(0, 2, 3, 2)), MoveDecision::Grant);
+
+        // the dead holder's end-request straggling in later is harmless
+        assert_eq!(p.on_end(&end(0, 2, 2, 0, true)), EndAction::None);
+    }
+
+    #[test]
+    fn comparing_crash_release_retires_the_ledger_entry_too() {
+        let mut p = CompareNodes::with_lease_ms(1_000);
+        let _ = p.on_move(&req(0, 1, 2, 0));
+        p.on_installed(obj(0), node(2), block(0));
+        assert_eq!(p.open_moves(obj(0), node(2)), 1);
+
+        let released = p.release_locks_for(&[obj(0)]);
+        assert_eq!(released, vec![(obj(0), block(0))]);
+        assert_eq!(p.open_moves(obj(0), node(2)), 0);
+        assert!(!p.is_pinned(obj(0)));
+        // a fresh mover is not outvoted by the dead node's stale entry
+        assert_eq!(p.on_move(&req(0, 2, 3, 1)), MoveDecision::Grant);
+    }
+
+    #[test]
+    fn crash_release_on_lock_free_policies_is_a_no_op() {
+        let mut p = ConventionalMigration::new();
+        assert_eq!(p.release_locks_for(&[obj(0), obj(1)]), Vec::new());
     }
 
     #[test]

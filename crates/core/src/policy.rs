@@ -123,6 +123,25 @@ pub trait MovePolicy: fmt::Debug + Send {
         Vec::new()
     }
 
+    /// The lease TTL of this policy's placement locks: `Some(ms)` when its
+    /// locks expire after `ms` of inactivity, `None` for never-expiring
+    /// locks and lock-free policies. Diagnostics and trace instrumentation
+    /// read this; it never influences decisions.
+    fn lease_ttl_ms(&self) -> Option<u64> {
+        None
+    }
+
+    /// The node hosting `objects` crashed. Placement locks on those objects
+    /// were volatile state of the dead host: the blocks that held them ran
+    /// there and their end-requests can never arrive, so the policy must
+    /// release them now rather than leave the objects locked until lease
+    /// expiry (or forever, without a TTL). Returns the `(object, block)`
+    /// pairs actually released. Lock-free policies release nothing.
+    fn release_locks_for(&mut self, objects: &[ObjectId]) -> Vec<(ObjectId, BlockId)> {
+        let _ = objects;
+        Vec::new()
+    }
+
     /// The placement locks currently held, for diagnostics and invariant
     /// checks. Lock-free policies return an empty list.
     fn held_locks(&self) -> Vec<(ObjectId, BlockId)> {

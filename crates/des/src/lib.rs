@@ -46,6 +46,23 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+// the simulation engine converts between times, counts and floats freely;
+// the remaining allows are deliberate style choices
+#![allow(
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::doc_markdown,
+    clippy::elidable_lifetime_names,
+    clippy::float_cmp,
+    clippy::items_after_statements,
+    clippy::manual_midpoint,
+    clippy::missing_panics_doc,
+    clippy::return_self_not_must_use,
+    clippy::unreadable_literal
+)]
 
 mod engine;
 mod queue;

@@ -19,6 +19,9 @@
 //!   visit      §2.3 ablation: move blocks vs visit blocks
 //!   location   §4.1 ablation: the four object-location mechanisms
 //!   faults     robustness extension: degradation under message loss
+//!   check      replay seeded chaos schedules with protocol tracing on and
+//!              verify the paper's invariants plus the lock-order graph
+//!              (--seeds chaos | --seeds N,M,... to pick the schedules)
 //!   bench      fixed quick-precision perf suite; writes BENCH_02.json
 //!   <file.csv> replot a previously saved result (no re-run)
 //!   custom     run a scenario loaded with --scenario FILE (key = value
@@ -33,6 +36,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use oml_experiments::bench::{render_bench_json, run_bench_suite};
+use oml_experiments::check::{
+    audit_lock_order, exercise_lock_sites, replay_chaos_seeds, CHAOS_SEEDS,
+};
 use oml_experiments::experiments::{
     break_even_scaling, egoism, faults, fig12, fig14, fig16, fig16_exclusive, fig4_cost, fig8,
     location_ablation, topology_ablation, visit_ablation, RunOptions,
@@ -48,6 +54,7 @@ struct Cli {
     svg_dir: Option<PathBuf>,
     plot: bool,
     scenario: Option<PathBuf>,
+    seeds: Option<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -58,6 +65,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut svg_dir = None;
     let mut plot = false;
     let mut scenario = None;
+    let mut seeds = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -89,6 +97,9 @@ fn parse_args() -> Result<Cli, String> {
                 let v = args.next().ok_or("--scenario needs a file")?;
                 scenario = Some(PathBuf::from(v));
             }
+            "--seeds" => {
+                seeds = Some(args.next().ok_or("--seeds needs `chaos` or N,M,...")?);
+            }
             "--svg" => {
                 let v = args.next().ok_or("--svg needs a directory")?;
                 svg_dir = Some(PathBuf::from(v));
@@ -100,7 +111,7 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
-    if !precision_set {
+    if !precision_set && experiment.as_deref() != Some("check") {
         eprintln!(
             "(no precision flag given; defaulting to --quick — use --paper for the 1%/p=0.99 rule)"
         );
@@ -112,6 +123,7 @@ fn parse_args() -> Result<Cli, String> {
         svg_dir,
         plot,
         scenario,
+        seeds,
     })
 }
 
@@ -183,6 +195,77 @@ fn emit(result: &ExperimentResult, cli: &Cli) {
     }
 }
 
+/// Replays the requested chaos seeds with tracing on, prints every
+/// checker verdict and the lock-order audit, and reports overall success.
+fn run_check(seeds_arg: Option<&str>) -> ExitCode {
+    let seeds: Vec<u64> = match seeds_arg {
+        None | Some("chaos") => CHAOS_SEEDS.to_vec(),
+        Some(list) => {
+            let mut parsed = Vec::new();
+            for part in list.split(',') {
+                let part = part.trim();
+                let seed = if let Some(hex) = part.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    part.parse()
+                };
+                match seed {
+                    Ok(s) => parsed.push(s),
+                    Err(_) => {
+                        eprintln!("error: bad seed in --seeds: {part}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            parsed
+        }
+    };
+
+    println!("# repro check — protocol invariants under seeded chaos");
+    let mut clean = true;
+    for outcome in replay_chaos_seeds(&seeds) {
+        println!("\nseed {:#x}:", outcome.seed);
+        println!("{}", outcome.report);
+        clean &= outcome.report.is_clean();
+    }
+
+    println!("\n# lock-order audit");
+    // a fault-free attach/migrate/crash scenario touches the lock sites the
+    // chaos schedules miss (attachments never occur under chaos)
+    let attach_report = exercise_lock_sites();
+    println!("attach scenario: {}", attach_report);
+    clean &= attach_report.is_clean();
+    let audit = audit_lock_order();
+    if audit.edges.is_empty() {
+        if cfg!(debug_assertions) {
+            println!("no lock nestings observed");
+        } else {
+            println!("(release build: lock-order recording is compiled out; run a debug build for the graph)");
+        }
+    } else {
+        print!("{}", oml_check::lockorder::render_edges(&audit.edges));
+    }
+    if let Some(cycle) = &audit.cycle {
+        eprintln!("lock-order CYCLE: {}", cycle.join(" -> "));
+        clean = false;
+    }
+    if !audit.unknown.is_empty() {
+        eprintln!(
+            "undocumented lock nesting(s): {:?} — review and add to KNOWN_LOCK_ORDER + DESIGN.md §10",
+            audit.unknown
+        );
+        clean = false;
+    }
+
+    if clean {
+        println!("\nall invariants hold across {} seed(s)", seeds.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nviolations found");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let cli = match parse_args() {
         Ok(cli) => cli,
@@ -191,8 +274,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|...|all> \
-                 [--quick|--paper] [--seed N] [--csv DIR] [--svg DIR] [--plot]"
+                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|check|...|all> \
+                 [--quick|--paper] [--seed N] [--seeds chaos|N,M,...] [--csv DIR] [--svg DIR] [--plot]"
             );
             return ExitCode::FAILURE;
         }
@@ -232,6 +315,7 @@ fn main() -> ExitCode {
     };
 
     match cli.experiment.as_str() {
+        "check" => run_check(cli.seeds.as_deref()),
         "bench" => {
             // The bench suite is the tracked baseline: always quick precision
             // and one thread, whatever flags were given, so numbers stay

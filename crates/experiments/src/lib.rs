@@ -20,8 +20,38 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+// experiment sweeps cast between counts, axes and float metrics; the rest
+// are deliberate style choices
+#![allow(
+    clippy::assigning_clones,
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::doc_markdown,
+    clippy::elidable_lifetime_names,
+    clippy::float_cmp,
+    clippy::items_after_statements,
+    clippy::manual_midpoint,
+    clippy::map_unwrap_or,
+    clippy::missing_errors_doc,
+    clippy::missing_fields_in_debug,
+    clippy::missing_panics_doc,
+    clippy::must_use_candidate,
+    clippy::needless_pass_by_value,
+    clippy::redundant_closure_for_method_calls,
+    clippy::return_self_not_must_use,
+    clippy::similar_names,
+    clippy::single_match_else,
+    clippy::too_many_lines,
+    clippy::unnecessary_semicolon,
+    clippy::unreadable_literal,
+    clippy::wildcard_imports
+)]
 
 pub mod bench;
+pub mod check;
 pub mod experiments;
 pub mod plot;
 pub mod result;

@@ -8,19 +8,20 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use oml_check::event::{EventKind, ReleaseCause, TraceEvent, CLIENT_PROCESS};
 use oml_core::alliance::AllianceRegistry;
 use oml_core::attach::{AttachOutcome, AttachmentGraph, AttachmentMode};
 use oml_core::error::AttachError;
 use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
 use oml_core::object::Mobility;
 use oml_core::policy::{MovePolicy, PolicyKind};
-use parking_lot::{Mutex, RwLock};
 
 use crate::error::RuntimeError;
 use crate::fault::{self, Delivery, FaultInjector, FaultPlan};
-use crate::message::{Message, MAX_HOPS};
+use crate::message::{Envelope, Message, MAX_HOPS};
 use crate::node::NodeWorker;
 use crate::object::{Delinearizer, MobileObject, TypeRegistry};
+use crate::trace::{OrderedMutex, OrderedRwLock, TraceCollector};
 
 /// Monotone activity counters, readable while the cluster runs.
 #[derive(Debug, Default)]
@@ -69,26 +70,29 @@ pub(crate) type StashedObject = (NodeId, ObjectId, Box<dyn MobileObject>);
 
 /// State shared by every node worker and the cluster facade.
 pub(crate) struct Shared {
-    senders: Vec<Sender<Message>>,
+    senders: Vec<Sender<Envelope>>,
     /// Kept so crashed nodes can be restarted on a clone of their receiver
     /// (and so queued messages survive a crash instead of disconnecting).
-    receivers: Vec<Receiver<Message>>,
-    directory: RwLock<HashMap<ObjectId, NodeId>>,
-    mobility: RwLock<HashMap<ObjectId, Mobility>>,
-    pub(crate) policy: Mutex<Box<dyn MovePolicy>>,
-    pub(crate) attachments: Mutex<AttachmentGraph>,
-    pub(crate) alliances: Mutex<AllianceRegistry>,
+    receivers: Vec<Receiver<Envelope>>,
+    directory: OrderedRwLock<HashMap<ObjectId, NodeId>>,
+    mobility: OrderedRwLock<HashMap<ObjectId, Mobility>>,
+    pub(crate) policy: OrderedMutex<Box<dyn MovePolicy>>,
+    pub(crate) attachments: OrderedMutex<AttachmentGraph>,
+    pub(crate) alliances: OrderedMutex<AllianceRegistry>,
     pub(crate) registry: TypeRegistry,
     pub(crate) counters: Counters,
     pub(crate) injector: FaultInjector,
     /// Objects stranded by a crashed worker, waiting for its restart.
-    pub(crate) stash: Mutex<Vec<StashedObject>>,
+    pub(crate) stash: OrderedMutex<Vec<StashedObject>>,
     pub(crate) clock: RuntimeClock,
+    /// Protocol trace collection (disabled unless built with
+    /// [`ClusterBuilder::trace`]).
+    pub(crate) trace: TraceCollector,
     call_timeout: Duration,
     invoke_retries: u32,
     /// SplitMix64 state for retry-backoff jitter (seeded from the fault
     /// plan, so even the jitter is reproducible).
-    jitter: Mutex<u64>,
+    jitter: OrderedMutex<u64>,
     next_object: AtomicU32,
     next_block: AtomicU32,
     /// Shutdown has been initiated: new client operations are refused, but
@@ -121,16 +125,17 @@ impl Shared {
         if self.down.load(Ordering::Acquire) {
             return Err(RuntimeError::ShuttingDown);
         }
+        let from_raw = from.map_or(fault::CLIENT, NodeId::as_u32);
         let faultable = matches!(
             msg,
             Message::Invoke { .. } | Message::MoveRequest { .. } | Message::EndRequest { .. }
         );
         if !faultable {
+            let env = self.trace_envelope(from_raw, to, msg);
             return self.senders[to.index()]
-                .send(msg)
+                .send(env)
                 .map_err(|_| RuntimeError::ShuttingDown);
         }
-        let from_raw = from.map_or(fault::CLIENT, NodeId::as_u32);
         let is_end = matches!(msg, Message::EndRequest { .. });
         match self
             .injector
@@ -141,10 +146,10 @@ impl Shared {
                 let mut msgs = Vec::with_capacity(copies as usize);
                 if copies > 1 {
                     if let Some(dup) = clone_control(&msg) {
-                        msgs.push(dup);
+                        msgs.push(self.trace_envelope(from_raw, to, dup));
                     }
                 }
-                msgs.push(msg);
+                msgs.push(self.trace_envelope(from_raw, to, msg));
                 let tx = self.senders[to.index()].clone();
                 if delay_ms > 0 {
                     // deliver later from a detached thread; a message landing
@@ -162,6 +167,29 @@ impl Shared {
                 }
                 Ok(())
             }
+        }
+    }
+
+    /// Wraps a message for the wire, assigning it a trace id and emitting
+    /// the matching `Send` event in the sender's program order. A duplicated
+    /// message passes through twice and gets two ids — two physical copies,
+    /// two sends, exactly what the happens-before construction expects.
+    fn trace_envelope(&self, from: u32, to: NodeId, msg: Message) -> Envelope {
+        if !self.trace.is_enabled() {
+            return Envelope::untraced(msg);
+        }
+        let msg_id = self.trace.next_msg_id();
+        self.trace.emit(
+            from,
+            EventKind::Send {
+                msg_id,
+                to: to.as_u32(),
+                desc: format!("{msg:?}"),
+            },
+        );
+        Envelope {
+            trace_id: msg_id,
+            msg,
         }
     }
 
@@ -230,6 +258,7 @@ fn clone_control(msg: &Message) -> Option<Message> {
             block,
             context,
             hops,
+            expires,
             reply,
         } => Some(Message::MoveRequest {
             object: *object,
@@ -237,6 +266,7 @@ fn clone_control(msg: &Message) -> Option<Message> {
             block: *block,
             context: *context,
             hops: *hops,
+            expires: *expires,
             reply: reply.clone(),
         }),
         Message::EndRequest {
@@ -272,6 +302,7 @@ pub struct ClusterBuilder {
     invoke_retries: u32,
     lease_ms: Option<u64>,
     manual_clock: bool,
+    trace: bool,
 }
 
 impl ClusterBuilder {
@@ -360,6 +391,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables protocol trace collection: every node (and the client
+    /// facade) records the structured events `oml-check` replays —
+    /// sends/receives with message ids, residency transitions, move
+    /// decisions, lock and lease activity, closure transfers, crashes.
+    /// Drain the trace with [`Cluster::take_trace`] and feed it to
+    /// [`oml_check::check_trace`].
+    #[must_use]
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
     /// Spawns the node threads and returns the running cluster.
     #[must_use]
     pub fn build(self) -> Cluster {
@@ -380,23 +423,27 @@ impl ClusterBuilder {
         let shared = Arc::new(Shared {
             senders,
             receivers,
-            directory: RwLock::new(HashMap::new()),
-            mobility: RwLock::new(HashMap::new()),
-            policy: Mutex::new(policy),
-            attachments: Mutex::new(AttachmentGraph::new(self.attachment_mode)),
-            alliances: Mutex::new(AllianceRegistry::new()),
+            directory: OrderedRwLock::new("shared.directory", HashMap::new()),
+            mobility: OrderedRwLock::new("shared.mobility", HashMap::new()),
+            policy: OrderedMutex::new("shared.policy", policy),
+            attachments: OrderedMutex::new(
+                "shared.attachments",
+                AttachmentGraph::new(self.attachment_mode),
+            ),
+            alliances: OrderedMutex::new("shared.alliances", AllianceRegistry::new()),
             registry: TypeRegistry::new(),
             counters: Counters::default(),
             injector: FaultInjector::new(plan),
-            stash: Mutex::new(Vec::new()),
+            stash: OrderedMutex::new("shared.stash", Vec::new()),
             clock: if self.manual_clock {
                 RuntimeClock::Manual(AtomicU64::new(0))
             } else {
                 RuntimeClock::Wall(Instant::now())
             },
+            trace: TraceCollector::new(self.trace),
             call_timeout: self.call_timeout,
             invoke_retries: self.invoke_retries,
-            jitter: Mutex::new(jitter_seed),
+            jitter: OrderedMutex::new("shared.jitter", jitter_seed),
             next_object: AtomicU32::new(0),
             next_block: AtomicU32::new(0),
             closing: AtomicBool::new(false),
@@ -407,7 +454,7 @@ impl ClusterBuilder {
             .collect();
         Cluster {
             shared,
-            handles: Mutex::new(handles),
+            handles: OrderedMutex::new("cluster.handles", handles),
         }
     }
 }
@@ -425,7 +472,7 @@ fn spawn_worker(shared: &Arc<Shared>, id: NodeId) -> JoinHandle<()> {
 pub struct Cluster {
     shared: Arc<Shared>,
     /// One slot per node; `None` while that node is crashed.
-    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    handles: OrderedMutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 impl Cluster {
@@ -442,6 +489,7 @@ impl Cluster {
             invoke_retries: 2,
             lease_ms: None,
             manual_clock: false,
+            trace: false,
         }
     }
 
@@ -592,6 +640,10 @@ impl Cluster {
             .directory_get(object)
             .ok_or(RuntimeError::UnknownObject(object))?;
         let block = BlockId::new(self.shared.next_block.fetch_add(1, Ordering::Relaxed));
+        self.shared.trace.emit(
+            CLIENT_PROCESS,
+            EventKind::MoveRequested { object, to, block },
+        );
         let (reply, rx) = unbounded();
         self.shared.send_from(
             None,
@@ -602,13 +654,15 @@ impl Cluster {
                 block,
                 context,
                 hops: MAX_HOPS,
+                // the request carries the same deadline await_reply enforces:
+                // a node that sees it later than this denies it, so a move
+                // this caller gave up on can never be granted behind its back
+                expires: Instant::now() + self.shared.call_timeout,
                 reply,
             },
         )?;
         // one attempt only: a move is not idempotent (re-sending could
-        // grant twice under two blocks). On timeout the request may still
-        // be in flight and later granted — the lease, not this caller,
-        // then releases the orphaned lock.
+        // grant twice under two blocks)
         let granted = self.await_reply(&rx)??;
         Ok(MoveGuard {
             cluster: self,
@@ -778,16 +832,30 @@ impl Cluster {
         to: ObjectId,
         context: Option<AllianceId>,
     ) -> Result<AttachOutcome, AttachError> {
-        let alliances = self.shared.alliances.lock();
-        self.shared
-            .attachments
-            .lock()
-            .attach_checked(object, to, context, &alliances)
+        let outcome = {
+            let alliances = self.shared.alliances.lock();
+            self.shared
+                .attachments
+                .lock()
+                .attach_checked(object, to, context, &alliances)
+        };
+        if outcome.is_ok() {
+            self.shared
+                .trace
+                .emit(CLIENT_PROCESS, EventKind::Attach { a: object, b: to });
+        }
+        outcome
     }
 
     /// `detach(object, to)`; returns whether an edge was removed.
     pub fn detach(&self, object: ObjectId, to: ObjectId) -> bool {
-        self.shared.attachments.lock().detach(object, to)
+        let removed = self.shared.attachments.lock().detach(object, to);
+        if removed {
+            self.shared
+                .trace
+                .emit(CLIENT_PROCESS, EventKind::Detach { a: object, b: to });
+        }
+        removed
     }
 
     /// Creates an alliance.
@@ -814,6 +882,11 @@ impl Cluster {
     /// [`Cluster::restart_node`]; until then, calls against its objects
     /// time out. Idempotent — crashing a crashed node is a no-op.
     ///
+    /// Placement locks on the stashed objects were *volatile* state of the
+    /// dead host: the blocks holding them ran there and their end-requests
+    /// can never arrive, so the policy releases them here instead of leaving
+    /// the objects locked until lease expiry (or forever, without a TTL).
+    ///
     /// # Errors
     ///
     /// [`RuntimeError::UnknownNode`] for an out-of-range node.
@@ -825,9 +898,37 @@ impl Cluster {
         };
         // the crash command bypasses the injector: it is scripted, not a
         // message fault
-        let _ = self.shared.senders[node.index()].send(Message::Crash);
+        let _ = self.shared.senders[node.index()].send(Envelope::untraced(Message::Crash));
         let _ = handle.join();
         self.shared.injector.note(format!("crash {node}"));
+        self.shared
+            .trace
+            .emit(CLIENT_PROCESS, EventKind::Crash { node });
+        // the worker has stashed its objects (join() ordered that before
+        // this read); release the locks their dead blocks held
+        let stranded: Vec<ObjectId> = {
+            let stash = self.shared.stash.lock();
+            stash
+                .iter()
+                .filter(|(home, _, _)| *home == node)
+                .map(|&(_, object, _)| object)
+                .collect()
+        };
+        if !stranded.is_empty() {
+            // emitted under the policy guard: lock-state events are ordered
+            // by the policy mutex so the trace mirrors the lock table
+            let mut policy = self.shared.policy.lock();
+            for (object, block) in policy.release_locks_for(&stranded) {
+                self.shared.trace.emit(
+                    CLIENT_PROCESS,
+                    EventKind::LockReleased {
+                        object,
+                        block,
+                        cause: ReleaseCause::Crash,
+                    },
+                );
+            }
+        }
         Ok(())
     }
 
@@ -845,6 +946,9 @@ impl Cluster {
             return Ok(());
         }
         self.shared.injector.note(format!("restart {node}"));
+        self.shared
+            .trace
+            .emit(CLIENT_PROCESS, EventKind::Restart { node });
         handles[node.index()] = Some(spawn_worker(&self.shared, node));
         Ok(())
     }
@@ -888,6 +992,21 @@ impl Cluster {
         self.shared.injector.trace()
     }
 
+    /// Whether protocol tracing is enabled ([`ClusterBuilder::trace`]).
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.shared.trace.is_enabled()
+    }
+
+    /// Drains the protocol trace collected so far — the structured event
+    /// stream [`oml_check::check_trace`] verifies. Call after quiescing the
+    /// cluster ([`Cluster::shutdown`]) for a complete picture; each process's
+    /// slice of the returned vector is that process's program order.
+    #[must_use]
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.shared.trace.take()
+    }
+
     /// The placement locks the policy currently holds — for invariant
     /// checks ("no leaked locks after quiescence").
     #[must_use]
@@ -900,7 +1019,21 @@ impl Cluster {
     /// that want the sweep *now*.
     pub fn sweep_leases(&self) -> Vec<(ObjectId, BlockId)> {
         let now = self.shared.now_ms();
-        let expired = self.shared.policy.lock().expire_leases(now);
+        let expired = {
+            let mut policy = self.shared.policy.lock();
+            let expired = policy.expire_leases(now);
+            for &(object, block) in &expired {
+                self.shared.trace.emit(
+                    CLIENT_PROCESS,
+                    EventKind::LockReleased {
+                        object,
+                        block,
+                        cause: ReleaseCause::LeaseExpiry,
+                    },
+                );
+            }
+            expired
+        };
         self.shared
             .counters
             .leases_expired
@@ -935,7 +1068,7 @@ impl Cluster {
             return;
         }
         for tx in &self.shared.senders {
-            let _ = tx.send(Message::Shutdown);
+            let _ = tx.send(Envelope::untraced(Message::Shutdown));
         }
         for handle in self.handles.lock().iter_mut().filter_map(Option::take) {
             let _ = handle.join();

@@ -26,8 +26,8 @@
 //! sequential caller produces an identical fault schedule — and an identical
 //! [`FaultInjector::trace`] — on every run with the same seed.
 
+use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::Mutex;
 
 use oml_core::ids::NodeId;
 
@@ -190,26 +190,18 @@ impl FaultInjector {
     }
 
     pub(crate) fn partition(&self, a: NodeId, b: NodeId) {
-        self.partitions
-            .lock()
-            .unwrap()
-            .insert(Self::normalize(a, b));
+        self.partitions.lock().insert(Self::normalize(a, b));
         self.note(format!("partition {a}<->{b}"));
     }
 
     pub(crate) fn heal(&self, a: NodeId, b: NodeId) {
-        if self
-            .partitions
-            .lock()
-            .unwrap()
-            .remove(&Self::normalize(a, b))
-        {
+        if self.partitions.lock().remove(&Self::normalize(a, b)) {
             self.note(format!("heal {a}<->{b}"));
         }
     }
 
     pub(crate) fn heal_all(&self) {
-        let mut parts = self.partitions.lock().unwrap();
+        let mut parts = self.partitions.lock();
         if !parts.is_empty() {
             parts.clear();
             self.note("heal all".to_owned());
@@ -222,7 +214,6 @@ impl FaultInjector {
         }
         self.partitions
             .lock()
-            .unwrap()
             .contains(&Self::normalize(NodeId::new(from), NodeId::new(to)))
     }
 
@@ -230,11 +221,11 @@ impl FaultInjector {
     /// partitions — scripted events that are part of the reproducible
     /// schedule).
     pub(crate) fn note(&self, line: String) {
-        self.trace.lock().unwrap().push(line);
+        self.trace.lock().push(line);
     }
 
     pub(crate) fn trace(&self) -> Vec<String> {
-        self.trace.lock().unwrap().clone()
+        self.trace.lock().clone()
     }
 
     /// Decides the fate of one control message on the `from → to` link.
@@ -244,11 +235,11 @@ impl FaultInjector {
             copies: 1,
             delay_ms: 0,
         };
-        if self.plan.is_noop() && self.partitions.lock().unwrap().is_empty() {
+        if self.plan.is_noop() && self.partitions.lock().is_empty() {
             return clean;
         }
         let seq = {
-            let mut seqs = self.seqs.lock().unwrap();
+            let mut seqs = self.seqs.lock();
             let c = seqs.entry((from, to)).or_insert(0);
             let seq = *c;
             *c += 1;

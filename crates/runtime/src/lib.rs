@@ -73,12 +73,35 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+// ids and payload sizes cast between widths at the wire boundary; the rest
+// are deliberate style choices of this crate's API surface
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::doc_markdown,
+    clippy::elidable_lifetime_names,
+    clippy::items_after_statements,
+    clippy::map_unwrap_or,
+    clippy::missing_errors_doc,
+    clippy::missing_fields_in_debug,
+    clippy::missing_panics_doc,
+    clippy::must_use_candidate,
+    clippy::needless_pass_by_value,
+    clippy::redundant_closure_for_method_calls,
+    clippy::single_match_else,
+    clippy::too_many_lines,
+    clippy::unnecessary_semicolon,
+    clippy::wildcard_imports
+)]
 
 mod cluster;
 mod fault;
 mod message;
 mod node;
 mod proxy;
+mod trace;
 
 pub mod error;
 pub mod object;
@@ -89,3 +112,4 @@ pub use error::RuntimeError;
 pub use fault::FaultPlan;
 pub use object::{Delinearizer, MobileObject};
 pub use proxy::ObjRef;
+pub use trace::KNOWN_LOCK_ORDER;

@@ -1,5 +1,7 @@
 //! Inter-node messages (crate-internal).
 
+use std::time::Instant;
+
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
@@ -35,6 +37,12 @@ pub(crate) enum Message {
         block: BlockId,
         context: Option<AllianceId>,
         hops: u8,
+        /// The requester's deadline (its `await_reply` budget). A node that
+        /// processes the request after this instant denies it: the requester
+        /// has already timed out and dropped its guard, so a grant could only
+        /// orphan a placement lock — and ship the object into a race with
+        /// whatever the requester is doing instead.
+        expires: Instant,
         reply: MoveReply,
     },
     /// A linearized object arriving at its new node.
@@ -81,3 +89,19 @@ impl std::fmt::Debug for Message {
 
 /// Forwarding budget for messages chasing a migrating object.
 pub(crate) const MAX_HOPS: u8 = 16;
+
+/// What actually travels on the channels: a message plus the trace id its
+/// `Send` event carried (0 when tracing is off or the message is a control
+/// sentinel — the receiver then emits no `Recv`).
+pub(crate) struct Envelope {
+    pub(crate) trace_id: u64,
+    pub(crate) msg: Message,
+}
+
+impl Envelope {
+    /// Wraps a message that is not part of the traced protocol (shutdown and
+    /// crash sentinels, and every message when tracing is disabled).
+    pub(crate) fn untraced(msg: Message) -> Self {
+        Envelope { trace_id: 0, msg }
+    }
+}

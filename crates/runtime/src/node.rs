@@ -2,16 +2,17 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use oml_check::event::{EventKind, ReleaseCause};
 use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
-use oml_core::policy::{EndAction, EndRequest, MoveDecision, MoveRequest};
+use oml_core::policy::{EndAction, EndRequest, MoveDecision, MovePolicy, MoveRequest};
 
 use crate::cluster::Shared;
 use crate::error::RuntimeError;
-use crate::message::{Message, MoveReply, MAX_HOPS};
+use crate::message::{Envelope, Message, MoveReply, MAX_HOPS};
 use crate::object::MobileObject;
 
 /// How long a worker waits for a message before running its maintenance
@@ -23,7 +24,7 @@ const TICK: Duration = Duration::from_millis(25);
 pub(crate) struct NodeWorker {
     id: NodeId,
     shared: Arc<Shared>,
-    rx: Receiver<Message>,
+    rx: Receiver<Envelope>,
     /// Objects installed at this node.
     objects: HashMap<ObjectId, Box<dyn MobileObject>>,
     /// Messages for objects the directory says are headed here but whose
@@ -33,7 +34,7 @@ pub(crate) struct NodeWorker {
 }
 
 impl NodeWorker {
-    pub(crate) fn new(id: NodeId, shared: Arc<Shared>, rx: Receiver<Message>) -> Self {
+    pub(crate) fn new(id: NodeId, shared: Arc<Shared>, rx: Receiver<Envelope>) -> Self {
         NodeWorker {
             id,
             shared,
@@ -47,35 +48,66 @@ impl NodeWorker {
         self.reclaim_stash();
         loop {
             match self.rx.recv_timeout(TICK) {
-                Ok(Message::Shutdown) => {
-                    self.drain_for_shutdown();
-                    break;
+                Ok(env) => {
+                    self.note_recv(&env);
+                    match env.msg {
+                        Message::Shutdown => {
+                            self.drain_for_shutdown();
+                            break;
+                        }
+                        Message::Crash => {
+                            self.stash_for_crash();
+                            break;
+                        }
+                        msg => self.handle(msg),
+                    }
                 }
-                Ok(Message::Crash) => {
-                    self.stash_for_crash();
-                    break;
-                }
-                Ok(msg) => self.handle(msg),
                 Err(RecvTimeoutError::Timeout) => self.sweep_leases(),
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
     }
 
-    /// On (re)start: adopt any objects a previous incarnation of this node
-    /// stashed when it crashed.
-    fn reclaim_stash(&mut self) {
-        let mut stash = self.shared.stash.lock();
-        let mut rest = Vec::new();
-        for (node, object, instance) in stash.drain(..) {
-            if node == self.id {
-                self.objects.insert(object, instance);
-                self.shared.directory_set(object, self.id);
-            } else {
-                rest.push((node, object, instance));
-            }
+    /// Records the dequeue of a traced message — the receive half of the
+    /// happens-before edge its `Send` event opened.
+    fn note_recv(&self, env: &Envelope) {
+        if env.trace_id != 0 {
+            self.shared.trace.emit(
+                self.id.as_u32(),
+                EventKind::Recv {
+                    msg_id: env.trace_id,
+                },
+            );
         }
-        *stash = rest;
+    }
+
+    /// On (re)start: adopt any objects a previous incarnation of this node
+    /// stashed when it crashed. The stash guard is dropped before the
+    /// directory updates so the stash lock never nests around another.
+    fn reclaim_stash(&mut self) {
+        let mine: Vec<(ObjectId, Box<dyn MobileObject>)> = {
+            let mut stash = self.shared.stash.lock();
+            let mut rest = Vec::new();
+            let mut mine = Vec::new();
+            for (node, object, instance) in stash.drain(..) {
+                if node == self.id {
+                    mine.push((object, instance));
+                } else {
+                    rest.push((node, object, instance));
+                }
+            }
+            *stash = rest;
+            mine
+        };
+        for (object, instance) in mine {
+            self.objects.insert(object, instance);
+            self.shared.directory_set(object, self.id);
+            // a reclaim is a refresh of the same residency, not a second
+            // replica — the object never left this node
+            self.shared
+                .trace
+                .emit(self.id.as_u32(), EventKind::Install { object });
+        }
     }
 
     /// Injected crash: park the hosted objects for a later restart (they
@@ -93,9 +125,10 @@ impl NodeWorker {
     /// processed (locks released) and still-blocked callers get an explicit
     /// `ShuttingDown` instead of a silent timeout.
     fn drain_for_shutdown(&mut self) {
-        while let Ok(msg) = self.rx.try_recv() {
-            match msg {
-                Message::EndRequest { .. } | Message::Install { .. } => self.handle(msg),
+        while let Ok(env) = self.rx.try_recv() {
+            self.note_recv(&env);
+            match env.msg {
+                msg @ (Message::EndRequest { .. } | Message::Install { .. }) => self.handle(msg),
                 Message::Create { reply, .. } => {
                     let _ = reply.send(Err(RuntimeError::ShuttingDown));
                 }
@@ -126,10 +159,26 @@ impl NodeWorker {
         }
     }
 
-    /// Maintenance tick: release placement locks whose leases ran out.
+    /// Maintenance tick: release placement locks whose leases ran out. The
+    /// expiry events are emitted under the policy guard — lock-state events
+    /// are ordered by the policy mutex (see [`NodeWorker::emit_lock_acquired`]).
     fn sweep_leases(&mut self) {
         let now = self.shared.now_ms();
-        let expired = self.shared.policy.lock().expire_leases(now);
+        let expired = {
+            let mut policy = self.shared.policy.lock();
+            let expired = policy.expire_leases(now);
+            for &(object, block) in &expired {
+                self.shared.trace.emit(
+                    self.id.as_u32(),
+                    EventKind::LockReleased {
+                        object,
+                        block,
+                        cause: ReleaseCause::LeaseExpiry,
+                    },
+                );
+            }
+            expired
+        };
         if !expired.is_empty() {
             self.shared
                 .counters
@@ -147,6 +196,9 @@ impl NodeWorker {
             } => {
                 self.objects.insert(object, instance);
                 self.shared.directory_set(object, self.id);
+                self.shared
+                    .trace
+                    .emit(self.id.as_u32(), EventKind::Install { object });
                 let _ = reply.send(Ok(()));
                 self.drain_awaiting(object);
             }
@@ -241,7 +293,21 @@ impl NodeWorker {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             // activity inside a granted block keeps its placement lease alive
             let now = self.shared.now_ms();
-            self.shared.policy.lock().renew_lease(object, now);
+            {
+                let mut policy = self.shared.policy.lock();
+                policy.renew_lease(object, now);
+                if self.shared.trace.is_enabled()
+                    && policy.held_locks().iter().any(|&(o, _)| o == object)
+                {
+                    self.shared.trace.emit(
+                        self.id.as_u32(),
+                        EventKind::LeaseRenewed {
+                            object,
+                            now_ms: now,
+                        },
+                    );
+                }
+            }
             let _ = reply.send(result);
             return;
         }
@@ -276,11 +342,30 @@ impl NodeWorker {
             block,
             context,
             hops,
+            expires,
             reply,
         } = msg
         else {
             unreachable!()
         };
+        if Instant::now() >= expires {
+            // The requester's deadline passed while this request sat in a
+            // queue (typically across a crash/restart of this node). It has
+            // timed out, dropped its reply channel and moved on; granting now
+            // would take a lock no end-request will ever release and ship the
+            // object concurrently with whatever the requester does next —
+            // which would also make seeded fault schedules unreplayable.
+            // Deny without forwarding: an abandoned request chases nothing.
+            self.shared
+                .counters
+                .moves_denied
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.shared
+                .trace
+                .emit(self.id.as_u32(), EventKind::MoveDenied { object, block });
+            let _ = reply.send(Ok(false));
+            return;
+        }
         if !self.objects.contains_key(&object) {
             let msg = Message::MoveRequest {
                 object,
@@ -288,6 +373,7 @@ impl NodeWorker {
                 block,
                 context,
                 hops,
+                expires,
                 reply,
             };
             if let Err(failed) = self.route_elsewhere(object, msg) {
@@ -322,21 +408,28 @@ impl NodeWorker {
                     .counters
                     .moves_granted
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.shared
+                    .trace
+                    .emit(self.id.as_u32(), EventKind::MoveGranted { object, block });
             }
             MoveDecision::Deny => {
                 self.shared
                     .counters
                     .moves_denied
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.shared
+                    .trace
+                    .emit(self.id.as_u32(), EventKind::MoveDenied { object, block });
             }
         }
         match decision {
             MoveDecision::Grant if to == self.id => {
                 // already local: install (lock) in place
-                self.shared
-                    .policy
-                    .lock()
-                    .on_installed(object, self.id, block);
+                {
+                    let mut policy = self.shared.policy.lock();
+                    policy.on_installed(object, self.id, block);
+                    self.emit_lock_acquired(&**policy, object, block);
+                }
                 let _ = reply.send(Ok(true));
             }
             MoveDecision::Grant => self.migrate_closure(object, to, context, Some((block, reply))),
@@ -346,9 +439,38 @@ impl NodeWorker {
         }
     }
 
+    /// Emits `LockAcquired` if the policy now holds `(object, block)` — the
+    /// policy decides whether an installation locks, so the trace mirrors
+    /// its actual lock table. MUST be called with the policy guard held:
+    /// lock-state events are ordered by the policy mutex, and emitting
+    /// outside it would let a concurrent release/acquire pair reach the
+    /// collector in swapped order (a false overlap for the checker).
+    fn emit_lock_acquired(&self, policy: &dyn MovePolicy, object: ObjectId, block: BlockId) {
+        if !self.shared.trace.is_enabled() {
+            return;
+        }
+        if policy
+            .held_locks()
+            .iter()
+            .any(|&(o, b)| o == object && b == block)
+        {
+            self.shared.trace.emit(
+                self.id.as_u32(),
+                EventKind::LockAcquired {
+                    object,
+                    block,
+                    now_ms: self.shared.now_ms(),
+                    ttl_ms: policy.lease_ttl_ms(),
+                },
+            );
+        }
+    }
+
     /// Migrates `main` and its (mode- and context-dependent) attachment
     /// closure towards `to`. Locally hosted members ship directly; members
-    /// hosted elsewhere receive `Surrender` requests.
+    /// hosted elsewhere receive `Surrender` requests. The members are
+    /// classified before anything moves, so the `ClosureBegin` event names
+    /// exactly the set this node commits to ship.
     fn migrate_closure(
         &mut self,
         main: ObjectId,
@@ -361,6 +483,8 @@ impl NodeWorker {
             .attachments
             .lock()
             .migration_closure(main, context);
+        let mut local = Vec::new();
+        let mut remote = Vec::new();
         for &member in &closure {
             if member == main {
                 continue;
@@ -369,16 +493,36 @@ impl NodeWorker {
                 continue;
             }
             if self.objects.contains_key(&member) {
-                self.ship(member, to, None);
+                local.push(member);
             } else if let Some(host) = self.shared.directory_get(member) {
                 if host != to {
-                    let _ = self.shared.send_from(
-                        Some(self.id),
-                        host,
-                        Message::Surrender { object: member, to },
-                    );
+                    remote.push((member, host));
                 }
             }
+        }
+        if !(local.is_empty() && remote.is_empty()) {
+            self.shared.trace.emit(
+                self.id.as_u32(),
+                EventKind::ClosureBegin {
+                    main,
+                    to,
+                    members: local.clone(),
+                },
+            );
+        }
+        for &member in &local {
+            self.ship(member, to, None);
+        }
+        for &(member, host) in &remote {
+            self.shared.trace.emit(
+                self.id.as_u32(),
+                EventKind::SurrenderRequested { member, to },
+            );
+            let _ = self.shared.send_from(
+                Some(self.id),
+                host,
+                Message::Surrender { object: member, to },
+            );
         }
         self.ship(main, to, install_for);
     }
@@ -405,6 +549,9 @@ impl NodeWorker {
             .counters
             .objects_migrated
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.shared
+            .trace
+            .emit(self.id.as_u32(), EventKind::Ship { object, to });
         let state = Bytes::from(instance.linearize());
         self.shared.directory_set(object, to);
         if to == self.id {
@@ -441,11 +588,15 @@ impl NodeWorker {
         };
         self.objects.insert(object, delinearize(state));
         self.shared.directory_set(object, self.id);
+        self.shared
+            .trace
+            .emit(self.id.as_u32(), EventKind::Install { object });
         {
             let mut policy = self.shared.policy.lock();
             policy.on_arrival(object, self.id);
             if let Some((block, _)) = &install_for {
                 policy.on_installed(object, self.id, *block);
+                self.emit_lock_acquired(&**policy, object, *block);
             }
         }
         if let Some((_, reply)) = install_for {
@@ -480,13 +631,37 @@ impl NodeWorker {
             let _ = self.route_elsewhere(object, msg);
             return;
         }
-        let action = self.shared.policy.lock().on_end(&EndRequest {
-            object,
-            at: self.id,
-            from,
-            block,
-            was_granted,
-        });
+        let action = {
+            let mut policy = self.shared.policy.lock();
+            let held_before = self.shared.trace.is_enabled()
+                && policy
+                    .held_locks()
+                    .iter()
+                    .any(|&(o, b)| o == object && b == block);
+            let action = policy.on_end(&EndRequest {
+                object,
+                at: self.id,
+                from,
+                block,
+                was_granted,
+            });
+            if held_before
+                && !policy
+                    .held_locks()
+                    .iter()
+                    .any(|&(o, b)| o == object && b == block)
+            {
+                self.shared.trace.emit(
+                    self.id.as_u32(),
+                    EventKind::LockReleased {
+                        object,
+                        block,
+                        cause: ReleaseCause::End,
+                    },
+                );
+            }
+            action
+        };
         if let EndAction::Migrate(target) = action {
             if target != self.id {
                 self.migrate_closure(object, target, context, None);
@@ -516,6 +691,7 @@ fn decrement_hops(msg: Message) -> Message {
             block,
             context,
             hops,
+            expires,
             reply,
         } => Message::MoveRequest {
             object,
@@ -523,6 +699,7 @@ fn decrement_hops(msg: Message) -> Message {
             block,
             context,
             hops: hops - 1,
+            expires,
             reply,
         },
         Message::EndRequest {

@@ -180,7 +180,7 @@ mod tests {
         let mut r = WireReader::new(&b);
         assert_eq!(r.u64().unwrap(), 7);
         assert_eq!(r.i64().unwrap(), -9);
-        assert_eq!(r.f64().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap().to_bits(), 1.5f64.to_bits());
         assert_eq!(r.str().unwrap(), "héllo");
         assert_eq!(r.bytes().unwrap(), vec![0xde, 0xad]);
         assert!(r.is_empty());

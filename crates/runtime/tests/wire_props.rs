@@ -1,0 +1,115 @@
+//! Property tests for the wire encoding: any field sequence round-trips
+//! exactly through [`WireWriter`]/[`WireReader`], and any truncation of the
+//! encoded buffer is rejected with an error — never a panic, never a
+//! silently wrong value.
+
+use oml_runtime::wire::{WireReader, WireWriter};
+use proptest::prelude::*;
+
+/// One field of a payload, covering every writer/reader method pair.
+#[derive(Debug, Clone)]
+enum Field {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bytes(Vec<u8>),
+}
+
+impl Field {
+    fn write(&self, w: WireWriter) -> WireWriter {
+        match self {
+            Field::U64(v) => w.u64(*v),
+            Field::I64(v) => w.i64(*v),
+            Field::F64(v) => w.f64(*v),
+            Field::Str(s) => w.str(s),
+            Field::Bytes(b) => w.bytes(b),
+        }
+    }
+
+    /// Reads this field back and checks it matches; floats compare by bit
+    /// pattern so every value (including signed zero) round-trips exactly.
+    fn read_and_check(&self, r: &mut WireReader<'_>) -> Result<(), String> {
+        match self {
+            Field::U64(v) => assert_eq!(r.u64()?, *v),
+            Field::I64(v) => assert_eq!(r.i64()?, *v),
+            Field::F64(v) => assert_eq!(r.f64()?.to_bits(), v.to_bits()),
+            Field::Str(s) => assert_eq!(&r.str()?, s),
+            Field::Bytes(b) => assert_eq!(&r.bytes()?, b),
+        }
+        Ok(())
+    }
+}
+
+fn field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<u64>().prop_map(Field::U64),
+        any::<i64>().prop_map(Field::I64),
+        any::<f64>().prop_map(Field::F64),
+        // multi-byte characters included so length prefixes (bytes) and
+        // character counts genuinely disagree
+        "[a-z0-9 éλ中]{0,24}".prop_map(Field::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Field::Bytes),
+    ]
+}
+
+fn fields() -> impl Strategy<Value = Vec<Field>> {
+    proptest::collection::vec(field(), 1..12)
+}
+
+fn encode(fields: &[Field]) -> Vec<u8> {
+    fields
+        .iter()
+        .fold(WireWriter::new(), |w, f| f.write(w))
+        .finish()
+        .to_vec()
+}
+
+proptest! {
+    /// Every field sequence decodes to exactly what was written, with no
+    /// bytes left over.
+    #[test]
+    fn field_sequences_round_trip(fields in fields()) {
+        let bytes = encode(&fields);
+        let mut r = WireReader::new(&bytes);
+        for f in &fields {
+            f.read_and_check(&mut r).expect("intact buffer decodes fully");
+        }
+        prop_assert!(r.is_empty(), "decoder must consume the whole buffer");
+    }
+
+    /// Decoding a strict prefix of an encoding fails cleanly: some leading
+    /// fields may decode (their bytes are intact), but the schema as a whole
+    /// reports a truncation error rather than panicking or fabricating data.
+    #[test]
+    fn truncated_buffers_are_rejected(fields in fields(), cut_seed in any::<u64>()) {
+        let bytes = encode(&fields);
+        prop_assume!(!bytes.is_empty());
+        let cut = (cut_seed % bytes.len() as u64) as usize; // strict prefix
+        let mut r = WireReader::new(&bytes[..cut]);
+        let mut failed = None;
+        for f in &fields {
+            if let Err(e) = f.read_and_check(&mut r) {
+                failed = Some(e);
+                break;
+            }
+        }
+        let err = failed.expect("a strict prefix cannot satisfy the schema");
+        prop_assert!(err.contains("truncated"), "unexpected error: {err}");
+    }
+
+    /// Length prefixes larger than the remaining buffer are truncation
+    /// errors, not panics or fabricated bodies — even adversarial lengths
+    /// far beyond any real payload.
+    #[test]
+    fn oversized_length_prefixes_are_rejected(
+        len in 16u32..u32::MAX,
+        tail in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        let mut r = WireReader::new(&bytes);
+        let err = r.bytes().expect_err("length overruns the buffer");
+        prop_assert!(err.contains("truncated body"), "unexpected error: {err}");
+    }
+}

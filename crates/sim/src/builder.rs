@@ -700,7 +700,11 @@ mod tests {
             let _ = sim.object_node(s);
         }
         // per-client accounting sums to the global call count
-        let per_client: u64 = m.per_client_comm.iter().map(|s| s.count()).sum();
+        let per_client: u64 = m
+            .per_client_comm
+            .iter()
+            .map(oml_des::stats::OnlineStats::count)
+            .sum();
         assert_eq!(per_client, m.calls);
     }
 

@@ -44,6 +44,25 @@
 //! assert!(placement < conventional);
 //! ```
 
+#![warn(clippy::pedantic)]
+// the §4 model mixes simulated time, counts and float metrics; casts are
+// inherent, the rest are deliberate style choices
+#![allow(
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::doc_markdown,
+    clippy::elidable_lifetime_names,
+    clippy::float_cmp,
+    clippy::items_after_statements,
+    clippy::manual_midpoint,
+    clippy::missing_panics_doc,
+    clippy::must_use_candidate,
+    clippy::return_self_not_must_use,
+    clippy::unreadable_literal,
+    clippy::wildcard_imports
+)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

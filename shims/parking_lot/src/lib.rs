@@ -6,7 +6,11 @@
 //! no poisoning at all, so recovering is the faithful translation).
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+// parking_lot names its guard types publicly; wrappers that store a guard in
+// a struct need them. std's guards are API-compatible for Deref/DerefMut.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock without poisoning.
 #[derive(Default)]
