@@ -127,6 +127,20 @@ pub enum Violation {
         /// The destination the members went to.
         to: NodeId,
     },
+    /// A fenced (dead) incarnation installed a copy of an object that has
+    /// since been reinstantiated under a newer epoch — the split-brain that
+    /// epoch fencing exists to prevent. Also reported when a
+    /// `Reinstantiated` event fails to increase the object's epoch.
+    StaleIncarnation {
+        /// The twice-alive object.
+        object: ObjectId,
+        /// Where the current-epoch copy lives.
+        live_at: u32,
+        /// Where the stale incarnation installed its copy.
+        stale_at: u32,
+        /// The object's live epoch at the time of the stale install.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -200,6 +214,17 @@ impl fmt::Display for Violation {
             Violation::ClosureTorn { main, to } => write!(
                 f,
                 "closure torn: members shipped to {to} but main object {main} never did"
+            ),
+            Violation::StaleIncarnation {
+                object,
+                live_at,
+                stale_at,
+                epoch,
+            } => write!(
+                f,
+                "stale incarnation: {object} (live epoch {epoch} at {}) re-installed at {} by a fenced incarnation",
+                process_name(*live_at),
+                process_name(*stale_at)
             ),
         }
     }
@@ -291,6 +316,10 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
     let mut sends: BTreeSet<u64> = BTreeSet::new();
 
     let mut residency: BTreeMap<ObjectId, Residency> = BTreeMap::new();
+    // objects that have been reinstantiated, and their latest epoch: any
+    // later install of one at a node other than its current residence is a
+    // fenced incarnation acting, not an ordinary double residency
+    let mut live_epochs: BTreeMap<ObjectId, u64> = BTreeMap::new();
     let mut locks: BTreeMap<ObjectId, HeldLock> = BTreeMap::new();
     let mut granted: BTreeSet<BlockId> = BTreeSet::new();
     let mut denied: BTreeSet<BlockId> = BTreeSet::new();
@@ -318,11 +347,22 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
                         // same host: a refresh, not a second replica
                     }
                     Some(Residency::Resident { node }) => {
-                        report.violations.push(Violation::DoubleResidency {
-                            object: *object,
-                            resident_at: *node,
-                            also_at: ev.process,
-                        });
+                        if let Some(&epoch) = live_epochs.get(object) {
+                            // the object was reinstantiated: a second live
+                            // copy is a fenced incarnation's doing
+                            report.violations.push(Violation::StaleIncarnation {
+                                object: *object,
+                                live_at: *node,
+                                stale_at: ev.process,
+                                epoch,
+                            });
+                        } else {
+                            report.violations.push(Violation::DoubleResidency {
+                                object: *object,
+                                resident_at: *node,
+                                also_at: ev.process,
+                            });
+                        }
                         residency.insert(*object, Residency::Resident { node: ev.process });
                     }
                     Some(Residency::InFlight { to, ship_idx }) => {
@@ -480,12 +520,35 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
                     shipped_any_member: false,
                 });
             }
+            EventKind::Reinstantiated { object, at, epoch } => {
+                objects.insert(*object);
+                if let Some(&prev) = live_epochs.get(object) {
+                    if *epoch <= prev {
+                        // epochs must be strictly increasing, or fencing
+                        // cannot distinguish the copies
+                        report.violations.push(Violation::StaleIncarnation {
+                            object: *object,
+                            live_at: at.as_u32(),
+                            stale_at: at.as_u32(),
+                            epoch: *epoch,
+                        });
+                    }
+                }
+                live_epochs.insert(*object, *epoch);
+                // the fresh copy supersedes whatever residency the dead node
+                // held; the matching Install at `at` is then a refresh
+                residency.insert(*object, Residency::Resident { node: at.as_u32() });
+            }
             EventKind::MoveRequested { .. }
             | EventKind::SurrenderRequested { .. }
             | EventKind::Attach { .. }
             | EventKind::Detach { .. }
             | EventKind::Crash { .. }
-            | EventKind::Restart { .. } => {}
+            | EventKind::Restart { .. }
+            | EventKind::Suspected { .. }
+            | EventKind::DeclaredDead { .. }
+            | EventKind::FencedStale { .. }
+            | EventKind::BreakerOpen { .. } => {}
         }
     }
 
@@ -787,5 +850,112 @@ mod tests {
         assert!(!report.is_clean());
         let text = report.to_string();
         assert!(text.contains("double residency"), "{text}");
+    }
+
+    fn reinstantiate(o: u32, at: u32, epoch: u64) -> TraceEvent {
+        TraceEvent::new(
+            crate::event::CLIENT_PROCESS,
+            EventKind::Reinstantiated {
+                object: obj(o),
+                at: NodeId::new(at),
+                epoch,
+            },
+        )
+    }
+
+    #[test]
+    fn reinstantiation_after_crash_is_clean() {
+        let trace = vec![
+            install(2, 1),
+            TraceEvent::new(
+                crate::event::CLIENT_PROCESS,
+                EventKind::Crash {
+                    node: NodeId::new(2),
+                },
+            ),
+            TraceEvent::new(
+                crate::event::CLIENT_PROCESS,
+                EventKind::DeclaredDead {
+                    node: NodeId::new(2),
+                },
+            ),
+            reinstantiate(1, 0, 1),
+            // the matching install at the reinstantiation target
+            install(0, 1),
+        ];
+        let report = check_trace(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn zombie_install_after_reinstantiation_is_stale_incarnation() {
+        let trace = vec![
+            install(2, 1),
+            reinstantiate(1, 0, 1),
+            install(0, 1),
+            // the dead node's zombie reclaims its stashed copy
+            install(2, 1),
+        ];
+        let report = check_trace(&trace);
+        assert!(
+            matches!(
+                report.violations.as_slice(),
+                [Violation::StaleIncarnation {
+                    stale_at: 2,
+                    live_at: 0,
+                    ..
+                }]
+            ),
+            "{report}"
+        );
+        assert!(report.to_string().contains("stale incarnation"));
+    }
+
+    #[test]
+    fn non_increasing_reinstantiation_epoch_is_flagged() {
+        let trace = vec![
+            install(2, 1),
+            reinstantiate(1, 0, 2),
+            reinstantiate(1, 1, 2),
+        ];
+        let report = check_trace(&trace);
+        assert!(
+            matches!(
+                report.violations.as_slice(),
+                [Violation::StaleIncarnation { epoch: 2, .. }]
+            ),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn plain_double_residency_is_not_mislabelled() {
+        // without any reinstantiation the old verdict is unchanged
+        let trace = vec![install(0, 1), install(2, 1)];
+        let report = check_trace(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::DoubleResidency { .. }]
+        ));
+    }
+
+    #[test]
+    fn detector_events_are_benign_local_ticks() {
+        let trace = vec![
+            TraceEvent::new(
+                crate::event::CLIENT_PROCESS,
+                EventKind::Suspected {
+                    node: NodeId::new(1),
+                },
+            ),
+            TraceEvent::new(
+                crate::event::CLIENT_PROCESS,
+                EventKind::BreakerOpen {
+                    node: NodeId::new(1),
+                },
+            ),
+            TraceEvent::new(1, EventKind::FencedStale { epoch: 3 }),
+        ];
+        assert!(check_trace(&trace).is_clean());
     }
 }

@@ -169,6 +169,43 @@ pub enum EventKind {
         /// The restarted node.
         node: NodeId,
     },
+    /// The failure detector began suspecting a node — missed heartbeats or
+    /// a partition (`Shared::detector_sweep`). Suspicion is revocable.
+    Suspected {
+        /// The suspected node.
+        node: NodeId,
+    },
+    /// The failure detector declared a node dead: its incarnation is fenced
+    /// and its objects are about to be reinstantiated
+    /// (`Shared::declare_dead`).
+    DeclaredDead {
+        /// The dead node.
+        node: NodeId,
+    },
+    /// An object stranded on a dead node was recreated from its home
+    /// checkpoint under a new object epoch (`Shared::declare_dead`). Every
+    /// `Install` for this object from an older epoch is stale from here on.
+    Reinstantiated {
+        /// The recovered object.
+        object: ObjectId,
+        /// Where the fresh copy was installed.
+        at: NodeId,
+        /// The object's new (strictly increasing) epoch.
+        epoch: u64,
+    },
+    /// Epoch fencing rejected a stale message or install — a zombie
+    /// incarnation (or its delayed traffic) was stopped from acting
+    /// (`NodeWorker::reject_stale` / `NodeWorker::handle_install`).
+    FencedStale {
+        /// The stale epoch the message carried.
+        epoch: u64,
+    },
+    /// A node's circuit breaker opened: subsequent calls to it fail fast
+    /// with `NodeDown` until a probe succeeds.
+    BreakerOpen {
+        /// The node whose breaker opened.
+        node: NodeId,
+    },
 }
 
 /// One event in a collected trace.

@@ -19,9 +19,14 @@
 //!   visit      §2.3 ablation: move blocks vs visit blocks
 //!   location   §4.1 ablation: the four object-location mechanisms
 //!   faults     robustness extension: degradation under message loss
+//!   availability  recovery extension: client-visible latency/denials across
+//!              a crash → detect → reinstantiate → heal cycle on the real
+//!              runtime, with and without the failure detector
 //!   check      replay seeded chaos schedules with protocol tracing on and
 //!              verify the paper's invariants plus the lock-order graph
-//!              (--seeds chaos | --seeds N,M,... to pick the schedules)
+//!              (--seeds chaos | --seeds N,M,... to pick the schedules;
+//!              --recovery adds the failure-detector schedules and the
+//!              unfenced zombie negative control)
 //!   bench      fixed quick-precision perf suite; writes BENCH_02.json
 //!   <file.csv> replot a previously saved result (no re-run)
 //!   custom     run a scenario loaded with --scenario FILE (key = value
@@ -37,11 +42,12 @@ use std::process::ExitCode;
 
 use oml_experiments::bench::{render_bench_json, run_bench_suite};
 use oml_experiments::check::{
-    audit_lock_order, exercise_lock_sites, replay_chaos_seeds, CHAOS_SEEDS,
+    audit_lock_order, exercise_lock_sites, replay_chaos_seeds, replay_recovery_seeds,
+    replay_zombie_negative, CHAOS_SEEDS,
 };
 use oml_experiments::experiments::{
-    break_even_scaling, egoism, faults, fig12, fig14, fig16, fig16_exclusive, fig4_cost, fig8,
-    location_ablation, topology_ablation, visit_ablation, RunOptions,
+    availability, break_even_scaling, egoism, faults, fig12, fig14, fig16, fig16_exclusive,
+    fig4_cost, fig8, location_ablation, topology_ablation, visit_ablation, RunOptions,
 };
 use oml_experiments::{render_plot, render_svg, ExperimentResult, SvgOptions};
 use oml_workload::table1::{table1, value_for};
@@ -55,6 +61,7 @@ struct Cli {
     plot: bool,
     scenario: Option<PathBuf>,
     seeds: Option<String>,
+    recovery: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -66,6 +73,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut plot = false;
     let mut scenario = None;
     let mut seeds = None;
+    let mut recovery = false;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -100,6 +108,7 @@ fn parse_args() -> Result<Cli, String> {
             "--seeds" => {
                 seeds = Some(args.next().ok_or("--seeds needs `chaos` or N,M,...")?);
             }
+            "--recovery" => recovery = true,
             "--svg" => {
                 let v = args.next().ok_or("--svg needs a directory")?;
                 svg_dir = Some(PathBuf::from(v));
@@ -124,6 +133,7 @@ fn parse_args() -> Result<Cli, String> {
         plot,
         scenario,
         seeds,
+        recovery,
     })
 }
 
@@ -197,7 +207,10 @@ fn emit(result: &ExperimentResult, cli: &Cli) {
 
 /// Replays the requested chaos seeds with tracing on, prints every
 /// checker verdict and the lock-order audit, and reports overall success.
-fn run_check(seeds_arg: Option<&str>) -> ExitCode {
+/// With `recovery`, additionally replays the failure-detector schedules
+/// (crash → declare-dead → reinstantiate, plus a scripted zombie restart)
+/// and the unfenced negative control, which must be *flagged*.
+fn run_check(seeds_arg: Option<&str>, recovery: bool) -> ExitCode {
     let seeds: Vec<u64> = match seeds_arg {
         None | Some("chaos") => CHAOS_SEEDS.to_vec(),
         Some(list) => {
@@ -227,6 +240,31 @@ fn run_check(seeds_arg: Option<&str>) -> ExitCode {
         println!("\nseed {:#x}:", outcome.seed);
         println!("{}", outcome.report);
         clean &= outcome.report.is_clean();
+    }
+
+    if recovery {
+        println!("\n# repro check --recovery — fenced reinstantiation under chaos");
+        for outcome in replay_recovery_seeds(&seeds) {
+            println!("\nrecovery seed {:#x}:", outcome.seed);
+            println!("{}", outcome.report);
+            clean &= outcome.report.is_clean();
+        }
+        // the negative control: without fencing the zombie double-installs,
+        // and the stale-incarnation invariant MUST catch it
+        let negative = replay_zombie_negative(seeds[0]);
+        if negative.report.is_clean() {
+            eprintln!(
+                "\nunfenced zombie negative control came back CLEAN — the \
+                 stale-incarnation invariant is not biting"
+            );
+            clean = false;
+        } else {
+            println!(
+                "\nunfenced zombie negative control: flagged as expected \
+                 ({} violation(s))",
+                negative.report.violations.len()
+            );
+        }
     }
 
     println!("\n# lock-order audit");
@@ -274,8 +312,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|check|...|all> \
-                 [--quick|--paper] [--seed N] [--seeds chaos|N,M,...] [--csv DIR] [--svg DIR] [--plot]"
+                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|availability|check|...|all> \
+                 [--quick|--paper] [--seed N] [--seeds chaos|N,M,...] [--recovery] [--csv DIR] [--svg DIR] [--plot]"
             );
             return ExitCode::FAILURE;
         }
@@ -309,13 +347,14 @@ fn main() -> ExitCode {
             "visit" => emit(&visit_ablation(&cli.opts), &cli),
             "location" => emit(&location_ablation(&cli.opts), &cli),
             "faults" => emit(&faults(&cli.opts), &cli),
+            "availability" => emit(&availability(&cli.opts), &cli),
             _ => return false,
         }
         true
     };
 
     match cli.experiment.as_str() {
-        "check" => run_check(cli.seeds.as_deref()),
+        "check" => run_check(cli.seeds.as_deref(), cli.recovery),
         "bench" => {
             // The bench suite is the tracked baseline: always quick precision
             // and one thread, whatever flags were given, so numbers stay
@@ -430,6 +469,7 @@ fn main() -> ExitCode {
                 "visit",
                 "location",
                 "faults",
+                "availability",
             ] {
                 let ok = run_one(name);
                 debug_assert!(ok);

@@ -142,6 +142,152 @@ pub fn replay_chaos_seeds(seeds: &[u64]) -> Vec<CheckOutcome> {
     seeds.iter().map(|&s| replay_chaos_seed(s)).collect()
 }
 
+/// Heartbeat interval of the recovery replays (`repro check --recovery`).
+pub const RECOVERY_HEARTBEAT_MS: u64 = 50;
+/// Missed-beat threshold of the recovery replays.
+pub const RECOVERY_K_MISSED: u32 = 3;
+/// Past this many clock-milliseconds of silence the next sweep must declare
+/// a crashed node dead.
+const RECOVERY_DETECTION_MS: u64 = RECOVERY_HEARTBEAT_MS * RECOVERY_K_MISSED as u64 + 50;
+
+/// Restarts `node` until the detector re-admits it — a fenced zombie exits
+/// asynchronously, so the first attempts may find its worker still winding
+/// down and no-op.
+fn restart_until_up(cluster: &Cluster, node: NodeId) {
+    for _ in 0..500 {
+        cluster.restart_node(node).expect("valid node");
+        if cluster.node_health(node) == Some(oml_runtime::NodeHealth::Up) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("{node} never came back up");
+}
+
+/// Replays the recovery chaos schedule under `seed` with the failure
+/// detector (and epoch fencing) enabled, and returns the checker's verdict.
+///
+/// The schedule layers the recovery machinery over a lossy link: a
+/// partition that drives (revocable) suspicion, a crash that the detector
+/// converts into death and checkpoint reinstantiation, a scripted **zombie
+/// restart** under the stale incarnation that fencing must neutralize, and
+/// an honest restart that rejoins under a fresh epoch. The trace must be
+/// violation-free — in particular, zero stale-incarnation findings.
+///
+/// # Panics
+///
+/// Panics if the runtime surfaces an error this schedule cannot produce
+/// (anything but a timeout or a fail-fast `NodeDown`).
+#[must_use]
+pub fn replay_recovery_seed(seed: u64) -> CheckOutcome {
+    let outcome = run_recovery_schedule(seed, true);
+    CheckOutcome {
+        seed,
+        report: outcome,
+    }
+}
+
+/// Replays every seed in `seeds` through the recovery schedule.
+#[must_use]
+pub fn replay_recovery_seeds(seeds: &[u64]) -> Vec<CheckOutcome> {
+    seeds.iter().map(|&s| replay_recovery_seed(s)).collect()
+}
+
+/// Negative control for `repro check --recovery`: the same zombie-restart
+/// schedule with fencing disabled. The zombie double-installs the
+/// reinstantiated object, and the returned report must **not** be clean —
+/// proving the stale-incarnation invariant actually bites.
+#[must_use]
+pub fn replay_zombie_negative(seed: u64) -> CheckOutcome {
+    let outcome = run_recovery_schedule(seed, false);
+    CheckOutcome {
+        seed,
+        report: outcome,
+    }
+}
+
+fn run_recovery_schedule(seed: u64, fenced: bool) -> CheckReport {
+    let plan = FaultPlan::seeded(seed)
+        .drop_probability(0.05)
+        .delay_probability(0.05, 2);
+    let mut builder = Cluster::builder()
+        .nodes(NODES)
+        .policy(PolicyKind::TransientPlacement)
+        .faults(plan)
+        .call_timeout(Duration::from_millis(100))
+        .invoke_retries(2)
+        .lease_ms(LEASE_MS)
+        .manual_clock()
+        .failure_detector(RECOVERY_HEARTBEAT_MS, RECOVERY_K_MISSED)
+        .trace();
+    if !fenced {
+        builder = builder.unfenced();
+    }
+    let cluster = builder.build();
+    cluster.register_type("counter", |bytes| {
+        let mut r = WireReader::new(bytes);
+        Box::new(Counter(r.u64().expect("valid counter state")))
+    });
+
+    let objects: Vec<ObjectId> = (0..3)
+        .map(|i| {
+            cluster
+                .create(n(i), Box::new(Counter(0)))
+                .expect("creation is on the reliable channel")
+        })
+        .collect();
+
+    for i in 0..OPS {
+        let obj = objects[(i % 3) as usize];
+        match i {
+            // a partition drives suspicion (and fail-fast), then heals: the
+            // suspicion must be revoked, not escalated to death
+            8 => {
+                cluster.partition(n(0), n(1)).expect("valid nodes");
+                cluster.detector_sweep();
+            }
+            14 => {
+                cluster.heal(n(0), n(1)).expect("valid nodes");
+                cluster.detector_sweep();
+            }
+            // a real crash: the next sweep after the detection window
+            // declares death and reinstantiates the stranded objects
+            16 => cluster.crash_node(n(2)).expect("crash joins the worker"),
+            18 => {
+                cluster.advance_clock(RECOVERY_DETECTION_MS);
+                cluster.detector_sweep();
+            }
+            // the zombie restart: under fencing it must change nothing
+            24 => cluster
+                .zombie_restart_node(n(2))
+                .expect("zombie respawns under the stale epoch"),
+            // the honest restart reaps the exited zombie and rejoins under a
+            // fresh epoch — only meaningful when fencing made the zombie
+            // exit; an unfenced zombie keeps running as the node's worker
+            30 if fenced => restart_until_up(&cluster, n(2)),
+            _ => {}
+        }
+        if i % 3 == 0 {
+            if let Ok(guard) = cluster.move_block(obj, n((i % u64::from(NODES)) as u32)) {
+                drop(guard);
+            }
+        }
+        match cluster.invoke(obj, "add", &WireWriter::new().u64(1).finish()) {
+            Ok(_) | Err(RuntimeError::Timeout { .. } | RuntimeError::NodeDown(_)) => {}
+            Err(other) => panic!("op {i}: unexpected error {other}"),
+        }
+    }
+
+    cluster.heal_all();
+    if fenced {
+        restart_until_up(&cluster, n(2));
+    }
+    cluster.advance_clock(2 * LEASE_MS);
+    cluster.sweep_leases();
+    cluster.shutdown();
+    check_trace(&cluster.take_trace())
+}
+
 /// Drives a small fault-free scenario that touches every named lock site —
 /// including the one legal nesting (`shared.alliances` before
 /// `shared.attachments`, taken by `attach`) — so the debug-build
@@ -226,6 +372,27 @@ mod tests {
         let outcome = replay_chaos_seed(0xC0A5);
         assert!(outcome.report.events > 100, "tracing must be on");
         assert!(outcome.report.is_clean(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn recovery_schedule_is_clean_when_fenced() {
+        let outcome = replay_recovery_seed(CHAOS_SEEDS[0]);
+        assert!(outcome.report.events > 100, "tracing must be on");
+        assert!(outcome.report.is_clean(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn recovery_schedule_is_flagged_when_unfenced() {
+        let outcome = replay_zombie_negative(CHAOS_SEEDS[0]);
+        assert!(
+            !outcome.report.is_clean(),
+            "the unfenced zombie must trip the stale-incarnation invariant"
+        );
+        let rendered = outcome.report.to_string();
+        assert!(
+            rendered.contains("stale incarnation"),
+            "expected a stale-incarnation violation, got: {rendered}"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use oml_check::event::{EventKind, ReleaseCause, TraceEvent, CLIENT_PROCESS};
 use oml_core::alliance::AllianceRegistry;
 use oml_core::attach::{AttachOutcome, AttachmentGraph, AttachmentMode};
@@ -15,12 +15,14 @@ use oml_core::error::AttachError;
 use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
 use oml_core::object::Mobility;
 use oml_core::policy::{MovePolicy, PolicyKind};
+use parking_lot::Mutex as PlainMutex;
 
 use crate::error::RuntimeError;
 use crate::fault::{self, Delivery, FaultInjector, FaultPlan};
 use crate::message::{Envelope, Message, MAX_HOPS};
 use crate::node::NodeWorker;
 use crate::object::{Delinearizer, MobileObject, TypeRegistry};
+use crate::recovery::{Admission, Checkpoint, DetectorConfig, NodeHealth, RecoveryState};
 use crate::trace::{OrderedMutex, OrderedRwLock, TraceCollector};
 
 /// Monotone activity counters, readable while the cluster runs.
@@ -34,6 +36,11 @@ pub(crate) struct Counters {
     pub(crate) timeouts: AtomicU64,
     pub(crate) retries: AtomicU64,
     pub(crate) leases_expired: AtomicU64,
+    pub(crate) suspicions: AtomicU64,
+    pub(crate) false_suspicions: AtomicU64,
+    pub(crate) reinstantiations: AtomicU64,
+    pub(crate) fenced_stale: AtomicU64,
+    pub(crate) breaker_opens: AtomicU64,
 }
 
 /// A point-in-time snapshot of a cluster's activity.
@@ -55,6 +62,20 @@ pub struct ClusterStats {
     pub retries: u64,
     /// Placement locks released by lease expiry (the recovery path).
     pub leases_expired: u64,
+    /// Nodes the failure detector began suspecting (missed beats or
+    /// partitions). Zero without a detector.
+    pub suspicions: u64,
+    /// Suspicions that were later revoked (the node was merely slow or
+    /// partitioned and came back).
+    pub false_suspicions: u64,
+    /// Objects reinstantiated from their checkpoints after their host was
+    /// declared dead.
+    pub reinstantiations: u64,
+    /// Messages rejected by epoch fencing (stale sender incarnations and
+    /// stale object-epoch installs).
+    pub fenced_stale: u64,
+    /// Circuit-breaker open transitions (suspicion, death, failed probes).
+    pub breaker_opens: u64,
 }
 
 /// The cluster's notion of lease time: wall-clock milliseconds since build,
@@ -64,9 +85,11 @@ pub(crate) enum RuntimeClock {
     Manual(AtomicU64),
 }
 
-/// One object stranded by a crashed worker: its home node, identity, and
-/// live instance, parked until that node restarts.
-pub(crate) type StashedObject = (NodeId, ObjectId, Box<dyn MobileObject>);
+/// One object stranded by a crashed worker: its host node, identity, live
+/// instance and object epoch at stash time, parked until that node restarts.
+/// A restart only reclaims entries whose epoch is still current — an object
+/// reinstantiated elsewhere while the node was down stays where it is.
+pub(crate) type StashedObject = (NodeId, ObjectId, Box<dyn MobileObject>, u64);
 
 /// State shared by every node worker and the cluster facade.
 pub(crate) struct Shared {
@@ -84,6 +107,9 @@ pub(crate) struct Shared {
     pub(crate) injector: FaultInjector,
     /// Objects stranded by a crashed worker, waiting for its restart.
     pub(crate) stash: OrderedMutex<Vec<StashedObject>>,
+    /// The crash-recovery subsystem; `None` unless a failure detector was
+    /// configured, in which case the runtime behaves exactly as before.
+    pub(crate) recovery: Option<RecoveryState>,
     pub(crate) clock: RuntimeClock,
     /// Protocol trace collection (disabled unless built with
     /// [`ClusterBuilder::trace`]).
@@ -105,7 +131,8 @@ pub(crate) struct Shared {
 
 impl Shared {
     /// Routes one message to `to`, applying the fault plan. `from` is the
-    /// sending node, or `None` for the client facade.
+    /// sending node together with its incarnation epoch (stamped on the
+    /// envelope for fencing), or `None` for the client facade.
     ///
     /// Control messages (invocations, move-requests, end-requests) are
     /// subject to drops, duplicates, delays and partitions; state transfer
@@ -118,20 +145,20 @@ impl Shared {
     /// processed.
     pub(crate) fn send_from(
         &self,
-        from: Option<NodeId>,
+        from: Option<(NodeId, u64)>,
         to: NodeId,
         msg: Message,
     ) -> Result<(), RuntimeError> {
         if self.down.load(Ordering::Acquire) {
             return Err(RuntimeError::ShuttingDown);
         }
-        let from_raw = from.map_or(fault::CLIENT, NodeId::as_u32);
+        let (from_raw, epoch) = from.map_or((fault::CLIENT, 0), |(n, e)| (n.as_u32(), e));
         let faultable = matches!(
             msg,
             Message::Invoke { .. } | Message::MoveRequest { .. } | Message::EndRequest { .. }
         );
         if !faultable {
-            let env = self.trace_envelope(from_raw, to, msg);
+            let env = self.trace_envelope(from_raw, epoch, to, msg);
             return self.senders[to.index()]
                 .send(env)
                 .map_err(|_| RuntimeError::ShuttingDown);
@@ -146,10 +173,10 @@ impl Shared {
                 let mut msgs = Vec::with_capacity(copies as usize);
                 if copies > 1 {
                     if let Some(dup) = clone_control(&msg) {
-                        msgs.push(self.trace_envelope(from_raw, to, dup));
+                        msgs.push(self.trace_envelope(from_raw, epoch, to, dup));
                     }
                 }
-                msgs.push(self.trace_envelope(from_raw, to, msg));
+                msgs.push(self.trace_envelope(from_raw, epoch, to, msg));
                 let tx = self.senders[to.index()].clone();
                 if delay_ms > 0 {
                     // deliver later from a detached thread; a message landing
@@ -174,9 +201,12 @@ impl Shared {
     /// the matching `Send` event in the sender's program order. A duplicated
     /// message passes through twice and gets two ids — two physical copies,
     /// two sends, exactly what the happens-before construction expects.
-    fn trace_envelope(&self, from: u32, to: NodeId, msg: Message) -> Envelope {
+    fn trace_envelope(&self, from: u32, epoch: u64, to: NodeId, msg: Message) -> Envelope {
         if !self.trace.is_enabled() {
-            return Envelope::untraced(msg);
+            let mut env = Envelope::untraced(msg);
+            env.from = from;
+            env.epoch = epoch;
+            return env;
         }
         let msg_id = self.trace.next_msg_id();
         self.trace.emit(
@@ -189,6 +219,8 @@ impl Shared {
         );
         Envelope {
             trace_id: msg_id,
+            from,
+            epoch,
             msg,
         }
     }
@@ -232,6 +264,298 @@ impl Shared {
         x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
         x ^= x >> 31;
         x % bound_ms.max(1)
+    }
+
+    // ---- crash-recovery plumbing (all no-ops without a detector) ----
+
+    /// Whether the crash-recovery subsystem is active at all — workers use
+    /// this to skip checkpoint linearization entirely when it is not.
+    pub(crate) fn detector_enabled(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Whether epoch fencing is active.
+    pub(crate) fn fenced(&self) -> bool {
+        self.recovery.as_ref().is_some_and(|r| r.fenced)
+    }
+
+    /// The current incarnation of `node` (raw id); 1 without a detector.
+    pub(crate) fn incarnation(&self, node: u32) -> u64 {
+        self.recovery
+            .as_ref()
+            .map_or(1, |r| r.incarnation(node as usize))
+    }
+
+    /// Records a heartbeat from incarnation `epoch` of `node`.
+    pub(crate) fn beat(&self, node: NodeId, epoch: u64) {
+        if let Some(rec) = &self.recovery {
+            rec.beat(node.index(), epoch, self.now_ms());
+        }
+    }
+
+    /// The object's current epoch (0 without a detector or before any
+    /// reinstantiation).
+    pub(crate) fn object_epoch(&self, object: ObjectId) -> u64 {
+        self.recovery.as_ref().map_or(0, |r| {
+            r.object_epochs.read().get(&object).copied().unwrap_or(0)
+        })
+    }
+
+    /// Seeds the passive checkpoint at creation (records the home node).
+    pub(crate) fn checkpoint_init(
+        &self,
+        object: ObjectId,
+        home: NodeId,
+        type_tag: String,
+        state: Bytes,
+    ) {
+        if let Some(rec) = &self.recovery {
+            rec.checkpoints.lock().insert(
+                object,
+                Checkpoint {
+                    home,
+                    type_tag,
+                    state,
+                },
+            );
+        }
+    }
+
+    /// Refreshes the checkpoint's linearized state (install / end / lease
+    /// events — the points where a consistent copy is in hand anyway).
+    pub(crate) fn checkpoint_refresh(&self, object: ObjectId, type_tag: &str, state: Bytes) {
+        if let Some(rec) = &self.recovery {
+            if let Some(ckpt) = rec.checkpoints.lock().get_mut(&object) {
+                type_tag.clone_into(&mut ckpt.type_tag);
+                ckpt.state = state;
+            }
+        }
+    }
+
+    /// The circuit breaker's verdict on calling `node`: `Err(NodeDown)` to
+    /// fail fast, `Ok` to proceed (possibly as the half-open probe — report
+    /// the outcome with [`Shared::settle_call`]).
+    pub(crate) fn admit(&self, node: NodeId) -> Result<(), RuntimeError> {
+        if let Some(rec) = &self.recovery {
+            if matches!(rec.admit(node.index()), Admission::FailFast) {
+                return Err(RuntimeError::NodeDown(node));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reports a call's transport outcome to the breaker (only a half-open
+    /// probe actually transitions), counting and tracing a reopen.
+    pub(crate) fn settle_call(&self, node: NodeId, success: bool) {
+        if let Some(rec) = &self.recovery {
+            if rec.settle(node.index(), success) {
+                self.counters.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                self.trace
+                    .emit(CLIENT_PROCESS, EventKind::BreakerOpen { node });
+            }
+        }
+    }
+
+    /// Marks the node's worker as gone (crash stash path).
+    pub(crate) fn mark_crashed(&self, node: NodeId) {
+        if let Some(rec) = &self.recovery {
+            rec.mark_crashed(node.index());
+        }
+    }
+
+    /// Re-admits a restarting node under a fresh incarnation: marks it
+    /// alive and healthy and gives an open breaker a probe slot. Returns the
+    /// new incarnation the respawned worker must stamp its messages with.
+    pub(crate) fn rejoin(&self, node: NodeId) -> u64 {
+        let Some(rec) = &self.recovery else {
+            return 1;
+        };
+        // the epoch lock serializes this against a concurrent declare-dead:
+        // whichever runs second sees the other's verdict and stays consistent
+        let _guard = rec.epoch_lock.lock();
+        let epoch = rec.bump_incarnation(node.index());
+        rec.mark_alive(node.index(), self.now_ms());
+        rec.set_health(node.index(), NodeHealth::Up);
+        rec.half_open_breaker(node.index());
+        epoch
+    }
+
+    /// Refreshes every live node's heartbeat to the current clock — called
+    /// when the manual clock jumps, standing in for the beats the workers
+    /// would have produced continuously across the (instantaneous) jump.
+    pub(crate) fn refresh_beats(&self) {
+        if let Some(rec) = &self.recovery {
+            rec.refresh_alive_beats(self.now_ms());
+        }
+    }
+
+    /// One failure-detector sweep: suspects silent or partitioned nodes,
+    /// clears suspicions (and half-opens breakers) when beats resume, and
+    /// declares dead the nodes whose workers are actually gone.
+    pub(crate) fn detector_sweep(&self) {
+        let Some(rec) = &self.recovery else {
+            return;
+        };
+        let now = self.now_ms();
+        let window = rec.config.suspicion_after_ms();
+        for i in 0..self.senders.len() {
+            if rec.health(i) == NodeHealth::Dead {
+                continue;
+            }
+            let node = NodeId::new(i as u32);
+            let missed = now.saturating_sub(rec.last_beat(i)) > window;
+            let isolated = self.injector.is_isolated(i as u32);
+            if missed && !rec.is_alive(i) {
+                // silent *and* its worker is gone: this is a real death
+                self.declare_dead(node);
+                continue;
+            }
+            match rec.health(i) {
+                NodeHealth::Up if missed || isolated => {
+                    rec.set_health(i, NodeHealth::Suspected);
+                    self.counters.suspicions.fetch_add(1, Ordering::Relaxed);
+                    self.trace
+                        .emit(CLIENT_PROCESS, EventKind::Suspected { node });
+                    if rec.open_breaker(i) {
+                        self.counters.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                        self.trace
+                            .emit(CLIENT_PROCESS, EventKind::BreakerOpen { node });
+                    }
+                    self.injector.note(format!("suspect {node}"));
+                }
+                NodeHealth::Suspected if !missed && !isolated => {
+                    rec.set_health(i, NodeHealth::Up);
+                    self.counters
+                        .false_suspicions
+                        .fetch_add(1, Ordering::Relaxed);
+                    rec.half_open_breaker(i);
+                    self.injector.note(format!("clear-suspect {node}"));
+                }
+                NodeHealth::Up => {
+                    // beating normally: an open breaker (e.g. after a failed
+                    // probe or a transient timeout) gets a fresh probe slot
+                    rec.half_open_breaker(i);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Declares `node` dead: fences its incarnation, bumps the epochs of the
+    /// objects it hosted, releases their placement locks and reinstantiates
+    /// them from their checkpoints at live nodes.
+    fn declare_dead(&self, node: NodeId) {
+        let Some(rec) = &self.recovery else {
+            return;
+        };
+        let i = node.index();
+        // Epoch arithmetic under the epoch lock; everything that sends (or
+        // takes the policy lock) happens after it is released.
+        let reinstated: Vec<(ObjectId, u64)> = {
+            let _guard = rec.epoch_lock.lock();
+            if rec.is_alive(i) || rec.health(i) == NodeHealth::Dead {
+                // restarted concurrently, or a racing sweep got here first
+                return;
+            }
+            rec.set_health(i, NodeHealth::Dead);
+            rec.bump_incarnation(i);
+            let stranded: Vec<ObjectId> = {
+                let dir = self.directory.read();
+                dir.iter()
+                    .filter(|&(_, &n)| n == node)
+                    .map(|(&o, _)| o)
+                    .collect()
+            };
+            let mut epochs = rec.object_epochs.write();
+            stranded
+                .iter()
+                .map(|&o| {
+                    let e = epochs.entry(o).or_insert(0);
+                    *e += 1;
+                    (o, *e)
+                })
+                .collect()
+        };
+        if rec.open_breaker(i) {
+            self.counters.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            self.trace
+                .emit(CLIENT_PROCESS, EventKind::BreakerOpen { node });
+        }
+        self.injector.note(format!("declare-dead {node}"));
+        self.trace
+            .emit(CLIENT_PROCESS, EventKind::DeclaredDead { node });
+        let stranded: Vec<ObjectId> = reinstated.iter().map(|&(o, _)| o).collect();
+        if !stranded.is_empty() {
+            // idempotent against crash_node's own release: locks already
+            // released yield nothing here
+            let mut policy = self.policy.lock();
+            for (object, block) in policy.release_locks_for(&stranded) {
+                self.trace.emit(
+                    CLIENT_PROCESS,
+                    EventKind::LockReleased {
+                        object,
+                        block,
+                        cause: ReleaseCause::Crash,
+                    },
+                );
+            }
+        }
+        for (object, epoch) in reinstated {
+            let ckpt = {
+                let ckpts = rec.checkpoints.lock();
+                ckpts
+                    .get(&object)
+                    .map(|c| (c.home, c.type_tag.clone(), c.state.clone()))
+            };
+            let Some((home, type_tag, state)) = ckpt else {
+                continue; // no checkpoint (detector configured but object predates it)
+            };
+            let Some(target) = self.pick_target(home, node) else {
+                continue; // no live node to host it — stays lost until a restart
+            };
+            // directory first: invocations park at the target until the
+            // Install drains, exactly like creation
+            self.directory_set(object, target);
+            self.trace.emit(
+                CLIENT_PROCESS,
+                EventKind::Reinstantiated {
+                    object,
+                    at: target,
+                    epoch,
+                },
+            );
+            self.counters
+                .reinstantiations
+                .fetch_add(1, Ordering::Relaxed);
+            self.injector
+                .note(format!("reinstantiate {object} at {target}"));
+            let _ = self.send_from(
+                None,
+                target,
+                Message::Install {
+                    object,
+                    type_tag,
+                    state,
+                    object_epoch: epoch,
+                    install_for: None,
+                },
+            );
+        }
+    }
+
+    /// Where to reinstantiate: the object's home if it is live and healthy,
+    /// else the lowest-indexed live healthy node.
+    fn pick_target(&self, home: NodeId, dead: NodeId) -> Option<NodeId> {
+        let rec = self.recovery.as_ref()?;
+        let usable = |n: NodeId| {
+            n != dead && rec.is_alive(n.index()) && rec.health(n.index()) == NodeHealth::Up
+        };
+        if usable(home) {
+            return Some(home);
+        }
+        (0..self.senders.len() as u32)
+            .map(NodeId::new)
+            .find(|&n| usable(n))
     }
 }
 
@@ -303,6 +627,8 @@ pub struct ClusterBuilder {
     lease_ms: Option<u64>,
     manual_clock: bool,
     trace: bool,
+    detector: Option<DetectorConfig>,
+    unfenced: bool,
 }
 
 impl ClusterBuilder {
@@ -391,6 +717,42 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables the failure detector — and with it the whole crash-recovery
+    /// subsystem: heartbeats, suspicion after `k_missed * heartbeat_ms` of
+    /// silence, epoch fencing, passive home checkpoints, reinstantiation of
+    /// a dead node's objects, and per-node circuit breakers (calls to
+    /// suspected or dead nodes fail fast with
+    /// [`RuntimeError::NodeDown`]). Without this call the runtime behaves
+    /// exactly as before.
+    ///
+    /// Under a wall clock a monitor thread sweeps the detector every
+    /// `heartbeat_ms`; under [`ClusterBuilder::manual_clock`] call
+    /// [`Cluster::detector_sweep`] after advancing the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heartbeat_ms` or `k_missed` is zero.
+    #[must_use]
+    pub fn failure_detector(mut self, heartbeat_ms: u64, k_missed: u32) -> Self {
+        assert!(heartbeat_ms > 0, "a zero heartbeat interval cannot beat");
+        assert!(k_missed > 0, "suspicion needs at least one missed beat");
+        self.detector = Some(DetectorConfig {
+            heartbeat_ms,
+            k_missed,
+        });
+        self
+    }
+
+    /// Disables epoch fencing (negative-testing hook): zombie workers and
+    /// their stale messages are then *not* rejected, so
+    /// [`Cluster::zombie_restart_node`] observably corrupts state — the
+    /// scenario `oml-check`'s stale-incarnation invariant exists to catch.
+    #[must_use]
+    pub fn unfenced(mut self) -> Self {
+        self.unfenced = true;
+        self
+    }
+
     /// Enables protocol trace collection: every node (and the client
     /// facade) records the structured events `oml-check` replays —
     /// sends/receives with message ids, residency transitions, move
@@ -420,6 +782,9 @@ impl ClusterBuilder {
         };
         let plan = self.fault_plan.unwrap_or_else(|| FaultPlan::seeded(0));
         let jitter_seed = plan.seed();
+        let recovery = self
+            .detector
+            .map(|cfg| RecoveryState::new(self.nodes as usize, cfg, !self.unfenced));
         let shared = Arc::new(Shared {
             senders,
             receivers,
@@ -435,6 +800,7 @@ impl ClusterBuilder {
             counters: Counters::default(),
             injector: FaultInjector::new(plan),
             stash: OrderedMutex::new("shared.stash", Vec::new()),
+            recovery,
             clock: if self.manual_clock {
                 RuntimeClock::Manual(AtomicU64::new(0))
             } else {
@@ -450,21 +816,50 @@ impl ClusterBuilder {
             down: AtomicBool::new(false),
         });
         let handles = (0..self.nodes as usize)
-            .map(|i| Some(spawn_worker(&shared, NodeId::new(i as u32))))
+            .map(|i| Some(spawn_worker(&shared, NodeId::new(i as u32), 1)))
             .collect();
+        // under a wall clock the detector needs someone to sweep it; under a
+        // manual clock tests drive Cluster::detector_sweep themselves
+        let monitor = match (&shared.recovery, self.manual_clock) {
+            (Some(rec), false) => {
+                let hb = rec.config.heartbeat_ms;
+                let monitor_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("oml-monitor".to_owned())
+                        .spawn(move || {
+                            // short steps so shutdown is prompt even with
+                            // long heartbeat intervals
+                            let step = Duration::from_millis(hb.clamp(1, 10));
+                            let mut last_sweep = 0u64;
+                            while !monitor_shared.is_closing() {
+                                std::thread::sleep(step);
+                                let now = monitor_shared.now_ms();
+                                if now.saturating_sub(last_sweep) >= hb {
+                                    last_sweep = now;
+                                    monitor_shared.detector_sweep();
+                                }
+                            }
+                        })
+                        .expect("spawn detector monitor"),
+                )
+            }
+            _ => None,
+        };
         Cluster {
             shared,
             handles: OrderedMutex::new("cluster.handles", handles),
+            monitor: PlainMutex::new(monitor),
         }
     }
 }
 
-fn spawn_worker(shared: &Arc<Shared>, id: NodeId) -> JoinHandle<()> {
+fn spawn_worker(shared: &Arc<Shared>, id: NodeId, epoch: u64) -> JoinHandle<()> {
     let shared = Arc::clone(shared);
     let rx = shared.receivers[id.index()].clone();
     std::thread::Builder::new()
         .name(format!("oml-node-{}", id.index()))
-        .spawn(move || NodeWorker::new(id, shared, rx).run())
+        .spawn(move || NodeWorker::new(id, shared, rx, epoch).run())
         .expect("spawn node worker")
 }
 
@@ -473,6 +868,8 @@ pub struct Cluster {
     shared: Arc<Shared>,
     /// One slot per node; `None` while that node is crashed.
     handles: OrderedMutex<Vec<Option<JoinHandle<()>>>>,
+    /// The failure-detector sweep thread (wall-clock detectors only).
+    monitor: PlainMutex<Option<JoinHandle<()>>>,
 }
 
 impl Cluster {
@@ -490,6 +887,8 @@ impl Cluster {
             lease_ms: None,
             manual_clock: false,
             trace: false,
+            detector: None,
+            unfenced: false,
         }
     }
 
@@ -511,9 +910,10 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns [`RuntimeError::UnknownNode`] for an out-of-range node,
-    /// [`RuntimeError::ShuttingDown`] if the cluster is stopping, and
-    /// [`RuntimeError::Timeout`] when the deadline elapses (e.g. the node
-    /// is crashed).
+    /// [`RuntimeError::ShuttingDown`] if the cluster is stopping,
+    /// [`RuntimeError::NodeDown`] immediately when the failure detector has
+    /// the node suspected or dead, and [`RuntimeError::Timeout`] when the
+    /// deadline elapses (e.g. the node is crashed without a detector).
     pub fn create(
         &self,
         node: NodeId,
@@ -521,11 +921,19 @@ impl Cluster {
     ) -> Result<ObjectId, RuntimeError> {
         self.check_node(node)?;
         self.check_live()?;
+        self.shared.admit(node)?;
         let object = ObjectId::new(self.shared.next_object.fetch_add(1, Ordering::Relaxed));
         // the directory knows the object before the Create lands, so early
         // invocations park at the right node
         self.shared.directory_set(object, node);
-        let (reply, rx) = unbounded();
+        // the home checkpoint starts as the object's birth state
+        self.shared.checkpoint_init(
+            object,
+            node,
+            instance.type_tag().to_owned(),
+            Bytes::from(instance.linearize()),
+        );
+        let (reply, rx) = bounded(1);
         self.shared.send_from(
             None,
             node,
@@ -535,7 +943,9 @@ impl Cluster {
                 reply,
             },
         )?;
-        self.await_reply(&rx)??;
+        let res = self.await_reply(&rx);
+        self.shared.settle_call(node, res.is_ok());
+        res??;
         Ok(object)
     }
 
@@ -550,8 +960,9 @@ impl Cluster {
     /// # Errors
     ///
     /// Propagates [`RuntimeError`]: unknown object, method failure,
-    /// forwarding exhaustion, shutdown, or [`RuntimeError::Timeout`] once
-    /// every attempt's deadline elapsed.
+    /// forwarding exhaustion, shutdown, [`RuntimeError::NodeDown`] when
+    /// every attempt was failed fast by the circuit breaker, or
+    /// [`RuntimeError::Timeout`] once every attempt's deadline elapsed.
     pub fn invoke(
         &self,
         object: ObjectId,
@@ -563,14 +974,30 @@ impl Cluster {
         let attempts = self.shared.invoke_retries.saturating_add(1);
         let mut waited_ms = 0u64;
         let mut backoff_ms = 2u64;
+        let mut fast_fail: Option<RuntimeError> = None;
         for attempt in 0..attempts {
-            // re-resolve: the object may have moved (or its node restarted)
-            // since the lost attempt
+            // re-resolve: the object may have moved (or its node restarted,
+            // or the object been reinstantiated elsewhere) since the lost
+            // attempt
             let node = self
                 .shared
                 .directory_get(object)
                 .ok_or(RuntimeError::UnknownObject(object))?;
-            let (reply, rx) = unbounded();
+            if let Err(down) = self.shared.admit(node) {
+                // fail fast without touching the wire (no fault-plan
+                // sequence is consumed, so seeded runs stay reproducible);
+                // back off and re-resolve — a reinstantiation may land
+                fast_fail = Some(down);
+                if attempt + 1 < attempts {
+                    self.shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    let jitter = self.shared.next_jitter_ms(backoff_ms);
+                    std::thread::sleep(Duration::from_millis(backoff_ms + jitter));
+                    backoff_ms = backoff_ms.saturating_mul(2);
+                }
+                continue;
+            }
+            fast_fail = None;
+            let (reply, rx) = bounded(1);
             self.shared.send_from(
                 None,
                 node,
@@ -583,10 +1010,14 @@ impl Cluster {
                 },
             )?;
             match rx.recv_timeout(timeout) {
-                Ok(res) => return Ok(res?.to_vec()),
+                Ok(res) => {
+                    self.shared.settle_call(node, true);
+                    return Ok(res?.to_vec());
+                }
                 Err(_) => {
                     // Timeout, or the worker crashed holding our reply
                     // channel — both mean "no answer within the deadline"
+                    self.shared.settle_call(node, false);
                     waited_ms += timeout.as_millis() as u64;
                     self.shared
                         .counters
@@ -603,6 +1034,8 @@ impl Cluster {
         }
         if self.shared.is_closing() {
             Err(RuntimeError::ShuttingDown)
+        } else if let Some(down) = fast_fail {
+            Err(down)
         } else {
             Err(RuntimeError::Timeout { waited_ms })
         }
@@ -639,12 +1072,20 @@ impl Cluster {
             .shared
             .directory_get(object)
             .ok_or(RuntimeError::UnknownObject(object))?;
+        // both ends must be admitted: the host processes the request, the
+        // destination receives the object
+        self.shared.admit(node)?;
+        if let Err(down) = self.shared.admit(to) {
+            // hand back the probe slot admit(node) may have claimed
+            self.shared.settle_call(node, false);
+            return Err(down);
+        }
         let block = BlockId::new(self.shared.next_block.fetch_add(1, Ordering::Relaxed));
         self.shared.trace.emit(
             CLIENT_PROCESS,
             EventKind::MoveRequested { object, to, block },
         );
-        let (reply, rx) = unbounded();
+        let (reply, rx) = bounded(1);
         self.shared.send_from(
             None,
             node,
@@ -663,7 +1104,10 @@ impl Cluster {
         )?;
         // one attempt only: a move is not idempotent (re-sending could
         // grant twice under two blocks)
-        let granted = self.await_reply(&rx)??;
+        let res = self.await_reply(&rx);
+        self.shared.settle_call(node, res.is_ok());
+        self.shared.settle_call(to, res.is_ok());
+        let granted = res??;
         Ok(MoveGuard {
             cluster: self,
             object,
@@ -781,6 +1225,11 @@ impl Cluster {
             timeouts: c.timeouts.load(Relaxed),
             retries: c.retries.load(Relaxed),
             leases_expired: c.leases_expired.load(Relaxed),
+            suspicions: c.suspicions.load(Relaxed),
+            false_suspicions: c.false_suspicions.load(Relaxed),
+            reinstantiations: c.reinstantiations.load(Relaxed),
+            fenced_stale: c.fenced_stale.load(Relaxed),
+            breaker_opens: c.breaker_opens.load(Relaxed),
         }
     }
 
@@ -910,8 +1359,8 @@ impl Cluster {
             let stash = self.shared.stash.lock();
             stash
                 .iter()
-                .filter(|(home, _, _)| *home == node)
-                .map(|&(_, object, _)| object)
+                .filter(|(home, _, _, _)| *home == node)
+                .map(|(_, object, _, _)| *object)
                 .collect()
         };
         if !stranded.is_empty() {
@@ -936,21 +1385,93 @@ impl Cluster {
     /// (still-queued) channel and reclaims the stashed objects. Idempotent —
     /// restarting a running node is a no-op.
     ///
+    /// With a failure detector the node rejoins under a **fresh
+    /// incarnation**: its old epoch stays fenced, and reclamation skips any
+    /// stashed object that was reinstantiated elsewhere while the node was
+    /// down — the restarted node does not reclaim what it no longer owns.
+    ///
     /// # Errors
     ///
     /// [`RuntimeError::UnknownNode`] for an out-of-range node.
     pub fn restart_node(&self, node: NodeId) -> Result<(), RuntimeError> {
         self.check_node(node)?;
         let mut handles = self.handles.lock();
-        if handles[node.index()].is_some() {
-            return Ok(());
+        if let Some(handle) = &handles[node.index()] {
+            if !handle.is_finished() {
+                return Ok(());
+            }
+            // a fenced zombie exited on its own; reap it and respawn
+            if let Some(handle) = handles[node.index()].take() {
+                let _ = handle.join();
+            }
         }
         self.shared.injector.note(format!("restart {node}"));
         self.shared
             .trace
             .emit(CLIENT_PROCESS, EventKind::Restart { node });
-        handles[node.index()] = Some(spawn_worker(&self.shared, node));
+        let epoch = self.shared.rejoin(node);
+        handles[node.index()] = Some(spawn_worker(&self.shared, node, epoch));
         Ok(())
+    }
+
+    /// Fault-injection hook: restarts a crashed node under its **old**
+    /// incarnation — a "zombie" that believes it still owns its stashed
+    /// objects. With fencing (the default) the zombie notices the newer
+    /// epoch and exits without reclaiming anything; built
+    /// [`ClusterBuilder::unfenced`], it double-installs state the cluster
+    /// already reinstantiated elsewhere — the corruption `oml-check`'s
+    /// stale-incarnation invariant flags. Idempotent on a running node.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownNode`] for an out-of-range node.
+    pub fn zombie_restart_node(&self, node: NodeId) -> Result<(), RuntimeError> {
+        self.check_node(node)?;
+        let mut handles = self.handles.lock();
+        if let Some(handle) = &handles[node.index()] {
+            if !handle.is_finished() {
+                return Ok(());
+            }
+            if let Some(handle) = handles[node.index()].take() {
+                let _ = handle.join();
+            }
+        }
+        // the incarnation it crashed with: one before the current fence
+        let stale_epoch = self
+            .shared
+            .incarnation(node.as_u32())
+            .saturating_sub(1)
+            .max(1);
+        self.shared.injector.note(format!("zombie-restart {node}"));
+        self.shared
+            .trace
+            .emit(CLIENT_PROCESS, EventKind::Restart { node });
+        handles[node.index()] = Some(spawn_worker(&self.shared, node, stale_epoch));
+        Ok(())
+    }
+
+    /// Runs one failure-detector sweep at the current clock: suspects
+    /// silent or partitioned nodes, clears suspicions whose beats resumed,
+    /// and declares dead (reinstantiating their objects) the silent nodes
+    /// whose workers are actually gone. Under a wall clock the monitor
+    /// thread calls this every heartbeat; manual-clock tests call it
+    /// directly after [`Cluster::advance_clock`]. A no-op without a
+    /// detector.
+    pub fn detector_sweep(&self) {
+        self.shared.detector_sweep();
+    }
+
+    /// The failure detector's current verdict on `node`; `None` without a
+    /// detector or for an out-of-range node.
+    #[must_use]
+    pub fn node_health(&self, node: NodeId) -> Option<NodeHealth> {
+        if node.index() >= self.shared.senders.len() {
+            return None;
+        }
+        self.shared
+            .recovery
+            .as_ref()
+            .map(|rec| rec.health(node.index()))
     }
 
     /// Severs the link between two nodes (both directions) for control
@@ -1051,6 +1572,10 @@ impl Cluster {
         match &self.shared.clock {
             RuntimeClock::Manual(t) => {
                 t.fetch_add(ms, Ordering::Relaxed);
+                // the jump is instantaneous for the workers: credit every
+                // live node with the beats it would have produced across it
+                // (a crashed node's silence is exactly what must remain)
+                self.shared.refresh_beats();
             }
             RuntimeClock::Wall(_) => {
                 panic!("advance_clock requires ClusterBuilder::manual_clock")
@@ -1072,6 +1597,9 @@ impl Cluster {
         }
         for handle in self.handles.lock().iter_mut().filter_map(Option::take) {
             let _ = handle.join();
+        }
+        if let Some(monitor) = self.monitor.lock().take() {
+            let _ = monitor.join();
         }
         self.shared.down.store(true, Ordering::Release);
     }

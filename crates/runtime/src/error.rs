@@ -32,6 +32,11 @@ pub enum RuntimeError {
         /// How long the caller waited, in milliseconds (summed over retries).
         waited_ms: u64,
     },
+    /// The target node is currently suspected or declared dead by the
+    /// failure detector; the call failed fast instead of sleeping out its
+    /// deadline. Retrying after the object is reinstantiated (or the node
+    /// heals) will succeed.
+    NodeDown(NodeId),
     /// An operation declaration was invoked with the wrong number of object
     /// arguments.
     ArityMismatch {
@@ -57,6 +62,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ShuttingDown => write!(f, "cluster is shutting down"),
             RuntimeError::Timeout { waited_ms } => {
                 write!(f, "no reply within the deadline (waited {waited_ms} ms)")
+            }
+            RuntimeError::NodeDown(n) => {
+                write!(f, "node {n} is suspected or dead; call failed fast")
             }
             RuntimeError::ArityMismatch { expected, got } => {
                 write!(
@@ -95,6 +103,13 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("750 ms"), "{s}");
         assert!(s.contains("deadline"), "{s}");
+    }
+
+    #[test]
+    fn node_down_display_names_the_node() {
+        let s = RuntimeError::NodeDown(NodeId::new(2)).to_string();
+        assert!(s.contains("n2"), "{s}");
+        assert!(s.contains("failed fast"), "{s}");
     }
 
     #[test]

@@ -217,6 +217,16 @@ impl FaultInjector {
             .contains(&Self::normalize(NodeId::new(from), NodeId::new(to)))
     }
 
+    /// Whether `node` is an endpoint of any active partition — the failure
+    /// detector's view: a partitioned node is *suspected* (its peers stop
+    /// hearing from it) but never declared dead (it is still running).
+    pub(crate) fn is_isolated(&self, node: u32) -> bool {
+        self.partitions
+            .lock()
+            .iter()
+            .any(|&(a, b)| a == node || b == node)
+    }
+
     /// Appends a free-form line to the fault trace (crashes, restarts,
     /// partitions — scripted events that are part of the reproducible
     /// schedule).
@@ -379,6 +389,18 @@ mod tests {
         assert_ne!(inj.decide(CLIENT, 1, false, "m"), Delivery::Drop);
         inj.heal(NodeId::new(1), NodeId::new(0)); // order-insensitive
         assert_ne!(inj.decide(0, 1, false, "m"), Delivery::Drop);
+    }
+
+    #[test]
+    fn isolation_tracks_partition_membership() {
+        let inj = FaultInjector::new(FaultPlan::seeded(0));
+        assert!(!inj.is_isolated(0));
+        inj.partition(NodeId::new(0), NodeId::new(2));
+        assert!(inj.is_isolated(0));
+        assert!(inj.is_isolated(2));
+        assert!(!inj.is_isolated(1));
+        inj.heal_all();
+        assert!(!inj.is_isolated(0));
     }
 
     #[test]

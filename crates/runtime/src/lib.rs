@@ -101,6 +101,7 @@ mod fault;
 mod message;
 mod node;
 mod proxy;
+mod recovery;
 mod trace;
 
 pub mod error;
@@ -112,4 +113,5 @@ pub use error::RuntimeError;
 pub use fault::FaultPlan;
 pub use object::{Delinearizer, MobileObject};
 pub use proxy::ObjRef;
+pub use recovery::{DetectorConfig, NodeHealth};
 pub use trace::KNOWN_LOCK_ORDER;

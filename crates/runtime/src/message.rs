@@ -50,6 +50,12 @@ pub(crate) enum Message {
         object: ObjectId,
         type_tag: String,
         state: Bytes,
+        /// The object's epoch at ship time. When the failure detector is
+        /// active, receivers reject installs older than the object's current
+        /// epoch — a pre-crash install queued behind a reinstantiation can
+        /// never resurrect the dead incarnation's copy. Always 0 without a
+        /// detector.
+        object_epoch: u64,
         /// `Some` when this install completes a granted move: the block to
         /// install for and the requester to notify.
         install_for: Option<(BlockId, MoveReply)>,
@@ -92,16 +98,30 @@ pub(crate) const MAX_HOPS: u8 = 16;
 
 /// What actually travels on the channels: a message plus the trace id its
 /// `Send` event carried (0 when tracing is off or the message is a control
-/// sentinel — the receiver then emits no `Recv`).
+/// sentinel — the receiver then emits no `Recv`), stamped with the sender's
+/// identity and incarnation epoch for fencing.
 pub(crate) struct Envelope {
     pub(crate) trace_id: u64,
+    /// Raw id of the sending node, or [`crate::fault::CLIENT`] for the
+    /// client facade (which is never fenced).
+    pub(crate) from: u32,
+    /// The sender's incarnation at send time. Receivers that have seen a
+    /// newer incarnation of `from` drop the message (zombie fencing); 0 when
+    /// no detector is configured.
+    pub(crate) epoch: u64,
     pub(crate) msg: Message,
 }
 
 impl Envelope {
     /// Wraps a message that is not part of the traced protocol (shutdown and
-    /// crash sentinels, and every message when tracing is disabled).
+    /// crash sentinels, and every message when tracing is disabled). Control
+    /// sentinels originate at the client facade and are never fenced.
     pub(crate) fn untraced(msg: Message) -> Self {
-        Envelope { trace_id: 0, msg }
+        Envelope {
+            trace_id: 0,
+            from: crate::fault::CLIENT,
+            epoch: 0,
+            msg,
+        }
     }
 }

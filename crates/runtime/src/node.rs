@@ -12,6 +12,7 @@ use oml_core::policy::{EndAction, EndRequest, MoveDecision, MovePolicy, MoveRequ
 
 use crate::cluster::Shared;
 use crate::error::RuntimeError;
+use crate::fault;
 use crate::message::{Envelope, Message, MoveReply, MAX_HOPS};
 use crate::object::MobileObject;
 
@@ -25,6 +26,10 @@ pub(crate) struct NodeWorker {
     id: NodeId,
     shared: Arc<Shared>,
     rx: Receiver<Envelope>,
+    /// The incarnation this worker was spawned under; stamped on every
+    /// message it sends. A worker whose node has a newer incarnation is a
+    /// zombie and (when fencing is on) exits instead of acting.
+    epoch: u64,
     /// Objects installed at this node.
     objects: HashMap<ObjectId, Box<dyn MobileObject>>,
     /// Messages for objects the directory says are headed here but whose
@@ -34,22 +39,37 @@ pub(crate) struct NodeWorker {
 }
 
 impl NodeWorker {
-    pub(crate) fn new(id: NodeId, shared: Arc<Shared>, rx: Receiver<Envelope>) -> Self {
+    pub(crate) fn new(id: NodeId, shared: Arc<Shared>, rx: Receiver<Envelope>, epoch: u64) -> Self {
         NodeWorker {
             id,
             shared,
             rx,
+            epoch,
             objects: HashMap::new(),
             awaiting: HashMap::new(),
         }
     }
 
     pub(crate) fn run(mut self) {
+        if self.is_fenced() {
+            // a newer incarnation of this node exists: touch nothing
+            return;
+        }
         self.reclaim_stash();
         loop {
+            if self.is_fenced() {
+                // fenced while running (the node was declared dead behind
+                // this worker's back): exit without stashing — the cluster
+                // has already reinstantiated what it owned
+                return;
+            }
+            self.shared.beat(self.id, self.epoch);
             match self.rx.recv_timeout(TICK) {
                 Ok(env) => {
                     self.note_recv(&env);
+                    if self.reject_stale(&env) {
+                        continue;
+                    }
                     match env.msg {
                         Message::Shutdown => {
                             self.drain_for_shutdown();
@@ -68,6 +88,35 @@ impl NodeWorker {
         }
     }
 
+    /// Whether a newer incarnation of this node has been installed (fencing
+    /// on): this worker is a zombie and must not act.
+    fn is_fenced(&self) -> bool {
+        self.shared.fenced() && self.shared.incarnation(self.id.as_u32()) > self.epoch
+    }
+
+    /// Epoch fencing on receive: a message stamped with an incarnation older
+    /// than the latest known for its sender is from a dead incarnation (a
+    /// delayed duplicate, or a zombie) and is dropped. Client messages are
+    /// never fenced. The `Recv` was already noted — the physical dequeue
+    /// happened; the *drop* is this node's local decision.
+    fn reject_stale(&self, env: &Envelope) -> bool {
+        if !self.shared.fenced() || env.from == fault::CLIENT {
+            return false;
+        }
+        if env.epoch < self.shared.incarnation(env.from) {
+            self.shared
+                .counters
+                .fenced_stale
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.shared.trace.emit(
+                self.id.as_u32(),
+                EventKind::FencedStale { epoch: env.epoch },
+            );
+            return true;
+        }
+        false
+    }
+
     /// Records the dequeue of a traced message — the receive half of the
     /// happens-before edge its `Send` event opened.
     fn note_recv(&self, env: &Envelope) {
@@ -84,22 +133,43 @@ impl NodeWorker {
     /// On (re)start: adopt any objects a previous incarnation of this node
     /// stashed when it crashed. The stash guard is dropped before the
     /// directory updates so the stash lock never nests around another.
+    ///
+    /// With fencing active, entries whose object epoch is older than the
+    /// current one are discarded instead of reclaimed: the object was
+    /// reinstantiated elsewhere while this node was down, and the stashed
+    /// copy belongs to a fenced incarnation.
     fn reclaim_stash(&mut self) {
-        let mine: Vec<(ObjectId, Box<dyn MobileObject>)> = {
+        let mine: Vec<(ObjectId, Box<dyn MobileObject>, u64)> = {
             let mut stash = self.shared.stash.lock();
             let mut rest = Vec::new();
             let mut mine = Vec::new();
-            for (node, object, instance) in stash.drain(..) {
+            for (node, object, instance, epoch) in stash.drain(..) {
                 if node == self.id {
-                    mine.push((object, instance));
+                    mine.push((object, instance, epoch));
                 } else {
-                    rest.push((node, object, instance));
+                    rest.push((node, object, instance, epoch));
                 }
             }
             *stash = rest;
             mine
         };
-        for (object, instance) in mine {
+        let mine: Vec<(ObjectId, Box<dyn MobileObject>, u64)> = match &self.shared.recovery {
+            Some(rec) if rec.fenced => {
+                // filtered under the epoch lock so a concurrent declare-dead
+                // either bumped the epochs before we read them (entry
+                // dropped) or runs after and reinstantiates from checkpoints
+                // while we reclaim — it will abort on seeing the node alive
+                let _guard = rec.epoch_lock.lock();
+                let epochs = rec.object_epochs.read();
+                mine.into_iter()
+                    .filter(|(object, _, stashed_epoch)| {
+                        *stashed_epoch >= epochs.get(object).copied().unwrap_or(0)
+                    })
+                    .collect()
+            }
+            _ => mine,
+        };
+        for (object, instance, _) in mine {
             self.objects.insert(object, instance);
             self.shared.directory_set(object, self.id);
             // a reclaim is a refresh of the same residency, not a second
@@ -115,9 +185,21 @@ impl NodeWorker {
     /// the queue. Parked `awaiting` messages are dropped — their reply
     /// channels disconnect and the callers see their deadlines out.
     fn stash_for_crash(&mut self) {
+        // object epochs are read before the stash lock so the two Ordered
+        // locks never nest
+        let epochs: HashMap<ObjectId, u64> = self
+            .objects
+            .keys()
+            .map(|&object| (object, self.shared.object_epoch(object)))
+            .collect();
+        // the detector learns the worker is gone before the objects land in
+        // the stash; death is only declared after the suspicion window, long
+        // after the join() in crash_node ordered this stashing
+        self.shared.mark_crashed(self.id);
         let mut stash = self.shared.stash.lock();
         for (object, instance) in self.objects.drain() {
-            stash.push((self.id, object, instance));
+            let epoch = epochs.get(&object).copied().unwrap_or(0);
+            stash.push((self.id, object, instance, epoch));
         }
     }
 
@@ -130,13 +212,13 @@ impl NodeWorker {
             match env.msg {
                 msg @ (Message::EndRequest { .. } | Message::Install { .. }) => self.handle(msg),
                 Message::Create { reply, .. } => {
-                    let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                    let _ = reply.try_send(Err(RuntimeError::ShuttingDown));
                 }
                 Message::Invoke { reply, .. } => {
-                    let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                    let _ = reply.try_send(Err(RuntimeError::ShuttingDown));
                 }
                 Message::MoveRequest { reply, .. } => {
-                    let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                    let _ = reply.try_send(Err(RuntimeError::ShuttingDown));
                 }
                 Message::Surrender { .. } | Message::Shutdown | Message::Crash => {}
             }
@@ -145,13 +227,13 @@ impl NodeWorker {
             for msg in queued {
                 match msg {
                     Message::Create { reply, .. } => {
-                        let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                        let _ = reply.try_send(Err(RuntimeError::ShuttingDown));
                     }
                     Message::Invoke { reply, .. } => {
-                        let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                        let _ = reply.try_send(Err(RuntimeError::ShuttingDown));
                     }
                     Message::MoveRequest { reply, .. } => {
-                        let _ = reply.send(Err(RuntimeError::ShuttingDown));
+                        let _ = reply.try_send(Err(RuntimeError::ShuttingDown));
                     }
                     _ => {}
                 }
@@ -184,6 +266,19 @@ impl NodeWorker {
                 .counters
                 .leases_expired
                 .fetch_add(expired.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            // a lease expiry is a consistency point: refresh the checkpoints
+            // of the expired objects hosted here while their state is in hand
+            if self.shared.detector_enabled() {
+                for &(object, _) in &expired {
+                    if let Some(instance) = self.objects.get(&object) {
+                        self.shared.checkpoint_refresh(
+                            object,
+                            instance.type_tag(),
+                            Bytes::from(instance.linearize()),
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -199,7 +294,7 @@ impl NodeWorker {
                 self.shared
                     .trace
                     .emit(self.id.as_u32(), EventKind::Install { object });
-                let _ = reply.send(Ok(()));
+                let _ = reply.try_send(Ok(()));
                 self.drain_awaiting(object);
             }
             Message::Invoke { .. } => self.handle_invoke(msg),
@@ -208,8 +303,9 @@ impl NodeWorker {
                 object,
                 type_tag,
                 state,
+                object_epoch,
                 install_for,
-            } => self.handle_install(object, &type_tag, &state, install_for),
+            } => self.handle_install(object, &type_tag, &state, object_epoch, install_for),
             Message::Surrender { object, to } => {
                 // Double-checked at the host: the object may have moved on.
                 if self.objects.contains_key(&object) {
@@ -252,7 +348,7 @@ impl NodeWorker {
                     .counters
                     .forwards
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let _ = self.shared.send_from(Some(self.id), n, msg);
+                let _ = self.shared.send_from(Some((self.id, self.epoch)), n, msg);
                 Ok(())
             }
             None => Err(msg),
@@ -308,7 +404,7 @@ impl NodeWorker {
                     );
                 }
             }
-            let _ = reply.send(result);
+            let _ = reply.try_send(result);
             return;
         }
         let msg = Message::Invoke {
@@ -327,7 +423,7 @@ impl NodeWorker {
             } else {
                 RuntimeError::TooManyHops(object)
             };
-            let _ = reply.send(Err(err));
+            let _ = reply.try_send(Err(err));
         }
     }
 
@@ -363,7 +459,7 @@ impl NodeWorker {
             self.shared
                 .trace
                 .emit(self.id.as_u32(), EventKind::MoveDenied { object, block });
-            let _ = reply.send(Ok(false));
+            let _ = reply.try_send(Ok(false));
             return;
         }
         if !self.objects.contains_key(&object) {
@@ -385,7 +481,7 @@ impl NodeWorker {
                 } else {
                     RuntimeError::TooManyHops(object)
                 };
-                let _ = reply.send(Err(err));
+                let _ = reply.try_send(Err(err));
             }
             return;
         }
@@ -430,11 +526,11 @@ impl NodeWorker {
                     policy.on_installed(object, self.id, block);
                     self.emit_lock_acquired(&**policy, object, block);
                 }
-                let _ = reply.send(Ok(true));
+                let _ = reply.try_send(Ok(true));
             }
             MoveDecision::Grant => self.migrate_closure(object, to, context, Some((block, reply))),
             MoveDecision::Deny => {
-                let _ = reply.send(Ok(false));
+                let _ = reply.try_send(Ok(false));
             }
         }
     }
@@ -519,7 +615,7 @@ impl NodeWorker {
                 EventKind::SurrenderRequested { member, to },
             );
             let _ = self.shared.send_from(
-                Some(self.id),
+                Some((self.id, self.epoch)),
                 host,
                 Message::Surrender { object: member, to },
             );
@@ -540,7 +636,7 @@ impl NodeWorker {
             // migration instead (the requester, if any, learns of the
             // failure).
             if let Some((_, reply)) = install_for {
-                let _ = reply.send(Err(RuntimeError::UnknownType(type_tag)));
+                let _ = reply.try_send(Err(RuntimeError::UnknownType(type_tag)));
             }
             return;
         }
@@ -553,18 +649,20 @@ impl NodeWorker {
             .trace
             .emit(self.id.as_u32(), EventKind::Ship { object, to });
         let state = Bytes::from(instance.linearize());
+        let object_epoch = self.shared.object_epoch(object);
         self.shared.directory_set(object, to);
         if to == self.id {
             // degenerate self-migration: reinstall immediately
-            self.handle_install(object, &type_tag, &state, install_for);
+            self.handle_install(object, &type_tag, &state, object_epoch, install_for);
         } else {
             let _ = self.shared.send_from(
-                Some(self.id),
+                Some((self.id, self.epoch)),
                 to,
                 Message::Install {
                     object,
                     type_tag,
                     state,
+                    object_epoch,
                     install_for,
                 },
             );
@@ -576,13 +674,31 @@ impl NodeWorker {
         object: ObjectId,
         type_tag: &str,
         state: &Bytes,
+        object_epoch: u64,
         install_for: Option<(BlockId, MoveReply)>,
     ) {
+        if self.shared.fenced() && object_epoch < self.shared.object_epoch(object) {
+            // a pre-crash install queued (or delayed) behind a
+            // reinstantiation: the state it carries belongs to a fenced
+            // incarnation of the object. Drop it without replying — the
+            // requester, if any, sees its deadline out.
+            self.shared
+                .counters
+                .fenced_stale
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.shared.trace.emit(
+                self.id.as_u32(),
+                EventKind::FencedStale {
+                    epoch: object_epoch,
+                },
+            );
+            return;
+        }
         let Some(delinearize) = self.shared.registry.get(type_tag) else {
             // The sender checked, but the registry is shared and mutable;
             // fail the requester rather than panic the node.
             if let Some((_, reply)) = install_for {
-                let _ = reply.send(Err(RuntimeError::UnknownType(type_tag.to_owned())));
+                let _ = reply.try_send(Err(RuntimeError::UnknownType(type_tag.to_owned())));
             }
             return;
         };
@@ -591,6 +707,9 @@ impl NodeWorker {
         self.shared
             .trace
             .emit(self.id.as_u32(), EventKind::Install { object });
+        // an install is a natural checkpoint: the linearized state is in hand
+        self.shared
+            .checkpoint_refresh(object, type_tag, state.clone());
         {
             let mut policy = self.shared.policy.lock();
             policy.on_arrival(object, self.id);
@@ -600,7 +719,7 @@ impl NodeWorker {
             }
         }
         if let Some((_, reply)) = install_for {
-            let _ = reply.send(Ok(true));
+            let _ = reply.try_send(Ok(true));
         }
         self.drain_awaiting(object);
     }
@@ -630,6 +749,17 @@ impl NodeWorker {
             // the object's new host processes queued messages in order)
             let _ = self.route_elsewhere(object, msg);
             return;
+        }
+        // the end of a block is a consistency point: refresh the home
+        // checkpoint before the policy possibly migrates the object away
+        if self.shared.detector_enabled() {
+            if let Some(instance) = self.objects.get(&object) {
+                self.shared.checkpoint_refresh(
+                    object,
+                    instance.type_tag(),
+                    Bytes::from(instance.linearize()),
+                );
+            }
         }
         let action = {
             let mut policy = self.shared.policy.lock();

@@ -1,0 +1,345 @@
+//! Crash recovery: failure detection, epoch fencing, passive checkpoints
+//! and per-node circuit breakers.
+//!
+//! The paper's "comparing and reinstantiation" policy already sanctions
+//! re-creating an object elsewhere when its host is unreachable; this module
+//! supplies the machinery that makes doing so safe in the threads-and-
+//! channels runtime:
+//!
+//! * **Failure detector** — node workers heartbeat on every loop tick; a
+//!   node that misses `k_missed` consecutive heartbeat intervals is
+//!   *suspected*, and *declared dead* only when its worker is also known to
+//!   be gone. A partitioned node keeps beating (the detector also consults
+//!   the fault injector's partition table) so it is only ever suspected,
+//!   never declared dead.
+//! * **Incarnation epochs** — every node carries an incarnation number,
+//!   bumped when the node is declared dead and again when it rejoins. Every
+//!   message is stamped with its sender's incarnation; receivers drop
+//!   messages from incarnations older than the latest they know of, so a
+//!   zombie worker (or its delayed messages) cannot corrupt state installed
+//!   by its successor.
+//! * **Checkpoints** — each object's home keeps a linearized passive copy,
+//!   refreshed on create, migration install, `end()`-requests and lease
+//!   expiry. When a node is declared dead its stranded objects are
+//!   reinstantiated from these checkpoints under a bumped *object epoch*;
+//!   installs carrying an older object epoch are fenced.
+//! * **Circuit breaker** — one per node: `Open` on suspicion or death
+//!   (calls fail fast with [`crate::RuntimeError::NodeDown`]), `HalfOpen`
+//!   when heartbeats resume, at which point exactly one probe call is
+//!   admitted; its success closes the breaker, its failure reopens it.
+//!
+//! The whole subsystem is inert unless [`crate::ClusterBuilder::failure_detector`]
+//! is called: without a detector the runtime behaves exactly as before.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+use bytes::Bytes;
+use oml_core::ids::{NodeId, ObjectId};
+use parking_lot::Mutex;
+
+use crate::trace::{OrderedMutex, OrderedRwLock};
+
+/// Failure-detector tuning: how often nodes are expected to beat, and how
+/// many missed beats arouse suspicion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Expected heartbeat interval in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Consecutive missed beats before a node is suspected (and, if its
+    /// worker is gone, declared dead).
+    pub k_missed: u32,
+}
+
+impl DetectorConfig {
+    /// The silence window after which a node is suspected:
+    /// `k_missed * heartbeat_ms`.
+    #[must_use]
+    pub fn suspicion_after_ms(&self) -> u64 {
+        self.heartbeat_ms.saturating_mul(u64::from(self.k_missed))
+    }
+}
+
+/// The failure detector's current verdict on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Beating normally.
+    Up,
+    /// Missed beats or partitioned away — calls fail fast, but the node may
+    /// come back (suspicion is revocable).
+    Suspected,
+    /// Declared dead: its incarnation is fenced and its objects have been
+    /// reinstantiated. Only [`crate::Cluster::restart_node`] revives it.
+    Dead,
+}
+
+const HEALTH_UP: u8 = 0;
+const HEALTH_SUSPECTED: u8 = 1;
+const HEALTH_DEAD: u8 = 2;
+
+const BREAKER_CLOSED: u8 = 0;
+const BREAKER_OPEN: u8 = 1;
+const BREAKER_HALF_OPEN: u8 = 2;
+const BREAKER_PROBING: u8 = 3;
+
+/// What the circuit breaker says about admitting one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Breaker closed: proceed normally.
+    Proceed,
+    /// Breaker was half-open and this call won the probe slot: proceed, and
+    /// report the outcome via [`RecoveryState::settle`].
+    Probe,
+    /// Breaker open (or another probe is in flight): fail fast.
+    FailFast,
+}
+
+/// An object's passive copy, kept for reinstantiation after its host dies.
+pub(crate) struct Checkpoint {
+    /// The object's home node (where it was created) — the preferred
+    /// reinstantiation site.
+    pub(crate) home: NodeId,
+    pub(crate) type_tag: String,
+    pub(crate) state: Bytes,
+}
+
+/// All recovery-subsystem state, held in `Shared` when a detector is
+/// configured.
+pub(crate) struct RecoveryState {
+    pub(crate) config: DetectorConfig,
+    /// Epoch fencing active? Disabled by [`crate::ClusterBuilder::unfenced`]
+    /// (a negative-testing hook: zombies then corrupt state observably).
+    pub(crate) fenced: bool,
+    /// Current incarnation per node; starts at 1.
+    incarnations: Vec<AtomicU64>,
+    /// Whether the node's worker thread is (believed) running. Gates *death*
+    /// only — suspicion is pure heartbeat observation.
+    alive: Vec<AtomicBool>,
+    /// Lease-clock timestamp of each node's last accepted heartbeat.
+    last_beat: Vec<AtomicU64>,
+    health: Vec<AtomicU8>,
+    breakers: Vec<AtomicU8>,
+    /// Serializes epoch decisions (declare-dead vs restart vs stash
+    /// reclamation). Held only around epoch/stash arithmetic, never across
+    /// message sends.
+    pub(crate) epoch_lock: Mutex<()>,
+    /// Current epoch per object; bumped at reinstantiation. Absent = 0.
+    pub(crate) object_epochs: OrderedRwLock<HashMap<ObjectId, u64>>,
+    pub(crate) checkpoints: OrderedMutex<HashMap<ObjectId, Checkpoint>>,
+}
+
+impl RecoveryState {
+    pub(crate) fn new(nodes: usize, config: DetectorConfig, fenced: bool) -> Self {
+        RecoveryState {
+            config,
+            fenced,
+            incarnations: (0..nodes).map(|_| AtomicU64::new(1)).collect(),
+            alive: (0..nodes).map(|_| AtomicBool::new(true)).collect(),
+            last_beat: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            health: (0..nodes).map(|_| AtomicU8::new(HEALTH_UP)).collect(),
+            breakers: (0..nodes).map(|_| AtomicU8::new(BREAKER_CLOSED)).collect(),
+            epoch_lock: Mutex::new(()),
+            object_epochs: OrderedRwLock::new("shared.object_epochs", HashMap::new()),
+            checkpoints: OrderedMutex::new("shared.checkpoints", HashMap::new()),
+        }
+    }
+
+    pub(crate) fn incarnation(&self, node: usize) -> u64 {
+        self.incarnations[node].load(Ordering::Acquire)
+    }
+
+    /// Bumps and returns the node's new incarnation (fencing the old one).
+    pub(crate) fn bump_incarnation(&self, node: usize) -> u64 {
+        self.incarnations[node].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    pub(crate) fn is_alive(&self, node: usize) -> bool {
+        self.alive[node].load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_crashed(&self, node: usize) {
+        self.alive[node].store(false, Ordering::Release);
+    }
+
+    pub(crate) fn mark_alive(&self, node: usize, now_ms: u64) {
+        self.alive[node].store(true, Ordering::Release);
+        self.last_beat[node].store(now_ms, Ordering::Release);
+    }
+
+    /// Records a heartbeat from incarnation `epoch` of `node`. Beats from
+    /// fenced incarnations are ignored — a zombie cannot revive its node's
+    /// health.
+    pub(crate) fn beat(&self, node: usize, epoch: u64, now_ms: u64) {
+        if epoch < self.incarnation(node) {
+            return;
+        }
+        self.last_beat[node].fetch_max(now_ms, Ordering::AcqRel);
+    }
+
+    pub(crate) fn last_beat(&self, node: usize) -> u64 {
+        self.last_beat[node].load(Ordering::Acquire)
+    }
+
+    /// Refreshes every live node's heartbeat to `now_ms` — called when the
+    /// manual clock jumps, modelling the beats the workers would have
+    /// produced continuously across the (instantaneous) jump.
+    pub(crate) fn refresh_alive_beats(&self, now_ms: u64) {
+        for (i, beat) in self.last_beat.iter().enumerate() {
+            if self.alive[i].load(Ordering::Acquire) {
+                beat.fetch_max(now_ms, Ordering::AcqRel);
+            }
+        }
+    }
+
+    pub(crate) fn health(&self, node: usize) -> NodeHealth {
+        match self.health[node].load(Ordering::Acquire) {
+            HEALTH_SUSPECTED => NodeHealth::Suspected,
+            HEALTH_DEAD => NodeHealth::Dead,
+            _ => NodeHealth::Up,
+        }
+    }
+
+    pub(crate) fn set_health(&self, node: usize, health: NodeHealth) {
+        let raw = match health {
+            NodeHealth::Up => HEALTH_UP,
+            NodeHealth::Suspected => HEALTH_SUSPECTED,
+            NodeHealth::Dead => HEALTH_DEAD,
+        };
+        self.health[node].store(raw, Ordering::Release);
+    }
+
+    /// Opens the breaker; returns whether it actually transitioned (for the
+    /// `breaker_opens` counter).
+    pub(crate) fn open_breaker(&self, node: usize) -> bool {
+        self.breakers[node].swap(BREAKER_OPEN, Ordering::AcqRel) != BREAKER_OPEN
+    }
+
+    /// Moves an open breaker to half-open (heartbeats resumed — the next
+    /// call is admitted as a probe).
+    pub(crate) fn half_open_breaker(&self, node: usize) {
+        let _ = self.breakers[node].compare_exchange(
+            BREAKER_OPEN,
+            BREAKER_HALF_OPEN,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// The breaker's verdict for one call to `node`.
+    pub(crate) fn admit(&self, node: usize) -> Admission {
+        match self.breakers[node].load(Ordering::Acquire) {
+            BREAKER_CLOSED => Admission::Proceed,
+            BREAKER_HALF_OPEN => {
+                // exactly one caller wins the probe slot
+                if self.breakers[node]
+                    .compare_exchange(
+                        BREAKER_HALF_OPEN,
+                        BREAKER_PROBING,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    Admission::Probe
+                } else {
+                    Admission::FailFast
+                }
+            }
+            _ => Admission::FailFast,
+        }
+    }
+
+    /// Records a call's outcome: a successful probe closes the breaker, a
+    /// failed one reopens it. Returns whether the breaker (re)opened.
+    pub(crate) fn settle(&self, node: usize, success: bool) -> bool {
+        if success {
+            let _ = self.breakers[node].compare_exchange(
+                BREAKER_PROBING,
+                BREAKER_CLOSED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            false
+        } else {
+            self.breakers[node]
+                .compare_exchange(
+                    BREAKER_PROBING,
+                    BREAKER_OPEN,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspicion_window_is_k_times_heartbeat() {
+        let cfg = DetectorConfig {
+            heartbeat_ms: 50,
+            k_missed: 3,
+        };
+        assert_eq!(cfg.suspicion_after_ms(), 150);
+    }
+
+    #[test]
+    fn stale_beats_are_ignored() {
+        let r = RecoveryState::new(
+            2,
+            DetectorConfig {
+                heartbeat_ms: 10,
+                k_missed: 2,
+            },
+            true,
+        );
+        r.beat(0, 1, 100);
+        assert_eq!(r.last_beat(0), 100);
+        r.bump_incarnation(0);
+        r.beat(0, 1, 200); // zombie epoch 1 < incarnation 2
+        assert_eq!(r.last_beat(0), 100);
+        r.beat(0, 2, 200);
+        assert_eq!(r.last_beat(0), 200);
+    }
+
+    #[test]
+    fn breaker_admits_exactly_one_probe() {
+        let r = RecoveryState::new(
+            1,
+            DetectorConfig {
+                heartbeat_ms: 10,
+                k_missed: 2,
+            },
+            true,
+        );
+        assert_eq!(r.admit(0), Admission::Proceed);
+        assert!(r.open_breaker(0));
+        assert!(!r.open_breaker(0)); // already open
+        assert_eq!(r.admit(0), Admission::FailFast);
+        r.half_open_breaker(0);
+        assert_eq!(r.admit(0), Admission::Probe);
+        assert_eq!(r.admit(0), Admission::FailFast); // probe in flight
+        assert!(!r.settle(0, true)); // probe succeeded: closed
+        assert_eq!(r.admit(0), Admission::Proceed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let r = RecoveryState::new(
+            1,
+            DetectorConfig {
+                heartbeat_ms: 10,
+                k_missed: 2,
+            },
+            true,
+        );
+        r.open_breaker(0);
+        r.half_open_breaker(0);
+        assert_eq!(r.admit(0), Admission::Probe);
+        assert!(r.settle(0, false)); // reopened
+        assert_eq!(r.admit(0), Admission::FailFast);
+    }
+}

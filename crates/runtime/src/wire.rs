@@ -46,6 +46,13 @@ impl WireWriter {
         self
     }
 
+    /// Appends a little-endian `u32`.
+    #[must_use]
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
     /// Appends an `f64`.
     #[must_use]
     pub fn f64(mut self, v: f64) -> Self {
@@ -119,6 +126,18 @@ impl<'a> WireReader<'a> {
         Ok(self.buf.get_i64_le())
     }
 
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the truncation if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        if self.buf.remaining() < 4 {
+            return Err("truncated u32".to_owned());
+        }
+        Ok(self.buf.get_u32_le())
+    }
+
     /// Reads an `f64`.
     ///
     /// # Errors
@@ -173,6 +192,7 @@ mod tests {
         let b = WireWriter::new()
             .u64(7)
             .i64(-9)
+            .u32(11)
             .f64(1.5)
             .str("héllo")
             .bytes(&[0xde, 0xad])
@@ -180,6 +200,7 @@ mod tests {
         let mut r = WireReader::new(&b);
         assert_eq!(r.u64().unwrap(), 7);
         assert_eq!(r.i64().unwrap(), -9);
+        assert_eq!(r.u32().unwrap(), 11);
         assert_eq!(r.f64().unwrap().to_bits(), 1.5f64.to_bits());
         assert_eq!(r.str().unwrap(), "héllo");
         assert_eq!(r.bytes().unwrap(), vec![0xde, 0xad]);
@@ -191,6 +212,10 @@ mod tests {
         let b = WireWriter::new().u64(7).finish();
         let mut r = WireReader::new(&b[..4]);
         assert!(r.u64().unwrap_err().contains("truncated"));
+
+        let b = WireWriter::new().u32(7).finish();
+        let mut r = WireReader::new(&b[..2]);
+        assert!(r.u32().unwrap_err().contains("truncated u32"));
 
         let mut r = WireReader::new(&[2, 0, 0, 0, 1]); // claims 2 bytes, has 1
         assert!(r.bytes().unwrap_err().contains("truncated body"));

@@ -1,9 +1,10 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides `crossbeam::channel`'s unbounded MPMC channel — the only part of
-//! crossbeam this workspace uses — implemented with a `Mutex<VecDeque>` and a
-//! `Condvar`. Both halves are cloneable; disconnection is tracked by
-//! reference-counting each side, exactly like the real crate.
+//! Provides `crossbeam::channel`'s unbounded and bounded MPMC channels — the
+//! only part of crossbeam this workspace uses — implemented with a
+//! `Mutex<VecDeque>` and a `Condvar`. Both halves are cloneable;
+//! disconnection is tracked by reference-counting each side, exactly like
+//! the real crate.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -17,6 +18,7 @@ pub mod channel {
         ready: Condvar,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        capacity: Option<usize>,
     }
 
     /// The sending half of an unbounded channel.
@@ -31,6 +33,14 @@ pub mod channel {
 
     /// Error returned when all receivers have been dropped.
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
 
     /// Error returned when the channel is empty and all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,17 +87,36 @@ pub mod channel {
         }
     }
 
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     impl<T> std::error::Error for SendError<T> {}
+    impl<T> std::error::Error for TrySendError<T> {}
     impl std::error::Error for RecvError {}
     impl std::error::Error for RecvTimeoutError {}
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            capacity,
         });
         (
             Sender {
@@ -97,13 +126,57 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages.
+    ///
+    /// `send` blocks while the channel is full; `try_send` fails with
+    /// [`TrySendError::Full`] instead. A capacity of zero is treated as one,
+    /// since this shim has no rendezvous mode.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
         /// Enqueues `value`, failing if every receiver has been dropped.
+        ///
+        /// On a bounded channel this blocks until a slot frees up.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.inner.capacity {
+                while q.len() >= cap {
+                    if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                        drop(q);
+                        return Err(SendError(value));
+                    }
+                    q = self.inner.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues `value` without blocking, failing if the channel is full
+        /// or every receiver has been dropped.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.inner.capacity {
+                if q.len() >= cap {
+                    drop(q);
+                    return Err(TrySendError::Full(value));
+                }
+            }
             q.push_back(value);
             drop(q);
             self.inner.ready.notify_one();
@@ -140,6 +213,8 @@ pub mod channel {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.notify_if_bounded();
                     return Ok(v);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -155,6 +230,8 @@ pub mod channel {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.notify_if_bounded();
                     return Ok(v);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -180,6 +257,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(v) = q.pop_front() {
+                drop(q);
+                self.notify_if_bounded();
                 return Ok(v);
             }
             if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -201,6 +280,12 @@ pub mod channel {
         /// Whether the queue is currently empty.
         pub fn is_empty(&self) -> bool {
             self.len() == 0
+        }
+
+        fn notify_if_bounded(&self) {
+            if self.inner.capacity.is_some() {
+                self.inner.ready.notify_all();
+            }
         }
     }
 
@@ -261,6 +346,34 @@ pub mod channel {
             let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
             assert_eq!(err, RecvTimeoutError::Timeout);
             drop(tx);
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_disconnected() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_recv_frees_a_slot() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap().unwrap();
         }
 
         #[test]
