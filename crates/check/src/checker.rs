@@ -141,6 +141,31 @@ pub enum Violation {
         /// The object's live epoch at the time of the stale install.
         epoch: u64,
     },
+    /// An object ended the trace with fewer live checkpoint replicas than
+    /// the sustainable factor `min(k, available nodes)`, even though the
+    /// last anti-entropy repair sweep had already seen the deficit — repair
+    /// had its chance and did not restore the factor.
+    ReplicationFactorViolation {
+        /// The under-replicated object.
+        object: ObjectId,
+        /// Live checkpoint copies at available nodes at trace end.
+        replicas: u32,
+        /// The factor repair should sustain: `min(k, available nodes)`.
+        required: u32,
+    },
+    /// Reinstantiation promoted a checkpoint copy older than a
+    /// quorum-acknowledged write that still survived at an available
+    /// replica — a durable update was silently discarded.
+    StaleReplicaPromoted {
+        /// The object recovered from a stale copy.
+        object: ObjectId,
+        /// The replica the stale copy was promoted from.
+        replica: NodeId,
+        /// The promoted copy's `(object_epoch, seq)` version.
+        promoted: (u64, u64),
+        /// The freshest quorum-durable version that still survived.
+        durable: (u64, u64),
+    },
 }
 
 impl fmt::Display for Violation {
@@ -226,6 +251,24 @@ impl fmt::Display for Violation {
                 process_name(*live_at),
                 process_name(*stale_at)
             ),
+            Violation::ReplicationFactorViolation {
+                object,
+                replicas,
+                required,
+            } => write!(
+                f,
+                "replication factor: {object} ended with {replicas} live replica(s) where repair should sustain {required}"
+            ),
+            Violation::StaleReplicaPromoted {
+                object,
+                replica,
+                promoted,
+                durable,
+            } => write!(
+                f,
+                "stale replica promoted: {object} recovered from {replica}'s copy e{}.{} while quorum-durable e{}.{} survived at an available node",
+                promoted.0, promoted.1, durable.0, durable.1
+            ),
         }
     }
 }
@@ -255,6 +298,66 @@ struct HeldLock {
     block: BlockId,
     last_active_ms: u64,
     ttl_ms: Option<u64>,
+}
+
+/// Replay state for the checkpoint-replication invariants. Armed by the
+/// one-shot [`EventKind::ReplicationFactor`] marker; traces without the
+/// marker skip all of this and are checked exactly as before.
+#[derive(Debug)]
+struct ReplState {
+    /// The configured replication factor `k`.
+    k: usize,
+    /// Cluster size (restarts of out-of-range nodes are ignored).
+    nodes: u32,
+    /// Nodes currently up — neither crashed nor declared dead. Checkpoint
+    /// stores survive a crash (they model durable state), so a crashed
+    /// node's copies merely stop counting until its restart; only a
+    /// declare-dead wipes them.
+    available: BTreeSet<u32>,
+    /// Per object: which node holds which `(object_epoch, seq)` copy.
+    holdings: BTreeMap<ObjectId, BTreeMap<u32, (u64, u64)>>,
+    /// Distinct acking replicas per write, for quorum accounting.
+    acks: BTreeMap<(ObjectId, u64, u64), BTreeSet<u32>>,
+    /// The freshest quorum-durable write per object.
+    durable: BTreeMap<ObjectId, (u64, u64)>,
+    /// Objects under-replicated when the last repair sweep ran (`None`
+    /// until a sweep has been seen).
+    last_sweep_under: Option<BTreeSet<ObjectId>>,
+}
+
+impl ReplState {
+    fn new(k: u32, nodes: u32) -> Self {
+        ReplState {
+            k: usize::try_from(k).unwrap_or(usize::MAX),
+            nodes,
+            available: (0..nodes).collect(),
+            holdings: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            durable: BTreeMap::new(),
+            last_sweep_under: None,
+        }
+    }
+
+    /// Copies of `object` held at currently-available nodes.
+    fn live_copies(&self, object: ObjectId) -> usize {
+        self.holdings.get(&object).map_or(0, |copies| {
+            copies.keys().filter(|n| self.available.contains(n)).count()
+        })
+    }
+
+    /// The factor the cluster can sustain right now.
+    fn required(&self) -> usize {
+        self.k.min(self.available.len())
+    }
+
+    /// Objects whose live copy count is below the sustainable factor.
+    fn under_replicated(&self) -> BTreeSet<ObjectId> {
+        self.holdings
+            .keys()
+            .copied()
+            .filter(|o| self.live_copies(*o) < self.required())
+            .collect()
+    }
 }
 
 /// The checker's verdict over one trace.
@@ -324,6 +427,7 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
     let mut granted: BTreeSet<BlockId> = BTreeSet::new();
     let mut denied: BTreeSet<BlockId> = BTreeSet::new();
     let mut closures: Vec<PendingClosure> = Vec::new();
+    let mut repl: Option<ReplState> = None;
 
     for (idx, ev) in trace.iter().enumerate() {
         processes.insert(ev.process);
@@ -539,14 +643,101 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
                 // held; the matching Install at `at` is then a refresh
                 residency.insert(*object, Residency::Resident { node: at.as_u32() });
             }
+            EventKind::ReplicationFactor { k, nodes } => {
+                repl = Some(ReplState::new(*k, *nodes));
+            }
+            EventKind::CheckpointStored {
+                object,
+                replica,
+                object_epoch,
+                seq,
+            } => {
+                if let Some(r) = repl.as_mut() {
+                    let copies = r.holdings.entry(*object).or_default();
+                    let version = (*object_epoch, *seq);
+                    let slot = copies.entry(replica.as_u32()).or_insert(version);
+                    if *slot < version {
+                        *slot = version;
+                    }
+                }
+            }
+            EventKind::CheckpointAcked {
+                object,
+                object_epoch,
+                seq,
+                replica,
+                quorum,
+            } => {
+                if let Some(r) = repl.as_mut() {
+                    let set = r.acks.entry((*object, *object_epoch, *seq)).or_default();
+                    set.insert(replica.as_u32());
+                    if set.len() >= usize::try_from(*quorum).unwrap_or(usize::MAX) {
+                        let write = (*object_epoch, *seq);
+                        let durable = r.durable.entry(*object).or_insert(write);
+                        if *durable < write {
+                            *durable = write;
+                        }
+                    }
+                }
+            }
+            EventKind::PromotedFrom {
+                object,
+                replica,
+                object_epoch,
+                seq,
+            } => {
+                if let Some(r) = repl.as_ref() {
+                    let promoted = (*object_epoch, *seq);
+                    if let Some(&durable) = r.durable.get(object) {
+                        // only a violation if the durable write actually
+                        // survived somewhere the promoter could have read
+                        let survives = r.holdings.get(object).is_some_and(|copies| {
+                            copies
+                                .iter()
+                                .any(|(n, v)| r.available.contains(n) && *v >= durable)
+                        });
+                        if durable > promoted && survives {
+                            report.violations.push(Violation::StaleReplicaPromoted {
+                                object: *object,
+                                replica: *replica,
+                                promoted,
+                                durable,
+                            });
+                        }
+                    }
+                }
+            }
+            EventKind::RepairSweep => {
+                if let Some(r) = repl.as_mut() {
+                    r.last_sweep_under = Some(r.under_replicated());
+                }
+            }
+            EventKind::Crash { node } => {
+                if let Some(r) = repl.as_mut() {
+                    r.available.remove(&node.as_u32());
+                }
+            }
+            EventKind::Restart { node } => {
+                if let Some(r) = repl.as_mut() {
+                    if node.as_u32() < r.nodes {
+                        r.available.insert(node.as_u32());
+                    }
+                }
+            }
+            EventKind::DeclaredDead { node } => {
+                if let Some(r) = repl.as_mut() {
+                    r.available.remove(&node.as_u32());
+                    // declare-dead wipes the dead node's checkpoint store
+                    for copies in r.holdings.values_mut() {
+                        copies.remove(&node.as_u32());
+                    }
+                }
+            }
             EventKind::MoveRequested { .. }
             | EventKind::SurrenderRequested { .. }
             | EventKind::Attach { .. }
             | EventKind::Detach { .. }
-            | EventKind::Crash { .. }
-            | EventKind::Restart { .. }
             | EventKind::Suspected { .. }
-            | EventKind::DeclaredDead { .. }
             | EventKind::FencedStale { .. }
             | EventKind::BreakerOpen { .. } => {}
         }
@@ -560,6 +751,25 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
                 main: pc.main,
                 to: pc.to,
             });
+        }
+    }
+
+    // a replication deficit counts only if it is present at trace end AND
+    // the last repair sweep had already seen it — a dip the next sweep
+    // would have fixed is the protocol working as designed
+    if let Some(r) = &repl {
+        if let Some(sweep_under) = &r.last_sweep_under {
+            for object in r.under_replicated() {
+                if sweep_under.contains(&object) {
+                    report
+                        .violations
+                        .push(Violation::ReplicationFactorViolation {
+                            object,
+                            replicas: u32::try_from(r.live_copies(object)).unwrap_or(u32::MAX),
+                            required: u32::try_from(r.required()).unwrap_or(u32::MAX),
+                        });
+                }
+            }
         }
     }
 
@@ -937,6 +1147,230 @@ mod tests {
             report.violations.as_slice(),
             [Violation::DoubleResidency { .. }]
         ));
+    }
+
+    fn repl_marker(k: u32, nodes: u32) -> TraceEvent {
+        TraceEvent::new(
+            crate::event::CLIENT_PROCESS,
+            EventKind::ReplicationFactor { k, nodes },
+        )
+    }
+    fn stored(o: u32, at: u32, epoch: u64, seq: u64) -> TraceEvent {
+        TraceEvent::new(
+            at,
+            EventKind::CheckpointStored {
+                object: obj(o),
+                replica: NodeId::new(at),
+                object_epoch: epoch,
+                seq,
+            },
+        )
+    }
+    fn acked(o: u32, epoch: u64, seq: u64, replica: u32, quorum: u32) -> TraceEvent {
+        TraceEvent::new(
+            crate::event::CLIENT_PROCESS,
+            EventKind::CheckpointAcked {
+                object: obj(o),
+                object_epoch: epoch,
+                seq,
+                replica: NodeId::new(replica),
+                quorum,
+            },
+        )
+    }
+    fn sweep() -> TraceEvent {
+        TraceEvent::new(crate::event::CLIENT_PROCESS, EventKind::RepairSweep)
+    }
+    fn dead(n: u32) -> TraceEvent {
+        TraceEvent::new(
+            crate::event::CLIENT_PROCESS,
+            EventKind::DeclaredDead {
+                node: NodeId::new(n),
+            },
+        )
+    }
+    fn promoted(o: u32, from: u32, epoch: u64, seq: u64) -> TraceEvent {
+        TraceEvent::new(
+            crate::event::CLIENT_PROCESS,
+            EventKind::PromotedFrom {
+                object: obj(o),
+                replica: NodeId::new(from),
+                object_epoch: epoch,
+                seq,
+            },
+        )
+    }
+
+    #[test]
+    fn replicated_checkpoints_at_full_factor_pass() {
+        let trace = vec![
+            repl_marker(2, 3),
+            stored(1, 0, 0, 0),
+            stored(1, 1, 0, 0),
+            sweep(),
+        ];
+        let report = check_trace(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn deficit_surviving_the_last_sweep_is_flagged() {
+        // n1 is declared dead (its copy wiped); the sweep after it sees o1
+        // down to one copy and nothing repairs it before the trace ends
+        let trace = vec![
+            repl_marker(2, 3),
+            stored(1, 0, 0, 0),
+            stored(1, 1, 0, 0),
+            dead(1),
+            sweep(),
+        ];
+        let report = check_trace(&trace);
+        assert!(
+            matches!(
+                report.violations.as_slice(),
+                [Violation::ReplicationFactorViolation {
+                    replicas: 1,
+                    required: 2,
+                    ..
+                }]
+            ),
+            "{report}"
+        );
+        assert!(report.to_string().contains("replication factor"));
+    }
+
+    #[test]
+    fn deficit_arising_after_the_last_sweep_passes() {
+        // the death lands after the sweep: the next sweep would have fixed
+        // it, so a trace ending here is not a repair failure
+        let trace = vec![
+            repl_marker(2, 3),
+            stored(1, 0, 0, 0),
+            stored(1, 1, 0, 0),
+            sweep(),
+            dead(1),
+        ];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn repair_restoring_the_factor_clears_the_deficit() {
+        let trace = vec![
+            repl_marker(2, 3),
+            stored(1, 0, 0, 0),
+            stored(1, 1, 0, 0),
+            dead(1),
+            sweep(),
+            // anti-entropy re-replicates onto n2 before the trace ends
+            stored(1, 2, 0, 0),
+        ];
+        let report = check_trace(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn crashed_nodes_retain_but_do_not_count_their_copies() {
+        let crash = |n: u32| {
+            TraceEvent::new(
+                crate::event::CLIENT_PROCESS,
+                EventKind::Crash {
+                    node: NodeId::new(n),
+                },
+            )
+        };
+        let restart = |n: u32| {
+            TraceEvent::new(
+                crate::event::CLIENT_PROCESS,
+                EventKind::Restart {
+                    node: NodeId::new(n),
+                },
+            )
+        };
+        // crash (copy dormant, sweep sees a deficit) then restart (copy
+        // counts again): clean at trace end
+        let trace = vec![
+            repl_marker(2, 3),
+            stored(1, 0, 0, 0),
+            stored(1, 1, 0, 0),
+            crash(1),
+            sweep(),
+            restart(1),
+        ];
+        let report = check_trace(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn stale_promotion_over_surviving_quorum_write_is_flagged() {
+        let trace = vec![
+            repl_marker(2, 3),
+            stored(1, 0, 1, 5),
+            stored(1, 1, 1, 5),
+            acked(1, 1, 5, 0, 2),
+            acked(1, 1, 5, 1, 2),
+            // recovery promotes n2's old copy although n0 still holds e1.5
+            promoted(1, 2, 1, 3),
+        ];
+        let report = check_trace(&trace);
+        assert!(
+            matches!(
+                report.violations.as_slice(),
+                [Violation::StaleReplicaPromoted {
+                    promoted: (1, 3),
+                    durable: (1, 5),
+                    ..
+                }]
+            ),
+            "{report}"
+        );
+        assert!(report.to_string().contains("stale replica promoted"));
+    }
+
+    #[test]
+    fn promoting_the_best_survivor_is_not_stale() {
+        // the quorum-durable copy died with n0 and n1; promoting n2's older
+        // copy is the best recovery can do
+        let trace = vec![
+            repl_marker(2, 3),
+            stored(1, 0, 1, 5),
+            stored(1, 1, 1, 5),
+            acked(1, 1, 5, 0, 2),
+            acked(1, 1, 5, 1, 2),
+            stored(1, 2, 1, 3),
+            dead(0),
+            dead(1),
+            promoted(1, 2, 1, 3),
+        ];
+        let report = check_trace(&trace);
+        assert!(
+            !report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::StaleReplicaPromoted { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn duplicate_acks_from_one_replica_never_reach_quorum() {
+        // the same replica acking twice is one vote, not two: the write
+        // never becomes durable, so the later promotion cannot be stale
+        let trace = vec![
+            repl_marker(2, 3),
+            stored(1, 0, 1, 5),
+            acked(1, 1, 5, 0, 2),
+            acked(1, 1, 5, 0, 2),
+            promoted(1, 2, 1, 3),
+        ];
+        let report = check_trace(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unarmed_traces_ignore_replication_events() {
+        // without the ReplicationFactor marker the new events are inert
+        let trace = vec![stored(1, 0, 0, 0), dead(0), sweep(), promoted(1, 2, 0, 0)];
+        assert!(check_trace(&trace).is_clean());
     }
 
     #[test]

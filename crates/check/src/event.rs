@@ -206,6 +206,60 @@ pub enum EventKind {
         /// The node whose breaker opened.
         node: NodeId,
     },
+    /// One-shot configuration marker emitted at build time when checkpoint
+    /// replication is active: arms the checker's replication invariants
+    /// (traces without it are checked exactly as before).
+    ReplicationFactor {
+        /// The configured replication factor `k = f + 1`.
+        k: u32,
+        /// The cluster size (the effective factor is `min(k, available)`).
+        nodes: u32,
+    },
+    /// A replica store accepted a checkpoint copy fresher than what it held
+    /// (`Shared::store_replica`).
+    CheckpointStored {
+        /// The checkpointed object.
+        object: ObjectId,
+        /// The node whose store accepted the copy.
+        replica: NodeId,
+        /// The copy's object epoch.
+        object_epoch: u64,
+        /// The copy's refresh sequence.
+        seq: u64,
+    },
+    /// A replica's ack was counted toward a pending refresh's write quorum
+    /// (`Shared::checkpoint_ack`; duplicates are deduplicated before this
+    /// event, so each `(object, epoch, seq, replica)` appears at most once).
+    CheckpointAcked {
+        /// The refreshed object.
+        object: ObjectId,
+        /// The acked write's object epoch.
+        object_epoch: u64,
+        /// The acked write's refresh sequence.
+        seq: u64,
+        /// The acking replica.
+        replica: NodeId,
+        /// Acks this write needs to be quorum-durable.
+        quorum: u32,
+    },
+    /// Reinstantiation chose its source replica: the copy of `object` held
+    /// at `replica`, stamped `(object_epoch, seq)` (`Shared::declare_dead`).
+    /// The checker flags a promotion older than a quorum-acked write that
+    /// still survives elsewhere.
+    PromotedFrom {
+        /// The object being reinstantiated.
+        object: ObjectId,
+        /// The surviving replica chosen as the source.
+        replica: NodeId,
+        /// The promoted copy's object epoch.
+        object_epoch: u64,
+        /// The promoted copy's refresh sequence.
+        seq: u64,
+    },
+    /// An anti-entropy repair sweep ran (`Shared::repair_sweep`). Emitted
+    /// even when repair actions are disabled, so the checker can judge
+    /// replication factors "after repair quiesced".
+    RepairSweep,
 }
 
 /// One event in a collected trace.

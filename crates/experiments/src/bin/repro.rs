@@ -22,11 +22,17 @@
 //!   availability  recovery extension: client-visible latency/denials across
 //!              a crash → detect → reinstantiate → heal cycle on the real
 //!              runtime, with and without the failure detector
+//!   durability robustness extension: fraction of objects surviving
+//!              correlated failures (host crash, host+home double crash,
+//!              replica-set-minus-one) as the checkpoint replication
+//!              factor k grows, on the real runtime
 //!   check      replay seeded chaos schedules with protocol tracing on and
 //!              verify the paper's invariants plus the lock-order graph
 //!              (--seeds chaos | --seeds N,M,... to pick the schedules;
 //!              --recovery adds the failure-detector schedules and the
-//!              unfenced zombie negative control)
+//!              unfenced zombie negative control; --durability adds the
+//!              quorum-replicated checkpoint schedules and the no-repair /
+//!              stale-promotion negative controls)
 //!   bench      fixed quick-precision perf suite; writes BENCH_02.json
 //!   <file.csv> replot a previously saved result (no re-run)
 //!   custom     run a scenario loaded with --scenario FILE (key = value
@@ -42,12 +48,14 @@ use std::process::ExitCode;
 
 use oml_experiments::bench::{render_bench_json, run_bench_suite};
 use oml_experiments::check::{
-    audit_lock_order, exercise_lock_sites, replay_chaos_seeds, replay_recovery_seeds,
+    audit_lock_order, exercise_lock_sites, replay_chaos_seeds, replay_durability_seeds,
+    replay_no_repair_negative, replay_recovery_seeds, replay_stale_promotion_negative,
     replay_zombie_negative, CHAOS_SEEDS,
 };
 use oml_experiments::experiments::{
-    availability, break_even_scaling, egoism, faults, fig12, fig14, fig16, fig16_exclusive,
-    fig4_cost, fig8, location_ablation, topology_ablation, visit_ablation, RunOptions,
+    availability, break_even_scaling, durability, egoism, faults, fig12, fig14, fig16,
+    fig16_exclusive, fig4_cost, fig8, location_ablation, topology_ablation, visit_ablation,
+    RunOptions,
 };
 use oml_experiments::{render_plot, render_svg, ExperimentResult, SvgOptions};
 use oml_workload::table1::{table1, value_for};
@@ -62,6 +70,7 @@ struct Cli {
     scenario: Option<PathBuf>,
     seeds: Option<String>,
     recovery: bool,
+    durability_check: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -74,6 +83,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut scenario = None;
     let mut seeds = None;
     let mut recovery = false;
+    let mut durability_check = false;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -109,6 +119,7 @@ fn parse_args() -> Result<Cli, String> {
                 seeds = Some(args.next().ok_or("--seeds needs `chaos` or N,M,...")?);
             }
             "--recovery" => recovery = true,
+            "--durability" => durability_check = true,
             "--svg" => {
                 let v = args.next().ok_or("--svg needs a directory")?;
                 svg_dir = Some(PathBuf::from(v));
@@ -134,6 +145,7 @@ fn parse_args() -> Result<Cli, String> {
         scenario,
         seeds,
         recovery,
+        durability_check,
     })
 }
 
@@ -209,8 +221,12 @@ fn emit(result: &ExperimentResult, cli: &Cli) {
 /// checker verdict and the lock-order audit, and reports overall success.
 /// With `recovery`, additionally replays the failure-detector schedules
 /// (crash → declare-dead → reinstantiate, plus a scripted zombie restart)
-/// and the unfenced negative control, which must be *flagged*.
-fn run_check(seeds_arg: Option<&str>, recovery: bool) -> ExitCode {
+/// and the unfenced negative control, which must be *flagged*. With
+/// `durability`, additionally replays the quorum-replicated checkpoint
+/// schedules (host+home double crash under duplicated checkpoint traffic)
+/// and the no-repair / stale-promotion negative controls, which must be
+/// *flagged*.
+fn run_check(seeds_arg: Option<&str>, recovery: bool, durability: bool) -> ExitCode {
     let seeds: Vec<u64> = match seeds_arg {
         None | Some("chaos") => CHAOS_SEEDS.to_vec(),
         Some(list) => {
@@ -267,6 +283,47 @@ fn run_check(seeds_arg: Option<&str>, recovery: bool) -> ExitCode {
         }
     }
 
+    if durability {
+        println!("\n# repro check --durability — quorum-replicated checkpoints");
+        for outcome in replay_durability_seeds(&seeds) {
+            println!("\ndurability seed {:#x}:", outcome.seed);
+            println!("{}", outcome.report);
+            clean &= outcome.report.is_clean();
+        }
+        // negative control one: with the repair sweep off, a declared death
+        // must leave a replica deficit the checker flags
+        let no_repair = replay_no_repair_negative(seeds[0]);
+        if no_repair.report.is_clean() {
+            eprintln!(
+                "\nno-repair negative control came back CLEAN — the \
+                 replication-factor invariant is not biting"
+            );
+            clean = false;
+        } else {
+            println!(
+                "\nno-repair negative control: flagged as expected \
+                 ({} violation(s))",
+                no_repair.report.violations.len()
+            );
+        }
+        // negative control two: rigged stalest-survivor promotion must trip
+        // the freshness invariant when a quorum-acked copy survives
+        let stale = replay_stale_promotion_negative(seeds[0]);
+        if stale.report.is_clean() {
+            eprintln!(
+                "\nstale-promotion negative control came back CLEAN — the \
+                 freshness invariant is not biting"
+            );
+            clean = false;
+        } else {
+            println!(
+                "\nstale-promotion negative control: flagged as expected \
+                 ({} violation(s))",
+                stale.report.violations.len()
+            );
+        }
+    }
+
     println!("\n# lock-order audit");
     // a fault-free attach/migrate/crash scenario touches the lock sites the
     // chaos schedules miss (attachments never occur under chaos)
@@ -312,8 +369,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|availability|check|...|all> \
-                 [--quick|--paper] [--seed N] [--seeds chaos|N,M,...] [--recovery] [--csv DIR] [--svg DIR] [--plot]"
+                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|availability|durability|check|...|all> \
+                 [--quick|--paper] [--seed N] [--seeds chaos|N,M,...] [--recovery] [--durability] [--csv DIR] [--svg DIR] [--plot]"
             );
             return ExitCode::FAILURE;
         }
@@ -348,13 +405,14 @@ fn main() -> ExitCode {
             "location" => emit(&location_ablation(&cli.opts), &cli),
             "faults" => emit(&faults(&cli.opts), &cli),
             "availability" => emit(&availability(&cli.opts), &cli),
+            "durability" => emit(&durability(&cli.opts), &cli),
             _ => return false,
         }
         true
     };
 
     match cli.experiment.as_str() {
-        "check" => run_check(cli.seeds.as_deref(), cli.recovery),
+        "check" => run_check(cli.seeds.as_deref(), cli.recovery, cli.durability_check),
         "bench" => {
             // The bench suite is the tracked baseline: always quick precision
             // and one thread, whatever flags were given, so numbers stay
@@ -470,6 +528,7 @@ fn main() -> ExitCode {
                 "location",
                 "faults",
                 "availability",
+                "durability",
             ] {
                 let ok = run_one(name);
                 debug_assert!(ok);

@@ -123,9 +123,11 @@ pub fn replay_chaos_seed(seed: u64) -> CheckOutcome {
     // quiesce: heal everything and let orphaned leases expire so the trace
     // ends in a protocol-consistent state
     cluster.heal_all();
-    cluster
-        .restart_node(n(2))
-        .expect("idempotent if already up");
+    match cluster.restart_node(n(2)) {
+        // the node usually came back at op 30 and is simply still running
+        Ok(()) | Err(RuntimeError::NotDead(_)) => {}
+        Err(other) => panic!("quiesce restart: {other}"),
+    }
     cluster.advance_clock(2 * LEASE_MS);
     cluster.sweep_leases();
     cluster.shutdown();
@@ -155,7 +157,12 @@ const RECOVERY_DETECTION_MS: u64 = RECOVERY_HEARTBEAT_MS * RECOVERY_K_MISSED as 
 /// down and no-op.
 fn restart_until_up(cluster: &Cluster, node: NodeId) {
     for _ in 0..500 {
-        cluster.restart_node(node).expect("valid node");
+        match cluster.restart_node(node) {
+            // NotDead: the previous incarnation's worker is still winding
+            // down (or the restart already took) — poll health and retry
+            Ok(()) | Err(RuntimeError::NotDead(_)) => {}
+            Err(other) => panic!("restart {node}: {other}"),
+        }
         if cluster.node_health(node) == Some(oml_runtime::NodeHealth::Up) {
             return;
         }
@@ -288,6 +295,185 @@ fn run_recovery_schedule(seed: u64, fenced: bool) -> CheckReport {
     check_trace(&cluster.take_trace())
 }
 
+/// Polls `checkpoint_health` until `pred` holds for `obj` (the quorum of
+/// acks lands asynchronously).
+fn await_health(
+    cluster: &Cluster,
+    obj: ObjectId,
+    pred: impl Fn(&oml_runtime::CheckpointHealth) -> bool,
+) {
+    for _ in 0..500 {
+        if cluster
+            .checkpoint_health()
+            .iter()
+            .any(|h| h.object == obj && pred(h))
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!(
+        "{obj} health never converged: {:?}",
+        cluster.checkpoint_health()
+    );
+}
+
+/// Builds the replicated-checkpoint durability cluster: 4 nodes, `k = 2`,
+/// detector + manual clock, tracing on, with duplicated checkpoint traffic
+/// (seeded) so the ack-dedup path is exercised on every replay.
+fn durability_cluster(seed: u64, k: usize, no_repair: bool, stale_promotion: bool) -> Cluster {
+    let mut builder = Cluster::builder()
+        .nodes(NODES)
+        .policy(PolicyKind::TransientPlacement)
+        .faults(FaultPlan::seeded(seed).checkpoint_faults(0.0, 0.5))
+        .call_timeout(Duration::from_millis(100))
+        .invoke_retries(2)
+        .lease_ms(LEASE_MS)
+        .manual_clock()
+        .failure_detector(RECOVERY_HEARTBEAT_MS, RECOVERY_K_MISSED)
+        .replication(k)
+        .trace();
+    if no_repair {
+        builder = builder.no_repair();
+    }
+    if stale_promotion {
+        builder = builder.stale_promotion();
+    }
+    let cluster = builder.build();
+    cluster.register_type("counter", |bytes| {
+        let mut r = WireReader::new(bytes);
+        Box::new(Counter(r.u64().expect("valid counter state")))
+    });
+    cluster
+}
+
+/// Replays the durability schedule under `seed`: an object is hosted off
+/// its replica set, refreshed to a write quorum, and then its host and its
+/// home (the old single checkpoint holder) die in the same detector sweep.
+/// With `k = 2` the second replica promotes its quorum-acked copy, and the
+/// trace must be violation-free — in particular, zero
+/// replication-factor and stale-promotion findings.
+///
+/// # Panics
+///
+/// Panics if the object does not survive the correlated failure (it must,
+/// with `k = 2`), or if the runtime surfaces an error the schedule cannot
+/// produce.
+#[must_use]
+pub fn replay_durability_seed(seed: u64) -> CheckOutcome {
+    let cluster = durability_cluster(seed, 2, false, false);
+    let obj = cluster
+        .create(n(0), Box::new(Counter(7)))
+        .expect("creation is on the reliable channel");
+    let set = cluster.replica_set(obj).expect("replicated object");
+    let host = (0..NODES)
+        .map(n)
+        .find(|cand| !set.contains(cand))
+        .expect("4 nodes, 2 replicas");
+    drop(cluster.move_block(obj, host).expect("move to host"));
+    cluster
+        .invoke(obj, "add", &WireWriter::new().u64(5).finish())
+        .expect("acknowledged add");
+    // an ended block is a consistency point: the refresh carries 12 and
+    // must reach its write quorum before the failure lands
+    drop(cluster.move_block(obj, host).expect("consistency point"));
+    await_health(&cluster, obj, |h| h.quorum >= Some((0, 3)));
+
+    cluster.crash_node(host).expect("crash joins the worker");
+    cluster.crash_node(n(0)).expect("crash joins the worker");
+    cluster.advance_clock(RECOVERY_DETECTION_MS);
+    cluster.detector_sweep();
+
+    let mut recovered = None;
+    for _ in 0..500 {
+        if let Ok(out) = cluster.invoke(obj, "get", &[]) {
+            recovered = Some(WireReader::new(&out).u64().expect("counter payload"));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(
+        recovered,
+        Some(12),
+        "k=2 must survive a host+home double crash with the quorum-acked value"
+    );
+
+    cluster.shutdown();
+    CheckOutcome {
+        seed,
+        report: check_trace(&cluster.take_trace()),
+    }
+}
+
+/// Replays every seed in `seeds` through the durability schedule.
+#[must_use]
+pub fn replay_durability_seeds(seeds: &[u64]) -> Vec<CheckOutcome> {
+    seeds.iter().map(|&s| replay_durability_seed(s)).collect()
+}
+
+/// Negative control for `repro check --durability`: with the anti-entropy
+/// repair sweep disabled, a declared death leaves an object
+/// under-replicated to the end of the trace, and the checker's
+/// `ReplicationFactorViolation` invariant must flag it.
+///
+/// # Panics
+///
+/// Panics if the runtime surfaces an error the schedule cannot produce.
+#[must_use]
+pub fn replay_no_repair_negative(seed: u64) -> CheckOutcome {
+    let cluster = durability_cluster(seed, 2, true, false);
+    let obj = cluster
+        .create(n(0), Box::new(Counter(7)))
+        .expect("creation is on the reliable channel");
+    let second = cluster.replica_set(obj).expect("replicated object")[1];
+    cluster.crash_node(second).expect("crash joins the worker");
+    cluster.advance_clock(RECOVERY_DETECTION_MS);
+    cluster.detector_sweep();
+    cluster.shutdown();
+    CheckOutcome {
+        seed,
+        report: check_trace(&cluster.take_trace()),
+    }
+}
+
+/// Negative control for `repro check --durability`: reinstantiation is
+/// rigged to promote the *stalest* surviving replica. A partition makes one
+/// replica miss the post-add refresh; when the host+home dies, the rigged
+/// promotion discards the surviving quorum-acked write, and the checker's
+/// `StaleReplicaPromoted` invariant must flag it.
+///
+/// # Panics
+///
+/// Panics if the runtime surfaces an error the schedule cannot produce.
+#[must_use]
+pub fn replay_stale_promotion_negative(seed: u64) -> CheckOutcome {
+    let cluster = durability_cluster(seed, 3, false, true);
+    let obj = cluster
+        .create(n(0), Box::new(Counter(7)))
+        .expect("creation is on the reliable channel");
+    let set = cluster.replica_set(obj).expect("replicated object");
+    drop(cluster.move_block(obj, n(0)).expect("consistency point"));
+    await_health(&cluster, obj, |h| h.quorum >= Some((0, 1)));
+
+    // the last replica misses the post-add refresh behind a partition,
+    // while the quorum (host's own store plus the middle replica) carries it
+    cluster.partition(n(0), set[2]).expect("valid nodes");
+    cluster
+        .invoke(obj, "add", &WireWriter::new().u64(5).finish())
+        .expect("acknowledged add");
+    drop(cluster.move_block(obj, n(0)).expect("consistency point"));
+    await_health(&cluster, obj, |h| h.quorum >= Some((0, 2)));
+
+    cluster.crash_node(n(0)).expect("crash joins the worker");
+    cluster.advance_clock(RECOVERY_DETECTION_MS);
+    cluster.detector_sweep();
+    cluster.shutdown();
+    CheckOutcome {
+        seed,
+        report: check_trace(&cluster.take_trace()),
+    }
+}
+
 /// Drives a small fault-free scenario that touches every named lock site —
 /// including the one legal nesting (`shared.alliances` before
 /// `shared.attachments`, taken by `attach`) — so the debug-build
@@ -392,6 +578,41 @@ mod tests {
         assert!(
             rendered.contains("stale incarnation"),
             "expected a stale-incarnation violation, got: {rendered}"
+        );
+    }
+
+    #[test]
+    fn durability_schedule_is_clean() {
+        let outcome = replay_durability_seed(CHAOS_SEEDS[0]);
+        assert!(outcome.report.events > 10, "tracing must be on");
+        assert!(outcome.report.is_clean(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn no_repair_negative_is_flagged() {
+        let outcome = replay_no_repair_negative(CHAOS_SEEDS[0]);
+        assert!(
+            !outcome.report.is_clean(),
+            "an unrepaired replica deficit must trip the replication-factor invariant"
+        );
+        let rendered = outcome.report.to_string();
+        assert!(
+            rendered.contains("replication factor"),
+            "expected a replication-factor violation, got: {rendered}"
+        );
+    }
+
+    #[test]
+    fn stale_promotion_negative_is_flagged() {
+        let outcome = replay_stale_promotion_negative(CHAOS_SEEDS[0]);
+        assert!(
+            !outcome.report.is_clean(),
+            "discarding a surviving quorum write must trip the freshness invariant"
+        );
+        let rendered = outcome.report.to_string();
+        assert!(
+            rendered.contains("stale replica promoted"),
+            "expected a stale-promotion violation, got: {rendered}"
         );
     }
 

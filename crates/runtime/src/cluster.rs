@@ -1,6 +1,6 @@
 //! The cluster facade: public API over the node workers.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -22,8 +22,12 @@ use crate::fault::{self, Delivery, FaultInjector, FaultPlan};
 use crate::message::{Envelope, Message, MAX_HOPS};
 use crate::node::NodeWorker;
 use crate::object::{Delinearizer, MobileObject, TypeRegistry};
-use crate::recovery::{Admission, Checkpoint, DetectorConfig, NodeHealth, RecoveryState};
+use crate::recovery::{
+    preference_order, Admission, DetectorConfig, NodeHealth, PendingRefresh, RecoveryState,
+    ReplicaCheckpoint, ReplicationInfo,
+};
 use crate::trace::{OrderedMutex, OrderedRwLock, TraceCollector};
+use crate::wire::CheckpointFrame;
 
 /// Monotone activity counters, readable while the cluster runs.
 #[derive(Debug, Default)]
@@ -41,6 +45,10 @@ pub(crate) struct Counters {
     pub(crate) reinstantiations: AtomicU64,
     pub(crate) fenced_stale: AtomicU64,
     pub(crate) breaker_opens: AtomicU64,
+    pub(crate) checkpoint_refreshes: AtomicU64,
+    pub(crate) quorum_refreshes: AtomicU64,
+    pub(crate) quorum_refresh_failures: AtomicU64,
+    pub(crate) repairs: AtomicU64,
 }
 
 /// A point-in-time snapshot of a cluster's activity.
@@ -76,6 +84,31 @@ pub struct ClusterStats {
     pub fenced_stale: u64,
     /// Circuit-breaker open transitions (suspicion, death, failed probes).
     pub breaker_opens: u64,
+    /// Checkpoint refreshes issued to the replica sets (create-time seeding
+    /// is not counted — it writes synchronously, without a quorum round).
+    pub checkpoint_refreshes: u64,
+    /// Refreshes that collected a write quorum of replica acks.
+    pub quorum_refreshes: u64,
+    /// Refreshes superseded before reaching their quorum (dropped puts or
+    /// acks, partitioned replicas) — the durability-margin warning light.
+    pub quorum_refresh_failures: u64,
+    /// Checkpoint copies re-sent by the anti-entropy repair sweep.
+    pub repairs: u64,
+}
+
+/// One object's durability margin, from [`Cluster::checkpoint_health`]:
+/// how many live replicas hold its passive copy and how stale they may be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHealth {
+    /// The object.
+    pub object: ObjectId,
+    /// Live (non-dead, non-crashed) nodes currently holding a copy.
+    pub replicas: u32,
+    /// Milliseconds since the last refresh (or creation) was issued.
+    pub refresh_age_ms: u64,
+    /// Freshest `(object_epoch, seq)` known to have reached a write quorum;
+    /// `None` until the first quorum-acknowledged refresh completes.
+    pub quorum: Option<(u64, u64)>,
 }
 
 /// The cluster's notion of lease time: wall-clock milliseconds since build,
@@ -153,6 +186,31 @@ impl Shared {
             return Err(RuntimeError::ShuttingDown);
         }
         let (from_raw, epoch) = from.map_or((fault::CLIENT, 0), |(n, e)| (n.as_u32(), e));
+        let is_checkpoint = matches!(
+            msg,
+            Message::CheckpointPut { .. } | Message::CheckpointAck { .. }
+        );
+        if is_checkpoint && from_raw != fault::CLIENT {
+            // replica traffic between nodes has its own (silent) decision
+            // stream: drops and duplicates, never delays. Client-originated
+            // checkpoint traffic (creation seeding, repair) is reliable.
+            return match self.injector.decide_checkpoint(from_raw, to.as_u32()) {
+                Delivery::Drop => Ok(()),
+                Delivery::Deliver { copies, .. } => {
+                    let mut msgs = Vec::with_capacity(copies as usize);
+                    if copies > 1 {
+                        if let Some(dup) = clone_control(&msg) {
+                            msgs.push(self.trace_envelope(from_raw, epoch, to, dup));
+                        }
+                    }
+                    msgs.push(self.trace_envelope(from_raw, epoch, to, msg));
+                    for m in msgs {
+                        let _ = self.senders[to.index()].send(m);
+                    }
+                    Ok(())
+                }
+            };
+        }
         let faultable = matches!(
             msg,
             Message::Invoke { .. } | Message::MoveRequest { .. } | Message::EndRequest { .. }
@@ -301,7 +359,23 @@ impl Shared {
         })
     }
 
-    /// Seeds the passive checkpoint at creation (records the home node).
+    /// The object's current replica-set targets: the first `k` available
+    /// nodes in its placement preference order.
+    fn replica_targets(&self, object: ObjectId, home: NodeId) -> Vec<NodeId> {
+        let Some(rec) = &self.recovery else {
+            return Vec::new();
+        };
+        preference_order(object, home, self.senders.len())
+            .into_iter()
+            .filter(|n| rec.replica_available(n.index()))
+            .take(rec.replica_k)
+            .collect()
+    }
+
+    /// Seeds the replicated checkpoint at creation: records the home node
+    /// and writes the birth state synchronously into the replica set's
+    /// stores (creation blocks on the Create reply anyway, so there is no
+    /// quorum round to wait for — every replica starts at `(0, 0)`).
     pub(crate) fn checkpoint_init(
         &self,
         object: ObjectId,
@@ -309,26 +383,242 @@ impl Shared {
         type_tag: String,
         state: Bytes,
     ) {
-        if let Some(rec) = &self.recovery {
-            rec.checkpoints.lock().insert(
-                object,
-                Checkpoint {
-                    home,
-                    type_tag,
-                    state,
+        let Some(rec) = &self.recovery else {
+            return;
+        };
+        let now = self.now_ms();
+        rec.replication.lock().insert(
+            object,
+            ReplicationInfo {
+                home,
+                seq: 0,
+                pending: None,
+                last_quorum: None,
+                last_refresh_at_ms: now,
+            },
+        );
+        let frame = CheckpointFrame {
+            type_tag,
+            state,
+            object_epoch: 0,
+            seq: 0,
+        };
+        for target in self.replica_targets(object, home) {
+            self.store_replica(target, object, &frame);
+        }
+    }
+
+    /// Refreshes the replicated checkpoint (install / end / lease events —
+    /// the points where a consistent linearized copy is in hand anyway):
+    /// assigns the next refresh sequence, fans a `CheckpointPut` out to the
+    /// replica set and starts counting acks against a majority write quorum.
+    /// `host` is the node holding the live object (it stores its copy
+    /// locally and self-acks; an unacked previous refresh is superseded and
+    /// counted as a quorum failure).
+    pub(crate) fn checkpoint_refresh(
+        &self,
+        object: ObjectId,
+        type_tag: &str,
+        state: Bytes,
+        host: NodeId,
+        host_epoch: u64,
+    ) {
+        let Some(rec) = &self.recovery else {
+            return;
+        };
+        let object_epoch = self.object_epoch(object);
+        let now = self.now_ms();
+        let (seq, targets) = {
+            let mut repl = rec.replication.lock();
+            let Some(info) = repl.get_mut(&object) else {
+                return; // detector configured after the object was created
+            };
+            if info.pending.take().is_some() {
+                self.counters
+                    .quorum_refresh_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            info.seq += 1;
+            let seq = info.seq;
+            let targets = self.replica_targets(object, info.home);
+            if targets.is_empty() {
+                return;
+            }
+            info.pending = Some(PendingRefresh {
+                object_epoch,
+                seq,
+                quorum: targets.len() / 2 + 1,
+                acked: HashSet::new(),
+            });
+            info.last_refresh_at_ms = now;
+            (seq, targets)
+        };
+        self.counters
+            .checkpoint_refreshes
+            .fetch_add(1, Ordering::Relaxed);
+        let frame = CheckpointFrame {
+            type_tag: type_tag.to_owned(),
+            state,
+            object_epoch,
+            seq,
+        };
+        let encoded = frame.encode();
+        for target in targets {
+            if target == host {
+                // the host's own store needs no message round-trip
+                self.store_replica(target, object, &frame);
+                self.checkpoint_ack(object, object_epoch, seq, target, host.as_u32());
+            } else {
+                let _ = self.send_from(
+                    Some((host, host_epoch)),
+                    target,
+                    Message::CheckpointPut {
+                        object,
+                        frame: encoded.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Writes `frame` into `at`'s replica store if it is fresher than the
+    /// copy already there (lexicographic `(object_epoch, seq)`); returns
+    /// whether it was applied.
+    pub(crate) fn store_replica(
+        &self,
+        at: NodeId,
+        object: ObjectId,
+        frame: &CheckpointFrame,
+    ) -> bool {
+        let Some(rec) = &self.recovery else {
+            return false;
+        };
+        let applied = {
+            let mut stores = rec.replica_stores.lock();
+            let store = &mut stores[at.index()];
+            match store.get(&object) {
+                Some(existing) if existing.version() >= (frame.object_epoch, frame.seq) => false,
+                _ => {
+                    store.insert(
+                        object,
+                        ReplicaCheckpoint {
+                            type_tag: frame.type_tag.clone(),
+                            state: frame.state.clone(),
+                            object_epoch: frame.object_epoch,
+                            seq: frame.seq,
+                        },
+                    );
+                    true
+                }
+            }
+        };
+        if applied {
+            self.trace.emit(
+                at.as_u32(),
+                EventKind::CheckpointStored {
+                    object,
+                    replica: at,
+                    object_epoch: frame.object_epoch,
+                    seq: frame.seq,
+                },
+            );
+        }
+        applied
+    }
+
+    /// Applies an incoming `CheckpointPut` at node `at` and (for node-to-
+    /// node puts) acks back to the sender. Undecodable frames are dropped;
+    /// with fencing, a put linearized under a superseded object epoch is
+    /// *quietly* ignored — it is not a protocol violation, just a refresh
+    /// that lost a race with a reinstantiation, and the repair sweep will
+    /// re-replicate under the current epoch.
+    pub(crate) fn apply_checkpoint_put(
+        &self,
+        at: NodeId,
+        at_epoch: u64,
+        object: ObjectId,
+        frame: &Bytes,
+        from: u32,
+        ack: bool,
+    ) {
+        if self.recovery.is_none() {
+            return;
+        }
+        let Ok(frame) = CheckpointFrame::decode(frame) else {
+            return;
+        };
+        if self.fenced() && frame.object_epoch < self.object_epoch(object) {
+            return;
+        }
+        self.store_replica(at, object, &frame);
+        // re-ack even when the copy was not fresher: the sender may be
+        // retrying a refresh whose previous ack was lost
+        if ack && from != fault::CLIENT {
+            let _ = self.send_from(
+                Some((at, at_epoch)),
+                NodeId::new(from),
+                Message::CheckpointAck {
+                    object,
+                    object_epoch: frame.object_epoch,
+                    seq: frame.seq,
+                    replica: at,
                 },
             );
         }
     }
 
-    /// Refreshes the checkpoint's linearized state (install / end / lease
-    /// events — the points where a consistent copy is in hand anyway).
-    pub(crate) fn checkpoint_refresh(&self, object: ObjectId, type_tag: &str, state: Bytes) {
-        if let Some(rec) = &self.recovery {
-            if let Some(ckpt) = rec.checkpoints.lock().get_mut(&object) {
-                type_tag.clone_into(&mut ckpt.type_tag);
-                ckpt.state = state;
+    /// Counts one replica's ack toward the pending refresh's write quorum.
+    /// Acks are deduplicated by replica id (duplicated or re-sent acks
+    /// count once) and acks for any other `(object_epoch, seq)` than the
+    /// pending write are ignored.
+    pub(crate) fn checkpoint_ack(
+        &self,
+        object: ObjectId,
+        object_epoch: u64,
+        seq: u64,
+        replica: NodeId,
+        process: u32,
+    ) {
+        let Some(rec) = &self.recovery else {
+            return;
+        };
+        let quorum_reached = {
+            let mut repl = rec.replication.lock();
+            let Some(info) = repl.get_mut(&object) else {
+                return;
+            };
+            let Some(pending) = info.pending.as_mut() else {
+                return;
+            };
+            if pending.object_epoch != object_epoch || pending.seq != seq {
+                return;
             }
+            if !pending.acked.insert(replica.as_u32()) {
+                return; // duplicate ack: already counted
+            }
+            let quorum = pending.quorum;
+            self.trace.emit(
+                process,
+                EventKind::CheckpointAcked {
+                    object,
+                    object_epoch,
+                    seq,
+                    replica,
+                    quorum: quorum as u32,
+                },
+            );
+            if pending.acked.len() >= quorum {
+                info.pending = None;
+                info.last_quorum = Some((object_epoch, seq));
+                true
+            } else {
+                false
+            }
+        };
+        if quorum_reached {
+            self.counters
+                .quorum_refreshes
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -439,6 +729,95 @@ impl Shared {
                 _ => {}
             }
         }
+        self.repair_sweep();
+    }
+
+    /// One anti-entropy pass over the replica stores: for every object,
+    /// re-send the freshest available copy to replica-set members that are
+    /// missing it or hold an older version — healing under-replication after
+    /// deaths and divergence after dropped refresh traffic. The sweep marker
+    /// is emitted even when repair is disabled ([`crate::ClusterBuilder::no_repair`])
+    /// so the checker can tell "under-replicated after repair quiesced" from
+    /// "repair never ran".
+    fn repair_sweep(&self) {
+        let Some(rec) = &self.recovery else {
+            return;
+        };
+        self.trace.emit(CLIENT_PROCESS, EventKind::RepairSweep);
+        if !rec.repair {
+            return;
+        }
+        let mut objects: Vec<(ObjectId, NodeId)> = {
+            let repl = rec.replication.lock();
+            repl.iter().map(|(&o, info)| (o, info.home)).collect()
+        };
+        objects.sort_unstable_by_key(|&(o, _)| o);
+        // epoch snapshot before the stores lock (the two are never nested)
+        let epochs: HashMap<ObjectId, u64> = {
+            let epochs = rec.object_epochs.read();
+            objects
+                .iter()
+                .map(|&(o, _)| (o, epochs.get(&o).copied().unwrap_or(0)))
+                .collect()
+        };
+        let mut puts: Vec<(NodeId, ObjectId, CheckpointFrame)> = Vec::new();
+        {
+            let stores = rec.replica_stores.lock();
+            for &(object, home) in &objects {
+                let current_epoch = epochs.get(&object).copied().unwrap_or(0);
+                let mut freshest: Option<&ReplicaCheckpoint> = None;
+                for (n, store) in stores.iter().enumerate() {
+                    if !rec.replica_available(n) {
+                        continue;
+                    }
+                    if let Some(ckpt) = store.get(&object) {
+                        if freshest.is_none_or(|f| ckpt.version() > f.version()) {
+                            freshest = Some(ckpt);
+                        }
+                    }
+                }
+                let Some(freshest) = freshest else {
+                    continue; // no surviving copy — nothing to replicate from
+                };
+                if freshest.object_epoch < current_epoch {
+                    // a reinstantiation is in flight: its install will issue
+                    // a refresh under the new epoch; replicating the old one
+                    // would only be fenced on arrival
+                    continue;
+                }
+                for target in self.replica_targets(object, home) {
+                    let needs = match stores[target.index()].get(&object) {
+                        None => true,
+                        Some(c) => c.version() < freshest.version(),
+                    };
+                    if needs {
+                        puts.push((
+                            target,
+                            object,
+                            CheckpointFrame {
+                                type_tag: freshest.type_tag.clone(),
+                                state: freshest.state.clone(),
+                                object_epoch: freshest.object_epoch,
+                                seq: freshest.seq,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        for (target, object, frame) in puts {
+            self.counters.repairs.fetch_add(1, Ordering::Relaxed);
+            // client-originated: reliable, no quorum round — repair is
+            // convergence, not a new write
+            let _ = self.send_from(
+                None,
+                target,
+                Message::CheckpointPut {
+                    object,
+                    frame: frame.encode(),
+                },
+            );
+        }
     }
 
     /// Declares `node` dead: fences its incarnation, bumps the epochs of the
@@ -500,16 +879,53 @@ impl Shared {
                 );
             }
         }
+        // the dead node's replica holdings died with it
+        rec.replica_stores.lock()[i].clear();
         for (object, epoch) in reinstated {
-            let ckpt = {
-                let ckpts = rec.checkpoints.lock();
-                ckpts
-                    .get(&object)
-                    .map(|c| (c.home, c.type_tag.clone(), c.state.clone()))
+            let home = {
+                let repl = rec.replication.lock();
+                repl.get(&object).map(|info| info.home)
             };
-            let Some((home, type_tag, state)) = ckpt else {
-                continue; // no checkpoint (detector configured but object predates it)
+            let Some(home) = home else {
+                continue; // no replication record (object predates the detector)
             };
+            // reinstantiate from the freshest surviving replica, ordered by
+            // (object epoch, refresh sequence); the stale_promotion hook
+            // inverts the choice for negative testing
+            let source = {
+                let stores = rec.replica_stores.lock();
+                let mut best: Option<(NodeId, ReplicaCheckpoint)> = None;
+                for (n, store) in stores.iter().enumerate() {
+                    if !rec.replica_available(n) {
+                        continue;
+                    }
+                    if let Some(ckpt) = store.get(&object) {
+                        let better = best.as_ref().is_none_or(|(_, b)| {
+                            if rec.stale_promotion {
+                                ckpt.version() < b.version()
+                            } else {
+                                ckpt.version() > b.version()
+                            }
+                        });
+                        if better {
+                            best = Some((NodeId::new(n as u32), ckpt.clone()));
+                        }
+                    }
+                }
+                best
+            };
+            let Some((replica, ckpt)) = source else {
+                continue; // every copy died too — lost until a node restart
+            };
+            self.trace.emit(
+                CLIENT_PROCESS,
+                EventKind::PromotedFrom {
+                    object,
+                    replica,
+                    object_epoch: ckpt.object_epoch,
+                    seq: ckpt.seq,
+                },
+            );
             let Some(target) = self.pick_target(home, node) else {
                 continue; // no live node to host it — stays lost until a restart
             };
@@ -534,8 +950,8 @@ impl Shared {
                 target,
                 Message::Install {
                     object,
-                    type_tag,
-                    state,
+                    type_tag: ckpt.type_tag,
+                    state: ckpt.state,
                     object_epoch: epoch,
                     install_for: None,
                 },
@@ -608,6 +1024,21 @@ fn clone_control(msg: &Message) -> Option<Message> {
             context: *context,
             hops: *hops,
         }),
+        Message::CheckpointPut { object, frame } => Some(Message::CheckpointPut {
+            object: *object,
+            frame: frame.clone(),
+        }),
+        Message::CheckpointAck {
+            object,
+            object_epoch,
+            seq,
+            replica,
+        } => Some(Message::CheckpointAck {
+            object: *object,
+            object_epoch: *object_epoch,
+            seq: *seq,
+            replica: *replica,
+        }),
         _ => None,
     }
 }
@@ -616,6 +1047,9 @@ fn clone_control(msg: &Message) -> Option<Message> {
 ///
 /// See the crate-level documentation for a full example.
 #[derive(Debug)]
+// a builder is the one place independent on/off switches genuinely are
+// independent bools, not a state machine
+#[allow(clippy::struct_excessive_bools)]
 pub struct ClusterBuilder {
     nodes: u32,
     policy: PolicyKind,
@@ -629,6 +1063,9 @@ pub struct ClusterBuilder {
     trace: bool,
     detector: Option<DetectorConfig>,
     unfenced: bool,
+    replication_k: usize,
+    repair: bool,
+    stale_promotion: bool,
 }
 
 impl ClusterBuilder {
@@ -743,6 +1180,45 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets the checkpoint replication factor `k = f + 1`: how many nodes
+    /// hold each object's passive copy (home-preferred, rendezvous-hashed;
+    /// clamped to the number of *available* nodes at placement time). The
+    /// default of 2 survives any single-node failure, including the host;
+    /// `k` survives any `k - 1` simultaneous failures once a refresh has
+    /// reached its quorum. `k = 1` reproduces the old single-home-checkpoint
+    /// behaviour — and its host+home double-crash data loss. Meaningless
+    /// without [`ClusterBuilder::failure_detector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on `k = 0` (an unreplicated checkpoint is no checkpoint).
+    #[must_use]
+    pub fn replication(mut self, k: usize) -> Self {
+        assert!(k > 0, "replication factor must be at least 1");
+        self.replication_k = k;
+        self
+    }
+
+    /// Disables the anti-entropy repair sweep (negative-testing hook):
+    /// objects under-replicated by deaths or dropped refresh traffic then
+    /// *stay* under-replicated — the scenario `oml-check`'s
+    /// `ReplicationFactorViolation` invariant exists to catch.
+    #[must_use]
+    pub fn no_repair(mut self) -> Self {
+        self.repair = false;
+        self
+    }
+
+    /// Makes reinstantiation promote the *stalest* surviving replica instead
+    /// of the freshest (negative-testing hook): a quorum-acked write is then
+    /// observably lost even though a fresher copy survives — the scenario
+    /// `oml-check`'s `StaleReplicaPromoted` invariant exists to catch.
+    #[must_use]
+    pub fn stale_promotion(mut self) -> Self {
+        self.stale_promotion = true;
+        self
+    }
+
     /// Disables epoch fencing (negative-testing hook): zombie workers and
     /// their stale messages are then *not* rejected, so
     /// [`Cluster::zombie_restart_node`] observably corrupts state — the
@@ -782,9 +1258,16 @@ impl ClusterBuilder {
         };
         let plan = self.fault_plan.unwrap_or_else(|| FaultPlan::seeded(0));
         let jitter_seed = plan.seed();
-        let recovery = self
-            .detector
-            .map(|cfg| RecoveryState::new(self.nodes as usize, cfg, !self.unfenced));
+        let recovery = self.detector.map(|cfg| {
+            RecoveryState::new(
+                self.nodes as usize,
+                cfg,
+                !self.unfenced,
+                self.replication_k,
+                self.repair,
+                self.stale_promotion,
+            )
+        });
         let shared = Arc::new(Shared {
             senders,
             receivers,
@@ -815,6 +1298,17 @@ impl ClusterBuilder {
             closing: AtomicBool::new(false),
             down: AtomicBool::new(false),
         });
+        if shared.recovery.is_some() {
+            // one-shot configuration marker: arms the checker's replication
+            // invariants (a trace without it is checked as before)
+            shared.trace.emit(
+                CLIENT_PROCESS,
+                EventKind::ReplicationFactor {
+                    k: self.replication_k as u32,
+                    nodes: self.nodes,
+                },
+            );
+        }
         let handles = (0..self.nodes as usize)
             .map(|i| Some(spawn_worker(&shared, NodeId::new(i as u32), 1)))
             .collect();
@@ -889,6 +1383,9 @@ impl Cluster {
             trace: false,
             detector: None,
             unfenced: false,
+            replication_k: 2,
+            repair: true,
+            stale_promotion: false,
         }
     }
 
@@ -1230,7 +1727,76 @@ impl Cluster {
             reinstantiations: c.reinstantiations.load(Relaxed),
             fenced_stale: c.fenced_stale.load(Relaxed),
             breaker_opens: c.breaker_opens.load(Relaxed),
+            checkpoint_refreshes: c.checkpoint_refreshes.load(Relaxed),
+            quorum_refreshes: c.quorum_refreshes.load(Relaxed),
+            quorum_refresh_failures: c.quorum_refresh_failures.load(Relaxed),
+            repairs: c.repairs.load(Relaxed),
         }
+    }
+
+    /// Per-object checkpoint durability margins, in object-id order: live
+    /// replica count, refresh age and the freshest quorum-acked write.
+    /// Empty without a failure detector.
+    #[must_use]
+    pub fn checkpoint_health(&self) -> Vec<CheckpointHealth> {
+        let Some(rec) = &self.shared.recovery else {
+            return Vec::new();
+        };
+        let now = self.shared.now_ms();
+        // sequential acquisition (stores, then replication) — never nested
+        let counts: HashMap<ObjectId, u32> = {
+            let stores = rec.replica_stores.lock();
+            let mut m = HashMap::new();
+            for (n, store) in stores.iter().enumerate() {
+                if !rec.replica_available(n) {
+                    continue;
+                }
+                for &o in store.keys() {
+                    *m.entry(o).or_insert(0) += 1;
+                }
+            }
+            m
+        };
+        let mut v: Vec<CheckpointHealth> = {
+            let repl = rec.replication.lock();
+            repl.iter()
+                .map(|(&object, info)| CheckpointHealth {
+                    object,
+                    replicas: counts.get(&object).copied().unwrap_or(0),
+                    refresh_age_ms: now.saturating_sub(info.last_refresh_at_ms),
+                    quorum: info.last_quorum,
+                })
+                .collect()
+        };
+        v.sort_unstable_by_key(|h| h.object);
+        v
+    }
+
+    /// The object's current replica set: the first `k` *available* nodes in
+    /// its deterministic placement preference order (home first, then
+    /// rendezvous-hashed). `None` without a detector or for an unknown
+    /// object.
+    #[must_use]
+    pub fn replica_set(&self, object: ObjectId) -> Option<Vec<NodeId>> {
+        let rec = self.shared.recovery.as_ref()?;
+        let home = {
+            let repl = rec.replication.lock();
+            repl.get(&object)?.home
+        };
+        Some(
+            preference_order(object, home, self.shared.senders.len())
+                .into_iter()
+                .filter(|n| rec.replica_available(n.index()))
+                .take(rec.replica_k)
+                .collect(),
+        )
+    }
+
+    /// The object's current epoch: 0 at birth, bumped by every
+    /// reinstantiation. Always 0 without a failure detector.
+    #[must_use]
+    pub fn object_epoch(&self, object: ObjectId) -> u64 {
+        self.shared.object_epoch(object)
     }
 
     /// Whether the object is currently resident at `node`.
@@ -1382,8 +1948,7 @@ impl Cluster {
     }
 
     /// Restarts a crashed node: a fresh worker resumes on the node's
-    /// (still-queued) channel and reclaims the stashed objects. Idempotent —
-    /// restarting a running node is a no-op.
+    /// (still-queued) channel and reclaims the stashed objects.
     ///
     /// With a failure detector the node rejoins under a **fresh
     /// incarnation**: its old epoch stays fenced, and reclamation skips any
@@ -1392,13 +1957,19 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::UnknownNode`] for an out-of-range node.
+    /// [`RuntimeError::UnknownNode`] for an out-of-range node;
+    /// [`RuntimeError::NotDead`] if the node's worker is still running —
+    /// restarting a live node would bump its incarnation out from under the
+    /// live worker and re-seed its health inconsistently, so only crashed
+    /// (or fenced-zombie-exited) nodes can be restarted. `NotDead` is also
+    /// returned transiently while a fenced zombie is still winding down;
+    /// retry after it exits.
     pub fn restart_node(&self, node: NodeId) -> Result<(), RuntimeError> {
         self.check_node(node)?;
         let mut handles = self.handles.lock();
         if let Some(handle) = &handles[node.index()] {
             if !handle.is_finished() {
-                return Ok(());
+                return Err(RuntimeError::NotDead(node));
             }
             // a fenced zombie exited on its own; reap it and respawn
             if let Some(handle) = handles[node.index()].take() {

@@ -37,6 +37,11 @@ pub enum RuntimeError {
     /// deadline. Retrying after the object is reinstantiated (or the node
     /// heals) will succeed.
     NodeDown(NodeId),
+    /// [`crate::Cluster::restart_node`] was called on a node whose worker is
+    /// still running — restarting a live node would re-seed its recovery
+    /// state (incarnation, health, breaker) inconsistently with the live
+    /// worker's view. Only crashed or declared-dead nodes can be restarted.
+    NotDead(NodeId),
     /// An operation declaration was invoked with the wrong number of object
     /// arguments.
     ArityMismatch {
@@ -65,6 +70,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NodeDown(n) => {
                 write!(f, "node {n} is suspected or dead; call failed fast")
+            }
+            RuntimeError::NotDead(n) => {
+                write!(f, "node {n} is still running; only dead nodes restart")
             }
             RuntimeError::ArityMismatch { expected, got } => {
                 write!(
@@ -110,6 +118,13 @@ mod tests {
         let s = RuntimeError::NodeDown(NodeId::new(2)).to_string();
         assert!(s.contains("n2"), "{s}");
         assert!(s.contains("failed fast"), "{s}");
+    }
+
+    #[test]
+    fn not_dead_display_names_the_node() {
+        let s = RuntimeError::NotDead(NodeId::new(4)).to_string();
+        assert!(s.contains("n4"), "{s}");
+        assert!(s.contains("still running"), "{s}");
     }
 
     #[test]

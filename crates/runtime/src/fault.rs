@@ -59,6 +59,8 @@ pub struct FaultPlan {
     delay: f64,
     max_delay_ms: u64,
     drop_end_requests: f64,
+    checkpoint_drop: f64,
+    checkpoint_duplicate: f64,
 }
 
 impl FaultPlan {
@@ -72,6 +74,8 @@ impl FaultPlan {
             delay: 0.0,
             max_delay_ms: 0,
             drop_end_requests: 0.0,
+            checkpoint_drop: 0.0,
+            checkpoint_duplicate: 0.0,
         }
     }
 
@@ -143,11 +147,61 @@ impl FaultPlan {
         self
     }
 
+    /// Probabilities that replica traffic (`CheckpointPut` and
+    /// `CheckpointAck`) is dropped or duplicated. Checkpoint faults use their
+    /// own decision stream so enabling them never perturbs the control-
+    /// message fault schedule of an existing seed, and they are never
+    /// delayed (a late refresh is just a fresh-enough refresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities are in `[0, 1]`.
+    #[must_use]
+    pub fn checkpoint_faults(mut self, drop_p: f64, duplicate_p: f64) -> Self {
+        self.checkpoint_drop = Self::check(drop_p, "checkpoint drop");
+        self.checkpoint_duplicate = Self::check(duplicate_p, "checkpoint duplicate");
+        self
+    }
+
     fn is_noop(&self) -> bool {
         self.drop == 0.0
             && self.duplicate == 0.0
             && self.delay == 0.0
             && self.drop_end_requests == 0.0
+    }
+}
+
+/// Which nodes a correlated-failure schedule kills in one sweep — the
+/// durability experiment's independent variable alongside the replication
+/// factor `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePattern {
+    /// Crash only the object's current host.
+    SingleNode,
+    /// Crash the object's host and its home node in the same detector sweep
+    /// — the double-crash that defeats a single home-node checkpoint.
+    HostAndHome,
+    /// Crash every member of the object's replica set except one, plus the
+    /// host if it lies outside the set — the worst correlated loss `k = f+1`
+    /// is designed to survive.
+    ReplicaSetMinusOne,
+}
+
+impl FailurePattern {
+    /// Short label for tables and CSV output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailurePattern::SingleNode => "single-node",
+            FailurePattern::HostAndHome => "host+home",
+            FailurePattern::ReplicaSetMinusOne => "replica-set-minus-one",
+        }
+    }
+}
+
+impl std::fmt::Display for FailurePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -168,6 +222,11 @@ pub(crate) struct FaultInjector {
     plan: FaultPlan,
     /// Per-(from, to) link sequence counters.
     seqs: Mutex<HashMap<(u32, u32), u64>>,
+    /// Separate link counters for checkpoint traffic — refresh fan-out is
+    /// timing-dependent (lease sweeps), so it must not consume control-
+    /// message sequence numbers or the control fault schedule would stop
+    /// being reproducible per seed.
+    ckpt_seqs: Mutex<HashMap<(u32, u32), u64>>,
     /// Severed node pairs, stored normalized (low, high).
     partitions: Mutex<HashSet<(u32, u32)>>,
     /// Human-readable fault events, in decision order.
@@ -179,6 +238,7 @@ impl FaultInjector {
         FaultInjector {
             plan,
             seqs: Mutex::new(HashMap::new()),
+            ckpt_seqs: Mutex::new(HashMap::new()),
             partitions: Mutex::new(HashSet::new()),
             trace: Mutex::new(Vec::new()),
         }
@@ -294,6 +354,43 @@ impl FaultInjector {
         Delivery::Deliver { copies, delay_ms }
     }
 
+    /// Decides the fate of one checkpoint message (`CheckpointPut` or
+    /// `CheckpointAck`) on the `from → to` link. Unlike [`Self::decide`]
+    /// this is *silent* — checkpoint traffic is driven by lease-sweep timing,
+    /// so recording it would make the fault trace (which reproducibility
+    /// tests compare bit-for-bit) timing-dependent. Partitions still apply;
+    /// drops and duplicates come from the dedicated checkpoint knobs.
+    pub(crate) fn decide_checkpoint(&self, from: u32, to: u32) -> Delivery {
+        if self.is_partitioned(from, to) {
+            return Delivery::Drop;
+        }
+        if self.plan.checkpoint_drop == 0.0 && self.plan.checkpoint_duplicate == 0.0 {
+            return Delivery::Deliver {
+                copies: 1,
+                delay_ms: 0,
+            };
+        }
+        let seq = {
+            let mut seqs = self.ckpt_seqs.lock();
+            let c = seqs.entry((from, to)).or_insert(0);
+            let seq = *c;
+            *c += 1;
+            seq
+        };
+        if self.chance(from, to, seq, 11, self.plan.checkpoint_drop) {
+            return Delivery::Drop;
+        }
+        let copies = if self.chance(from, to, seq, 12, self.plan.checkpoint_duplicate) {
+            2
+        } else {
+            1
+        };
+        Delivery::Deliver {
+            copies,
+            delay_ms: 0,
+        }
+    }
+
     fn hash(&self, from: u32, to: u32, seq: u64, salt: u64) -> u64 {
         // SplitMix64 over the combined identity: decisions depend only on
         // the seed and the message's link coordinates, never on wall-clock
@@ -407,5 +504,54 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn probabilities_are_validated() {
         let _ = FaultPlan::seeded(0).drop_probability(1.5);
+    }
+
+    #[test]
+    fn checkpoint_faults_are_silent_and_independent() {
+        let inj = FaultInjector::new(FaultPlan::seeded(9).checkpoint_faults(0.5, 0.0));
+        let n = 2_000;
+        let dropped = (0..n)
+            .filter(|_| inj.decide_checkpoint(0, 1) == Delivery::Drop)
+            .count();
+        let rate = dropped as f64 / f64::from(n);
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+        // silent: nothing was recorded in the fault trace
+        assert!(inj.trace().is_empty());
+        // independent stream: control decisions are untouched by the
+        // checkpoint knobs (no control faults configured)
+        assert_ne!(inj.decide(0, 1, false, "m"), Delivery::Drop);
+    }
+
+    #[test]
+    fn checkpoint_traffic_respects_partitions() {
+        let inj = FaultInjector::new(FaultPlan::seeded(0));
+        inj.partition(NodeId::new(0), NodeId::new(1));
+        assert_eq!(inj.decide_checkpoint(0, 1), Delivery::Drop);
+        assert_eq!(inj.decide_checkpoint(1, 0), Delivery::Drop);
+        assert_ne!(inj.decide_checkpoint(0, 2), Delivery::Drop);
+    }
+
+    #[test]
+    fn checkpoint_duplication_delivers_two_copies() {
+        let inj = FaultInjector::new(FaultPlan::seeded(1).checkpoint_faults(0.0, 1.0));
+        assert_eq!(
+            inj.decide_checkpoint(0, 1),
+            Delivery::Deliver {
+                copies: 2,
+                delay_ms: 0
+            }
+        );
+    }
+
+    #[test]
+    fn failure_pattern_labels_are_distinct() {
+        let labels = [
+            FailurePattern::SingleNode.label(),
+            FailurePattern::HostAndHome.label(),
+            FailurePattern::ReplicaSetMinusOne.label(),
+        ];
+        let set: HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+        assert_eq!(FailurePattern::HostAndHome.to_string(), "host+home");
     }
 }

@@ -108,9 +108,9 @@ pub mod error;
 pub mod object;
 pub mod wire;
 
-pub use cluster::{Cluster, ClusterBuilder, ClusterStats, MoveGuard};
+pub use cluster::{CheckpointHealth, Cluster, ClusterBuilder, ClusterStats, MoveGuard};
 pub use error::RuntimeError;
-pub use fault::FaultPlan;
+pub use fault::{FailurePattern, FaultPlan};
 pub use object::{Delinearizer, MobileObject};
 pub use proxy::ObjRef;
 pub use recovery::{DetectorConfig, NodeHealth};

@@ -71,6 +71,21 @@ pub(crate) enum Message {
         context: Option<AllianceId>,
         hops: u8,
     },
+    /// A checkpoint refresh propagating to a replica: the wire-encoded
+    /// [`crate::wire::CheckpointFrame`] (type tag, linearized state and the
+    /// `(object_epoch, seq)` freshness stamp). The receiver stores it if
+    /// fresher than its current copy and always acks back to the sender.
+    CheckpointPut { object: ObjectId, frame: Bytes },
+    /// A replica's acknowledgement of a [`Message::CheckpointPut`]. Acks are
+    /// deduplicated by `(object, object_epoch, seq, replica)` before they
+    /// count toward the write quorum, so duplicated or re-sent acks cannot
+    /// inflate durability.
+    CheckpointAck {
+        object: ObjectId,
+        object_epoch: u64,
+        seq: u64,
+        replica: NodeId,
+    },
     /// Stop the worker loop.
     Shutdown,
     /// Fault injection: the worker "crashes" — it stashes its objects for a
@@ -87,6 +102,16 @@ impl std::fmt::Debug for Message {
             Message::Install { object, .. } => write!(f, "Install({object})"),
             Message::Surrender { object, to } => write!(f, "Surrender({object} → {to})"),
             Message::EndRequest { object, block, .. } => write!(f, "End({object}, {block})"),
+            Message::CheckpointPut { object, .. } => write!(f, "CheckpointPut({object})"),
+            Message::CheckpointAck {
+                object,
+                object_epoch,
+                seq,
+                replica,
+            } => write!(
+                f,
+                "CheckpointAck({object} e{object_epoch}.{seq} from {replica})"
+            ),
             Message::Shutdown => write!(f, "Shutdown"),
             Message::Crash => write!(f, "Crash"),
         }

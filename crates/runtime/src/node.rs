@@ -79,6 +79,28 @@ impl NodeWorker {
                             self.stash_for_crash();
                             break;
                         }
+                        // replica traffic needs the envelope's sender for the
+                        // ack round-trip, so it is handled here, after the
+                        // incarnation fence
+                        Message::CheckpointPut { object, frame } => {
+                            self.shared.apply_checkpoint_put(
+                                self.id, self.epoch, object, &frame, env.from, true,
+                            );
+                        }
+                        Message::CheckpointAck {
+                            object,
+                            object_epoch,
+                            seq,
+                            replica,
+                        } => {
+                            self.shared.checkpoint_ack(
+                                object,
+                                object_epoch,
+                                seq,
+                                replica,
+                                self.id.as_u32(),
+                            );
+                        }
                         msg => self.handle(msg),
                     }
                 }
@@ -220,6 +242,33 @@ impl NodeWorker {
                 Message::MoveRequest { reply, .. } => {
                     let _ = reply.try_send(Err(RuntimeError::ShuttingDown));
                 }
+                Message::CheckpointPut { object, frame } => {
+                    // still apply queued replica writes (acks suppressed —
+                    // the refresher is shutting down too) so the final
+                    // replica stores reflect everything that was sent
+                    self.shared.apply_checkpoint_put(
+                        self.id,
+                        self.epoch,
+                        object,
+                        &frame,
+                        fault::CLIENT,
+                        false,
+                    );
+                }
+                Message::CheckpointAck {
+                    object,
+                    object_epoch,
+                    seq,
+                    replica,
+                } => {
+                    self.shared.checkpoint_ack(
+                        object,
+                        object_epoch,
+                        seq,
+                        replica,
+                        self.id.as_u32(),
+                    );
+                }
                 Message::Surrender { .. } | Message::Shutdown | Message::Crash => {}
             }
         }
@@ -275,6 +324,8 @@ impl NodeWorker {
                             object,
                             instance.type_tag(),
                             Bytes::from(instance.linearize()),
+                            self.id,
+                            self.epoch,
                         );
                     }
                 }
@@ -313,7 +364,10 @@ impl NodeWorker {
                 }
             }
             Message::EndRequest { .. } => self.handle_end(msg),
-            Message::Shutdown | Message::Crash => unreachable!("handled in run()"),
+            Message::CheckpointPut { .. }
+            | Message::CheckpointAck { .. }
+            | Message::Shutdown
+            | Message::Crash => unreachable!("handled in run()"),
         }
     }
 
@@ -709,7 +763,7 @@ impl NodeWorker {
             .emit(self.id.as_u32(), EventKind::Install { object });
         // an install is a natural checkpoint: the linearized state is in hand
         self.shared
-            .checkpoint_refresh(object, type_tag, state.clone());
+            .checkpoint_refresh(object, type_tag, state.clone(), self.id, self.epoch);
         {
             let mut policy = self.shared.policy.lock();
             policy.on_arrival(object, self.id);
@@ -750,7 +804,7 @@ impl NodeWorker {
             let _ = self.route_elsewhere(object, msg);
             return;
         }
-        // the end of a block is a consistency point: refresh the home
+        // the end of a block is a consistency point: refresh the replicated
         // checkpoint before the policy possibly migrates the object away
         if self.shared.detector_enabled() {
             if let Some(instance) = self.objects.get(&object) {
@@ -758,6 +812,8 @@ impl NodeWorker {
                     object,
                     instance.type_tag(),
                     Bytes::from(instance.linearize()),
+                    self.id,
+                    self.epoch,
                 );
             }
         }

@@ -18,11 +18,17 @@
 //!   messages from incarnations older than the latest they know of, so a
 //!   zombie worker (or its delayed messages) cannot corrupt state installed
 //!   by its successor.
-//! * **Checkpoints** — each object's home keeps a linearized passive copy,
-//!   refreshed on create, migration install, `end()`-requests and lease
-//!   expiry. When a node is declared dead its stranded objects are
-//!   reinstantiated from these checkpoints under a bumped *object epoch*;
-//!   installs carrying an older object epoch are fenced.
+//! * **Replicated checkpoints** — each object keeps `k` linearized passive
+//!   copies on a deterministic, home-preferred, rendezvous-hashed replica
+//!   set, refreshed on create, migration install, `end()`-requests and lease
+//!   expiry. Refreshes propagate as `CheckpointPut` messages and count
+//!   `CheckpointAck`s (deduplicated per replica) against a majority write
+//!   quorum. When a node is declared dead its stranded objects are
+//!   reinstantiated from the *freshest surviving replica* — ordered by
+//!   `(object epoch, refresh sequence)` — under a bumped object epoch;
+//!   installs carrying an older object epoch are fenced. A background
+//!   anti-entropy repair sweep re-replicates under-replicated objects and
+//!   heals replicas diverged by dropped refresh traffic.
 //! * **Circuit breaker** — one per node: `Open` on suspicion or death
 //!   (calls fail fast with [`crate::RuntimeError::NodeDown`]), `HalfOpen`
 //!   when heartbeats resume, at which point exactly one probe call is
@@ -94,13 +100,54 @@ pub(crate) enum Admission {
     FailFast,
 }
 
-/// An object's passive copy, kept for reinstantiation after its host dies.
-pub(crate) struct Checkpoint {
-    /// The object's home node (where it was created) — the preferred
-    /// reinstantiation site.
-    pub(crate) home: NodeId,
+/// One replica's copy of an object's passive state, stamped with the
+/// freshness coordinates that order it against other replicas.
+#[derive(Clone)]
+pub(crate) struct ReplicaCheckpoint {
     pub(crate) type_tag: String,
     pub(crate) state: Bytes,
+    /// The object epoch the copy was linearized under.
+    pub(crate) object_epoch: u64,
+    /// The refresh sequence number within that epoch. Freshness is the
+    /// lexicographic order on `(object_epoch, seq)`.
+    pub(crate) seq: u64,
+}
+
+impl ReplicaCheckpoint {
+    /// The freshness coordinates: replicas compare lexicographically.
+    pub(crate) fn version(&self) -> (u64, u64) {
+        (self.object_epoch, self.seq)
+    }
+}
+
+/// An in-flight quorum-acknowledged refresh: which write we are waiting on
+/// and which replicas have acked it so far.
+pub(crate) struct PendingRefresh {
+    pub(crate) object_epoch: u64,
+    pub(crate) seq: u64,
+    /// Acks needed before the write counts as quorum-durable.
+    pub(crate) quorum: usize,
+    /// Raw node ids that acked `(object_epoch, seq)` — a set, so duplicated
+    /// or re-sent acks from the same replica count once.
+    pub(crate) acked: std::collections::HashSet<u32>,
+}
+
+/// Per-object replication bookkeeping: placement anchor, refresh sequencing
+/// and quorum progress.
+pub(crate) struct ReplicationInfo {
+    /// The object's home node (where it was created) — the preferred first
+    /// replica and reinstantiation site.
+    pub(crate) home: NodeId,
+    /// Last refresh sequence issued. Monotone for the object's lifetime —
+    /// never reset on epoch bumps, so `(epoch, seq)` never repeats.
+    pub(crate) seq: u64,
+    /// The refresh currently collecting acks, if any.
+    pub(crate) pending: Option<PendingRefresh>,
+    /// Freshest `(object_epoch, seq)` known to have reached a write quorum.
+    pub(crate) last_quorum: Option<(u64, u64)>,
+    /// Lease-clock timestamp of the last issued refresh (or the initial
+    /// checkpoint), for the oldest-refresh-age health metric.
+    pub(crate) last_refresh_at_ms: u64,
 }
 
 /// All recovery-subsystem state, held in `Shared` when a detector is
@@ -110,6 +157,17 @@ pub(crate) struct RecoveryState {
     /// Epoch fencing active? Disabled by [`crate::ClusterBuilder::unfenced`]
     /// (a negative-testing hook: zombies then corrupt state observably).
     pub(crate) fenced: bool,
+    /// Replication factor `k = f + 1`: how many nodes hold each object's
+    /// passive copy (clamped to the cluster size at placement time).
+    pub(crate) replica_k: usize,
+    /// Whether the anti-entropy repair sweep re-replicates (negative-testing
+    /// hook: [`crate::ClusterBuilder::no_repair`] leaves under-replication
+    /// standing for the checker to flag).
+    pub(crate) repair: bool,
+    /// Negative-testing hook: promote the *stalest* surviving replica at
+    /// reinstantiation instead of the freshest, so the checker's
+    /// `StaleReplicaPromoted` invariant has something to catch.
+    pub(crate) stale_promotion: bool,
     /// Current incarnation per node; starts at 1.
     incarnations: Vec<AtomicU64>,
     /// Whether the node's worker thread is (believed) running. Gates *death*
@@ -125,14 +183,29 @@ pub(crate) struct RecoveryState {
     pub(crate) epoch_lock: Mutex<()>,
     /// Current epoch per object; bumped at reinstantiation. Absent = 0.
     pub(crate) object_epochs: OrderedRwLock<HashMap<ObjectId, u64>>,
-    pub(crate) checkpoints: OrderedMutex<HashMap<ObjectId, Checkpoint>>,
+    /// Per-node replica stores: `replica_stores[n]` is node `n`'s local map
+    /// of passive copies. One lock over all stores — cross-store scans
+    /// (promotion, repair planning) then see a consistent cut.
+    pub(crate) replica_stores: OrderedMutex<Vec<HashMap<ObjectId, ReplicaCheckpoint>>>,
+    /// Per-object replication bookkeeping (home, sequencing, quorum acks).
+    pub(crate) replication: OrderedMutex<HashMap<ObjectId, ReplicationInfo>>,
 }
 
 impl RecoveryState {
-    pub(crate) fn new(nodes: usize, config: DetectorConfig, fenced: bool) -> Self {
+    pub(crate) fn new(
+        nodes: usize,
+        config: DetectorConfig,
+        fenced: bool,
+        replica_k: usize,
+        repair: bool,
+        stale_promotion: bool,
+    ) -> Self {
         RecoveryState {
             config,
             fenced,
+            replica_k,
+            repair,
+            stale_promotion,
             incarnations: (0..nodes).map(|_| AtomicU64::new(1)).collect(),
             alive: (0..nodes).map(|_| AtomicBool::new(true)).collect(),
             last_beat: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
@@ -140,8 +213,19 @@ impl RecoveryState {
             breakers: (0..nodes).map(|_| AtomicU8::new(BREAKER_CLOSED)).collect(),
             epoch_lock: Mutex::new(()),
             object_epochs: OrderedRwLock::new("shared.object_epochs", HashMap::new()),
-            checkpoints: OrderedMutex::new("shared.checkpoints", HashMap::new()),
+            replica_stores: OrderedMutex::new(
+                "shared.replica_stores",
+                (0..nodes).map(|_| HashMap::new()).collect(),
+            ),
+            replication: OrderedMutex::new("shared.replication", HashMap::new()),
         }
+    }
+
+    /// Can `node` currently hold (or serve) a replica? Crashed and declared-
+    /// dead nodes cannot; a merely *suspected* node still can — its store is
+    /// intact and refresh traffic to it may well arrive.
+    pub(crate) fn replica_available(&self, node: usize) -> bool {
+        self.is_alive(node) && self.health(node) != NodeHealth::Dead
     }
 
     pub(crate) fn incarnation(&self, node: usize) -> u64 {
@@ -273,9 +357,48 @@ impl RecoveryState {
     }
 }
 
+/// The deterministic replica-placement order for `object`: its home node
+/// first, then every other node ranked by rendezvous (highest-random-weight)
+/// hashing of `(object, node)`. The first `k` *available* entries form the
+/// replica set — placement needs no coordination, every node computes the
+/// same answer, and a node's death shifts only the objects that mapped onto
+/// it.
+pub(crate) fn preference_order(object: ObjectId, home: NodeId, nodes: usize) -> Vec<NodeId> {
+    let mut rest: Vec<u32> = (0..nodes as u32).filter(|&n| n != home.as_u32()).collect();
+    // ties (never expected from a 64-bit hash) break toward the lower id
+    rest.sort_by_key(|&n| (std::cmp::Reverse(rendezvous_weight(object, n)), n));
+    let mut order = Vec::with_capacity(nodes);
+    order.push(home);
+    order.extend(rest.into_iter().map(NodeId::new));
+    order
+}
+
+/// SplitMix64 over the `(object, node)` pair — the rendezvous weight.
+fn rendezvous_weight(object: ObjectId, node: u32) -> u64 {
+    let mut z =
+        (u64::from(object.as_u32()) << 32 | u64::from(node)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn state(nodes: usize) -> RecoveryState {
+        RecoveryState::new(
+            nodes,
+            DetectorConfig {
+                heartbeat_ms: 10,
+                k_missed: 2,
+            },
+            true,
+            2,
+            true,
+            false,
+        )
+    }
 
     #[test]
     fn suspicion_window_is_k_times_heartbeat() {
@@ -288,14 +411,7 @@ mod tests {
 
     #[test]
     fn stale_beats_are_ignored() {
-        let r = RecoveryState::new(
-            2,
-            DetectorConfig {
-                heartbeat_ms: 10,
-                k_missed: 2,
-            },
-            true,
-        );
+        let r = state(2);
         r.beat(0, 1, 100);
         assert_eq!(r.last_beat(0), 100);
         r.bump_incarnation(0);
@@ -307,14 +423,7 @@ mod tests {
 
     #[test]
     fn breaker_admits_exactly_one_probe() {
-        let r = RecoveryState::new(
-            1,
-            DetectorConfig {
-                heartbeat_ms: 10,
-                k_missed: 2,
-            },
-            true,
-        );
+        let r = state(1);
         assert_eq!(r.admit(0), Admission::Proceed);
         assert!(r.open_breaker(0));
         assert!(!r.open_breaker(0)); // already open
@@ -328,18 +437,70 @@ mod tests {
 
     #[test]
     fn failed_probe_reopens_the_breaker() {
-        let r = RecoveryState::new(
-            1,
-            DetectorConfig {
-                heartbeat_ms: 10,
-                k_missed: 2,
-            },
-            true,
-        );
+        let r = state(1);
         r.open_breaker(0);
         r.half_open_breaker(0);
         assert_eq!(r.admit(0), Admission::Probe);
         assert!(r.settle(0, false)); // reopened
         assert_eq!(r.admit(0), Admission::FailFast);
+    }
+
+    #[test]
+    fn preference_order_is_home_first_and_a_permutation() {
+        for obj in 0..50u32 {
+            let order = preference_order(ObjectId::new(obj), NodeId::new(2), 5);
+            assert_eq!(order[0], NodeId::new(2));
+            let mut ids: Vec<u32> = order.iter().map(|n| n.as_u32()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn preference_order_is_deterministic_and_spreads_objects() {
+        let a = preference_order(ObjectId::new(7), NodeId::new(0), 6);
+        let b = preference_order(ObjectId::new(7), NodeId::new(0), 6);
+        assert_eq!(a, b);
+        // different objects with the same home should not all agree on the
+        // second replica (rendezvous hashing spreads the load)
+        let seconds: std::collections::HashSet<u32> = (0..32u32)
+            .map(|o| preference_order(ObjectId::new(o), NodeId::new(0), 6)[1].as_u32())
+            .collect();
+        assert!(
+            seconds.len() > 1,
+            "all objects chose the same second replica"
+        );
+    }
+
+    #[test]
+    fn replica_versions_order_lexicographically() {
+        let older = ReplicaCheckpoint {
+            type_tag: "t".into(),
+            state: Bytes::new(),
+            object_epoch: 1,
+            seq: 9,
+        };
+        let newer = ReplicaCheckpoint {
+            type_tag: "t".into(),
+            state: Bytes::new(),
+            object_epoch: 2,
+            seq: 0,
+        };
+        assert!(newer.version() > older.version());
+    }
+
+    #[test]
+    fn replica_availability_tracks_death_and_crash() {
+        let r = state(3);
+        assert!(r.replica_available(1));
+        r.mark_crashed(1);
+        assert!(!r.replica_available(1));
+        r.mark_alive(1, 0);
+        r.set_health(2, NodeHealth::Dead);
+        assert!(r.replica_available(1));
+        assert!(!r.replica_available(2));
+        // suspicion alone does not disqualify a replica
+        r.set_health(1, NodeHealth::Suspected);
+        assert!(r.replica_available(1));
     }
 }

@@ -183,6 +183,54 @@ impl<'a> WireReader<'a> {
     }
 }
 
+/// The payload of a `CheckpointPut`: an object's linearized passive state
+/// plus the `(object_epoch, seq)` freshness stamp that orders it against
+/// other replicas. Encoded with [`WireWriter`] like any object payload —
+/// replicas on the far side of a lossy link can always decode or reject it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointFrame {
+    /// The object's registered delinearizer tag.
+    pub type_tag: String,
+    /// The linearized state, exactly as `MobileObject::linearize` produced.
+    pub state: Bytes,
+    /// Object epoch the copy was linearized under.
+    pub object_epoch: u64,
+    /// Refresh sequence within the object's lifetime.
+    pub seq: u64,
+}
+
+impl CheckpointFrame {
+    /// Encodes the frame for a `CheckpointPut` message.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        WireWriter::new()
+            .str(&self.type_tag)
+            .bytes(&self.state)
+            .u64(self.object_epoch)
+            .u64(self.seq)
+            .finish()
+    }
+
+    /// Decodes a frame from a `CheckpointPut` payload.
+    ///
+    /// # Errors
+    ///
+    /// Reports truncation or invalid UTF-8 in the type tag.
+    pub fn decode(buf: &[u8]) -> Result<Self, String> {
+        let mut r = WireReader::new(buf);
+        let type_tag = r.str()?;
+        let state = Bytes::from(r.bytes()?);
+        let object_epoch = r.u64()?;
+        let seq = r.u64()?;
+        Ok(CheckpointFrame {
+            type_tag,
+            state,
+            object_epoch,
+            seq,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +282,34 @@ mod tests {
     #[test]
     fn empty_reader_is_empty() {
         assert!(WireReader::new(&[]).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_frame_round_trips() {
+        let f = CheckpointFrame {
+            type_tag: "counter".into(),
+            state: Bytes::copy_from_slice(&[1, 2, 3]),
+            object_epoch: 4,
+            seq: 19,
+        };
+        let decoded = CheckpointFrame::decode(&f.encode()).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn truncated_checkpoint_frame_is_an_error() {
+        let f = CheckpointFrame {
+            type_tag: "counter".into(),
+            state: Bytes::copy_from_slice(&[9]),
+            object_epoch: 1,
+            seq: 2,
+        };
+        let enc = f.encode();
+        for cut in 0..enc.len() {
+            assert!(
+                CheckpointFrame::decode(&enc[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
     }
 }

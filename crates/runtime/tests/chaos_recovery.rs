@@ -192,7 +192,12 @@ fn suspicion_fails_fast_and_heals_without_false_death() {
 /// old worker still winding down.
 fn restart_until_up(cluster: &Cluster, node: NodeId) {
     for _ in 0..500 {
-        cluster.restart_node(node).expect("valid node");
+        match cluster.restart_node(node) {
+            // NotDead: the previous incarnation's worker is still winding
+            // down (or the restart already took) — poll health and retry
+            Ok(_) | Err(RuntimeError::NotDead(_)) => {}
+            Err(other) => panic!("restart {node}: {other}"),
+        }
         if cluster.node_health(node) == Some(NodeHealth::Up) {
             return;
         }

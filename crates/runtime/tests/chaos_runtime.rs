@@ -124,9 +124,11 @@ fn run_chaos(seed: u64) -> RunRecord {
     // quiesce: heal everything, let every lease (including ones orphaned
     // by dropped end-requests or the crash) expire, and collect them
     cluster.heal_all();
-    cluster
-        .restart_node(n(2))
-        .expect("idempotent if already up");
+    match cluster.restart_node(n(2)) {
+        // the node usually came back at op 30 and is simply still running
+        Ok(_) | Err(RuntimeError::NotDead(_)) => {}
+        Err(other) => panic!("quiesce restart: {other}"),
+    }
     cluster.advance_clock(2 * LEASE_MS);
     cluster.sweep_leases();
 

@@ -181,7 +181,11 @@ fn chaos_schedule_trace_upholds_the_protocol_invariants() {
         }
     }
     cluster.heal_all();
-    cluster.restart_node(n(2)).unwrap();
+    match cluster.restart_node(n(2)) {
+        // the node usually came back at op 30 and is simply still running
+        Ok(_) | Err(RuntimeError::NotDead(_)) => {}
+        Err(other) => panic!("quiesce restart: {other}"),
+    }
     cluster.advance_clock(2 * LEASE_MS);
     cluster.sweep_leases();
     cluster.shutdown();
