@@ -13,7 +13,11 @@
 //!   paper's model is built on,
 //! * [`stats`] — online statistics: Welford accumulators, batch means and the
 //!   paper's stopping rule ("run until the 99 % confidence interval half-width
-//!   is below 1 % of the mean").
+//!   is below 1 % of the mean"),
+//! * [`par`] — a deterministic work-stealing `parallel_map` for fanning
+//!   independent jobs (sweep points, replications) across cores,
+//! * [`shard`] — a conservatively synchronized sharded engine that runs one
+//!   huge world on many cores, bit-identical at any thread count.
 //!
 //! The engine is intentionally generic: the distributed-object semantics live
 //! in `oml-sim`, this crate only knows about time, events and randomness.
@@ -69,6 +73,8 @@ mod queue;
 mod rng;
 mod time;
 
+pub mod par;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 

@@ -1,0 +1,96 @@
+//! Deterministic work-stealing parallelism for independent jobs.
+//!
+//! [`parallel_map`] fans `n` independent jobs across a fixed number of
+//! worker threads and returns the results **indexed by job**, so the output
+//! is identical to the sequential `(0..n).map(f)` regardless of thread
+//! count or scheduling order. Workers claim jobs from a shared atomic
+//! counter (work stealing), which keeps long and short jobs balanced
+//! without any up-front partitioning.
+//!
+//! This is the engine room of the parallel replication runner: every
+//! replication of a sweep point is an independent job with a derived seed
+//! (see [`crate::stats::replication_seed`]), and because the results are
+//! reassembled in index order before any floating-point accumulation
+//! happens, the merged statistics are bit-identical at any thread count.
+
+/// Runs `n` jobs on up to `threads` workers, returning results in job order.
+///
+/// With `threads <= 1` (or a single job) this degrades to a plain
+/// sequential map with no thread machinery at all — the parallel and
+/// sequential paths produce identical `Vec`s.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn parallel_map<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..threads.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_at_every_thread_count() {
+        let sequential: Vec<u64> = (0..37).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in [0, 1, 2, 3, 8] {
+            let parallel = parallel_map(37, threads, |i| (i as u64) * 3 + 1);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "spin-wait is pointlessly slow under the interpreter")]
+    fn workers_steal_unbalanced_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // one slow job must not serialize the rest behind it
+        let done = AtomicUsize::new(0);
+        let out = parallel_map(16, 4, |i| {
+            if i == 0 {
+                while done.load(Ordering::Relaxed) < 8 {
+                    std::thread::yield_now();
+                }
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+            i * i
+        });
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

@@ -302,6 +302,12 @@ impl BatchMeans {
         }
     }
 
+    /// The configured batch size.
+    #[must_use]
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size
+    }
+
     /// Number of completed batches.
     #[must_use]
     pub fn batch_count(&self) -> u64 {
@@ -326,6 +332,29 @@ impl BatchMeans {
     #[must_use]
     pub fn confidence_interval(&self, confidence: f64) -> Option<ConfidenceInterval> {
         self.batches.confidence_interval(confidence)
+    }
+
+    /// Folds another estimator of the **same batch size** into this one.
+    ///
+    /// Completed batches and raw samples merge exactly (via
+    /// [`OnlineStats::merge`], which is order-dependent in the last float
+    /// bits — callers wanting reproducibility must merge in a fixed order,
+    /// e.g. replication index order). `other`'s *partial* batch, if any,
+    /// contributes to the raw statistics but never becomes a batch mean:
+    /// two partial batches from independent streams have no well-defined
+    /// concatenation. The parallel replication runner sidesteps this by
+    /// sizing each replication to a whole number of batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch sizes differ.
+    pub fn merge(&mut self, other: &BatchMeans) {
+        assert_eq!(
+            self.batch_size, other.batch_size,
+            "cannot merge batch-means estimators with different batch sizes"
+        );
+        self.batches.merge(&other.batches);
+        self.raw.merge(&other.raw);
     }
 }
 
@@ -457,12 +486,20 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> Option<f64> {
 pub fn replicate<F: FnMut(u64) -> f64>(n: u64, base_seed: u64, mut experiment: F) -> OnlineStats {
     let mut stats = OnlineStats::new();
     for i in 0..n {
-        // SplitMix64-style derivation keeps replication seeds decorrelated.
-        let seed = (base_seed ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
-            .wrapping_add(0x2545_f491_4f6c_dd1d);
-        stats.push(experiment(seed));
+        stats.push(experiment(replication_seed(base_seed, i)));
     }
     stats
+}
+
+/// Seed for replication `i` of an experiment with the given base seed.
+///
+/// SplitMix64-style derivation keeps replication seeds decorrelated; the
+/// mapping is pure, so replication `i` gets the same seed whether the
+/// replications run sequentially or on any number of worker threads — the
+/// cornerstone of the parallel replication runner's bit-reproducibility.
+#[must_use]
+pub fn replication_seed(base_seed: u64, i: u64) -> u64 {
+    (base_seed ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15))).wrapping_add(0x2545_f491_4f6c_dd1d)
 }
 
 /// Online quantile estimation with the P² algorithm (Jain & Chlamtac 1985).

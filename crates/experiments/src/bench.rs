@@ -18,9 +18,12 @@ use std::time::Instant;
 
 use oml_core::attach::AttachmentMode;
 use oml_core::policy::PolicyKind;
-use oml_workload::{run_scenario, ScenarioConfig};
+use oml_des::stats::StoppingRule;
+use oml_sim::metrics::MetricsRow;
+use oml_workload::mega::MegaReport;
+use oml_workload::{run_scenario, run_scenario_replicated, ScenarioConfig};
 
-use crate::experiments::{point_seed, RunOptions};
+use crate::experiments::{parallel_map, point_seed, RunOptions};
 
 /// Wall time and event throughput of one benchmark experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,28 +126,30 @@ const FIG16X: [(&str, PolicyKind, AttachmentMode); 7] = [
 
 fn run_grid(configs: &[ScenarioConfig], series: SeriesGrid, opts: &RunOptions) -> (f64, u64) {
     let start = Instant::now();
-    let mut events = 0u64;
-    for (pi, config) in configs.iter().enumerate() {
-        for (si, &(_, policy, mode)) in series.iter().enumerate() {
-            let out = run_scenario(
-                config,
-                policy,
-                mode,
-                opts.stopping,
-                point_seed(opts.seed, pi, si),
-            );
-            events += out.events;
-            std::hint::black_box(&out.metrics);
-        }
-    }
-    (start.elapsed().as_secs_f64(), events)
+    let cols = series.len();
+    let outs = parallel_map(configs.len() * cols, opts.threads, |job| {
+        let (pi, si) = (job / cols, job % cols);
+        let (_, policy, mode) = series[si];
+        let out = run_scenario(
+            &configs[pi],
+            policy,
+            mode,
+            opts.stopping,
+            point_seed(opts.seed, pi, si),
+        );
+        std::hint::black_box(&out.metrics);
+        out.events
+    });
+    (start.elapsed().as_secs_f64(), outs.iter().sum())
 }
 
 /// Runs the fixed benchmark suite at the given precision and seed.
 ///
 /// The sweep grids mirror `fig8`/`fig12`/`fig14`/`fig16`/`fig16x` exactly
-/// (same configs, same series order, same per-point seeds) but run on one
-/// thread so wall times are comparable across machines and commits.
+/// (same configs, same series order, same per-point seeds). `repro bench`
+/// defaults to one thread so wall times stay comparable across machines and
+/// commits, but `opts.threads` is honored — and recorded in the JSON — when
+/// a caller explicitly asks for more.
 #[must_use]
 pub fn run_bench_suite(opts: &RunOptions) -> BenchReport {
     let fig16_cs = [1u32, 2, 4, 6, 8, 10, 12];
@@ -214,10 +219,29 @@ fn json_experiments(out: &mut String, rows: &[BenchExperiment]) {
     }
 }
 
+/// Human-readable label for a stopping rule: the named precision presets
+/// map back to their names, anything else is spelled out.
+#[must_use]
+pub fn precision_label(rule: &StoppingRule) -> String {
+    if *rule == RunOptions::quick().stopping {
+        "quick".to_owned()
+    } else if *rule == RunOptions::paper().stopping {
+        "paper".to_owned()
+    } else {
+        format!(
+            "custom(rp={}, conf={}, min_batches={}, max_samples={})",
+            rule.relative_precision, rule.confidence, rule.min_batches, rule.max_samples
+        )
+    }
+}
+
 /// Renders the report (plus the recorded pre-rework baseline and the derived
 /// speedups) as the `BENCH_02.json` document.
+///
+/// The `precision` and `threads` fields record what the run actually used
+/// (taken from `opts`), not a hardcoded assumption.
 #[must_use]
-pub fn render_bench_json(report: &BenchReport, seed: u64) -> String {
+pub fn render_bench_json(report: &BenchReport, opts: &RunOptions) -> String {
     let baseline: Vec<BenchExperiment> = BASELINE
         .iter()
         .map(|&(name, wall_s, events)| BenchExperiment {
@@ -235,9 +259,13 @@ pub fn render_bench_json(report: &BenchReport, seed: u64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench_id\": \"BENCH_02\",");
-    let _ = writeln!(out, "  \"precision\": \"quick\",");
-    let _ = writeln!(out, "  \"seed\": {seed},");
-    let _ = writeln!(out, "  \"threads\": 1,");
+    let _ = writeln!(
+        out,
+        "  \"precision\": \"{}\",",
+        precision_label(&opts.stopping)
+    );
+    let _ = writeln!(out, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(out, "  \"threads\": {},", opts.threads);
     let _ = writeln!(
         out,
         "  \"baseline_note\": \"pre-arena seed implementation (commit 966c926): BTreeMap adjacency, allocating closure BFS, HashMap world state\","
@@ -260,6 +288,178 @@ pub fn render_bench_json(report: &BenchReport, seed: u64) -> String {
         let _ = writeln!(out, "    \"{}\": {:.2}{}", e.name, speedup, sep);
     }
     out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// One thread count's measurement of the replicated fig16 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRun {
+    /// Worker threads used inside each sweep point's replication runner.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_s: f64,
+    /// Simulator events across all points and replications.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// FNV-1a digest over every point's metrics (bit-exact).
+    pub fingerprint: u64,
+}
+
+/// The `repro scaling` result: a threads axis over one fixed workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingReport {
+    /// Cores the host actually has (speedups saturate here).
+    pub host_cores: usize,
+    /// One run per thread count, in axis order.
+    pub runs: Vec<ScalingRun>,
+    /// Whether every run produced identical events and metric fingerprints.
+    pub bit_identical: bool,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn fingerprint_row(hash: u64, row: &MetricsRow) -> u64 {
+    let mut h = hash;
+    for bits in [
+        row.comm_time.to_bits(),
+        row.call_time.to_bits(),
+        row.migration_time.to_bits(),
+        row.control_time.to_bits(),
+        row.transfer_load.to_bits(),
+        row.call_p95.to_bits(),
+        row.ci_half_width.unwrap_or(-1.0).to_bits(),
+        row.calls,
+    ] {
+        h = fnv1a(h, &bits.to_le_bytes());
+    }
+    h
+}
+
+/// Runs the fig16 sweep through the **parallel replication runner** once per
+/// thread count and measures the wall-time scaling.
+///
+/// Points run sequentially; only the replications inside each point fan out,
+/// so the threads axis isolates exactly the machinery the tentpole added.
+/// Every run records a bit-exact fingerprint of all 35 point metrics —
+/// [`ScalingReport::bit_identical`] is the determinism verdict.
+#[must_use]
+pub fn run_scaling_suite(opts: &RunOptions, threads_axis: &[usize]) -> ScalingReport {
+    let fig16_cs = [1u32, 2, 4, 6, 8, 10, 12];
+    let configs: Vec<ScenarioConfig> = fig16_cs.iter().map(|&c| ScenarioConfig::fig16(c)).collect();
+
+    let mut runs = Vec::new();
+    for &threads in threads_axis {
+        let start = Instant::now();
+        let mut events = 0u64;
+        let mut fingerprint = FNV_OFFSET;
+        for (pi, config) in configs.iter().enumerate() {
+            for (si, &(_, policy, mode)) in FIG16.iter().enumerate() {
+                let agg = run_scenario_replicated(
+                    config,
+                    policy,
+                    mode,
+                    opts.stopping,
+                    point_seed(opts.seed, pi, si),
+                    threads,
+                );
+                events += agg.events;
+                fingerprint = fingerprint_row(fingerprint, &agg.row());
+                fingerprint = fnv1a(fingerprint, &agg.events.to_le_bytes());
+            }
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+        runs.push(ScalingRun {
+            threads,
+            wall_s,
+            events,
+            events_per_sec: if wall_s > 0.0 {
+                events as f64 / wall_s
+            } else {
+                0.0
+            },
+            fingerprint,
+        });
+    }
+
+    let bit_identical = runs
+        .windows(2)
+        .all(|w| w[0].events == w[1].events && w[0].fingerprint == w[1].fingerprint);
+    ScalingReport {
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        runs,
+        bit_identical,
+    }
+}
+
+/// Renders the scaling report (and optionally a mega run) as
+/// `BENCH_03.json`.
+#[must_use]
+pub fn render_scaling_json(
+    report: &ScalingReport,
+    mega: Option<&MegaReport>,
+    opts: &RunOptions,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench_id\": \"BENCH_03\",");
+    let _ = writeln!(
+        out,
+        "  \"precision\": \"{}\",",
+        precision_label(&opts.stopping)
+    );
+    let _ = writeln!(out, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(out, "  \"host_cores\": {},", report.host_cores);
+    let _ = writeln!(
+        out,
+        "  \"suite\": \"fig16 sweep (7 points x 5 series) via the parallel replication runner\","
+    );
+    out.push_str("  \"threads_axis\": {\n");
+    for (i, r) in report.runs.iter().enumerate() {
+        let sep = if i + 1 == report.runs.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"fingerprint\": \"{:016x}\"}}{}",
+            r.threads, r.wall_s, r.events, r.events_per_sec, r.fingerprint, sep
+        );
+    }
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"bit_identical\": {},", report.bit_identical);
+    out.push_str("  \"speedup_vs_1_thread\": {\n");
+    let base = report.runs.first().map_or(0.0, |r| r.wall_s);
+    for (i, r) in report.runs.iter().enumerate() {
+        let sep = if i + 1 == report.runs.len() { "" } else { "," };
+        let speedup = if r.wall_s > 0.0 { base / r.wall_s } else { 0.0 };
+        let _ = writeln!(out, "    \"{}\": {:.2}{}", r.threads, speedup, sep);
+    }
+    out.push_str("  }");
+    if let Some(m) = mega {
+        out.push_str(",\n  \"mega\": {\n");
+        let _ = writeln!(out, "    \"objects\": {},", m.objects);
+        let _ = writeln!(out, "    \"nodes\": {},", m.nodes);
+        let _ = writeln!(out, "    \"shards\": {},", m.shards);
+        let _ = writeln!(out, "    \"threads\": {},", m.threads);
+        let _ = writeln!(out, "    \"sim_time\": {},", m.sim_time);
+        let _ = writeln!(out, "    \"events\": {},", m.events);
+        let _ = writeln!(out, "    \"wall_s\": {:.4},", m.wall_s);
+        let _ = writeln!(out, "    \"events_per_sec\": {:.0},", m.events_per_sec);
+        let _ = writeln!(out, "    \"calls_issued\": {},", m.calls_issued);
+        let _ = writeln!(out, "    \"calls_completed\": {},", m.calls_completed);
+        let _ = writeln!(out, "    \"migrations\": {},", m.migrations);
+        let _ = writeln!(out, "    \"mean_response\": {:.4},", m.mean_response);
+        let _ = writeln!(out, "    \"peak_rss_bytes\": {}", m.peak_rss_bytes);
+        out.push_str("  }\n");
+    } else {
+        out.push('\n');
+    }
     out.push_str("}\n");
     out
 }
@@ -287,9 +487,45 @@ mod tests {
             assert!(e.events > 0, "{} handled no events", e.name);
             assert!(e.wall_s > 0.0);
         }
-        let json = render_bench_json(&report, 1);
+        let json = render_bench_json(&report, &opts);
         assert!(json.contains("\"bench_id\": \"BENCH_02\""));
         assert!(json.contains("\"fig16\""));
         assert!(json.contains("speedup_vs_baseline"));
+        // the actual precision and thread count are recorded, not assumed
+        assert!(json.contains("\"precision\": \"custom(rp=0.2"));
+        assert!(json.contains("\"threads\": 1,"));
+    }
+
+    #[test]
+    fn precision_labels_name_the_presets() {
+        assert_eq!(precision_label(&RunOptions::quick().stopping), "quick");
+        assert_eq!(precision_label(&RunOptions::paper().stopping), "paper");
+        let odd = StoppingRule {
+            relative_precision: 0.5,
+            ..RunOptions::quick().stopping
+        };
+        assert!(precision_label(&odd).starts_with("custom("));
+    }
+
+    #[test]
+    fn scaling_suite_is_bit_identical_across_threads() {
+        let opts = RunOptions {
+            stopping: StoppingRule {
+                relative_precision: 1e-9,
+                confidence: 0.99,
+                min_batches: u64::MAX,
+                max_samples: 2_000,
+            },
+            seed: 1,
+            threads: 1,
+        };
+        let report = run_scaling_suite(&opts, &[1, 2]);
+        assert_eq!(report.runs.len(), 2);
+        assert!(report.bit_identical, "threads must not change results");
+        assert!(report.runs[0].events > 0);
+        let json = render_scaling_json(&report, None, &opts);
+        assert!(json.contains("\"bench_id\": \"BENCH_03\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("speedup_vs_1_thread"));
     }
 }

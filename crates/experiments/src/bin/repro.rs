@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--quick | --paper] [--seed N] [--csv DIR]
+//! repro <experiment> [--quick | --paper] [--seed N] [--threads N] [--csv DIR]
 //!
 //! experiments:
 //!   table1     the simulation-parameter glossary (Table 1)
@@ -34,6 +34,16 @@
 //!              quorum-replicated checkpoint schedules and the no-repair /
 //!              stale-promotion negative controls)
 //!   bench      fixed quick-precision perf suite; writes BENCH_02.json
+//!              (single-threaded unless --threads says otherwise, so the
+//!              tracked baseline stays comparable across commits)
+//!   scaling    threads-axis scaling suite over the parallel replication
+//!              runner; asserts bit-identical results across thread counts
+//!              and writes BENCH_03.json (--axis N,M,... picks the thread
+//!              counts, default 1,2,4,8; --no-mega skips the standing mega
+//!              world that is otherwise appended to the report)
+//!   mega       the standing large-scale world: >=1M Zipf-popular objects
+//!              on >=1024 nodes across 64 shards of the conservative
+//!              time-windowed engine (--smoke runs the small CI variant)
 //!   <file.csv> replot a previously saved result (no re-run)
 //!   custom     run a scenario loaded with --scenario FILE (key = value
 //!              format; see ScenarioConfig::to_config_text) under all five
@@ -46,7 +56,9 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use oml_experiments::bench::{render_bench_json, run_bench_suite};
+use oml_experiments::bench::{
+    render_bench_json, render_scaling_json, run_bench_suite, run_scaling_suite,
+};
 use oml_experiments::check::{
     audit_lock_order, exercise_lock_sites, replay_chaos_seeds, replay_durability_seeds,
     replay_no_repair_negative, replay_recovery_seeds, replay_stale_promotion_negative,
@@ -58,6 +70,7 @@ use oml_experiments::experiments::{
     RunOptions,
 };
 use oml_experiments::{render_plot, render_svg, ExperimentResult, SvgOptions};
+use oml_workload::mega::{run_mega, MegaConfig};
 use oml_workload::table1::{table1, value_for};
 use oml_workload::{run_scenario, ScenarioConfig};
 
@@ -71,6 +84,12 @@ struct Cli {
     seeds: Option<String>,
     recovery: bool,
     durability_check: bool,
+    /// Set iff `--threads` was given explicitly (bench defaults to 1 for
+    /// baseline comparability, everything else to `default_threads()`).
+    threads_override: Option<usize>,
+    axis: Option<String>,
+    no_mega: bool,
+    smoke: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -84,6 +103,10 @@ fn parse_args() -> Result<Cli, String> {
     let mut seeds = None;
     let mut recovery = false;
     let mut durability_check = false;
+    let mut threads_override = None;
+    let mut axis = None;
+    let mut no_mega = false;
+    let mut smoke = false;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -106,6 +129,19 @@ fn parse_args() -> Result<Cli, String> {
                 let v = args.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count: {v}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads_override = Some(n);
+            }
+            "--axis" => {
+                axis = Some(args.next().ok_or("--axis needs N,M,...")?);
+            }
+            "--no-mega" => no_mega = true,
+            "--smoke" => smoke = true,
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
@@ -136,6 +172,10 @@ fn parse_args() -> Result<Cli, String> {
             "(no precision flag given; defaulting to --quick — use --paper for the 1%/p=0.99 rule)"
         );
     }
+    // applied last so `--threads 4 --paper` and `--paper --threads 4` agree
+    if let Some(n) = threads_override {
+        opts.threads = n;
+    }
     Ok(Cli {
         experiment: experiment.ok_or("an experiment name is required")?,
         opts,
@@ -146,6 +186,10 @@ fn parse_args() -> Result<Cli, String> {
         seeds,
         recovery,
         durability_check,
+        threads_override,
+        axis,
+        no_mega,
+        smoke,
     })
 }
 
@@ -361,6 +405,120 @@ fn run_check(seeds_arg: Option<&str>, recovery: bool, durability: bool) -> ExitC
     }
 }
 
+fn print_mega(report: &oml_workload::mega::MegaReport) {
+    println!("# repro mega — the standing large-scale world");
+    println!(
+        "{} objects on {} nodes across {} shards, {} worker thread(s)",
+        report.objects, report.nodes, report.shards, report.threads
+    );
+    println!(
+        "simulated {:.0} time units: {} events in {:.2} s wall ({:.0} events/s)",
+        report.sim_time, report.events, report.wall_s, report.events_per_sec
+    );
+    println!(
+        "{} ticks, {} calls issued / {} completed ({} local), {} migrations",
+        report.ticks,
+        report.calls_issued,
+        report.calls_completed,
+        report.local_calls,
+        report.migrations
+    );
+    println!(
+        "mean response {:.3} time units, peak RSS {:.1} MiB",
+        report.mean_response,
+        report.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+}
+
+/// The `scaling` experiment: run the replicated fig16 sweep once per thread
+/// count, demand bit-identical metrics, append a mega-world run unless
+/// `--no-mega`, and write `BENCH_03.json`.
+fn run_scaling(cli: &Cli) -> ExitCode {
+    let axis: Vec<usize> = match &cli.axis {
+        None => vec![1, 2, 4, 8],
+        Some(list) => {
+            let mut parsed = Vec::new();
+            for part in list.split(',') {
+                match part.trim().parse::<usize>() {
+                    Ok(n) if n > 0 => parsed.push(n),
+                    _ => {
+                        eprintln!("error: bad thread count in --axis: {part}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            parsed
+        }
+    };
+    if axis.is_empty() {
+        eprintln!("error: --axis needs at least one thread count");
+        return ExitCode::FAILURE;
+    }
+
+    println!("# repro scaling — replication runner over threads {axis:?}");
+    let report = run_scaling_suite(&cli.opts, &axis);
+    let base = report.runs.first().map_or(0.0, |r| r.wall_s);
+    for r in &report.runs {
+        let speedup = if r.wall_s > 0.0 { base / r.wall_s } else { 0.0 };
+        println!(
+            "{:>2} thread(s): {:>8.3} s  {:>10} events  {:>12.0} events/s  x{:.2}  fp {:016x}",
+            r.threads, r.wall_s, r.events, r.events_per_sec, speedup, r.fingerprint
+        );
+    }
+    println!(
+        "bit-identical across the axis: {} (host has {} core(s))",
+        report.bit_identical, report.host_cores
+    );
+
+    let mega = if cli.no_mega {
+        None
+    } else {
+        let cfg = if cli.smoke {
+            MegaConfig::smoke()
+        } else {
+            MegaConfig::standing()
+        };
+        let threads = cli
+            .threads_override
+            .unwrap_or_else(|| axis.iter().copied().max().unwrap_or(1));
+        let m = run_mega(&cfg, cli.opts.seed, threads);
+        println!();
+        print_mega(&m);
+        Some(m)
+    };
+
+    let json = render_scaling_json(&report, mega.as_ref(), &cli.opts);
+    let path = PathBuf::from("BENCH_03.json");
+    if let Err(e) = fs::write(&path, json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+
+    if !report.bit_identical {
+        eprintln!("error: thread counts disagreed — the runner is not deterministic");
+        return ExitCode::FAILURE;
+    }
+    // the speedup check only means something when the host can actually
+    // run two workers at once
+    if report.host_cores >= 2 && axis.len() >= 2 {
+        let best = report
+            .runs
+            .iter()
+            .skip(1)
+            .map(|r| if r.wall_s > 0.0 { base / r.wall_s } else { 0.0 })
+            .fold(0.0f64, f64::max);
+        if best <= 1.0 {
+            eprintln!(
+                "error: no speedup over 1 thread on a {}-core host",
+                report.host_cores
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let cli = match parse_args() {
         Ok(cli) => cli,
@@ -369,8 +527,9 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|availability|durability|check|...|all> \
-                 [--quick|--paper] [--seed N] [--seeds chaos|N,M,...] [--recovery] [--durability] [--csv DIR] [--svg DIR] [--plot]"
+                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|availability|durability|check|bench|scaling|mega|...|all> \
+                 [--quick|--paper] [--seed N] [--threads N] [--seeds chaos|N,M,...] [--recovery] [--durability] \
+                 [--axis N,M,...] [--no-mega] [--smoke] [--csv DIR] [--svg DIR] [--plot]"
             );
             return ExitCode::FAILURE;
         }
@@ -414,12 +573,13 @@ fn main() -> ExitCode {
     match cli.experiment.as_str() {
         "check" => run_check(cli.seeds.as_deref(), cli.recovery, cli.durability_check),
         "bench" => {
-            // The bench suite is the tracked baseline: always quick precision
-            // and one thread, whatever flags were given, so numbers stay
-            // comparable across commits.
+            // The bench suite is the tracked baseline: quick precision and
+            // one thread unless overridden explicitly, so numbers stay
+            // comparable across commits. The JSON records whatever precision
+            // and thread count actually ran.
             let opts = RunOptions {
                 seed: cli.opts.seed,
-                threads: 1,
+                threads: cli.threads_override.unwrap_or(1),
                 ..RunOptions::quick()
             };
             let report = run_bench_suite(&opts);
@@ -429,7 +589,7 @@ fn main() -> ExitCode {
                     e.name, e.wall_s, e.events, e.events_per_sec
                 );
             }
-            let json = render_bench_json(&report, opts.seed);
+            let json = render_bench_json(&report, &opts);
             let path = PathBuf::from("BENCH_02.json");
             match fs::write(&path, json) {
                 Ok(()) => {
@@ -441,6 +601,17 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "scaling" => run_scaling(&cli),
+        "mega" => {
+            let cfg = if cli.smoke {
+                MegaConfig::smoke()
+            } else {
+                MegaConfig::standing()
+            };
+            let report = run_mega(&cfg, cli.opts.seed, cli.opts.threads);
+            print_mega(&report);
+            ExitCode::SUCCESS
         }
         "custom" => {
             let Some(path) = &cli.scenario else {

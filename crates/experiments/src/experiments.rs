@@ -27,7 +27,19 @@ pub struct RunOptions {
     pub threads: usize,
 }
 
-fn default_threads() -> usize {
+/// Default worker-thread count: available cores, capped at 8.
+///
+/// The cap is overridable — `OML_THREADS` (or the `repro --threads` flag,
+/// which wins over the environment) sets any positive count, letting big
+/// hosts use all their cores and CI pin an exact degree of parallelism.
+pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("OML_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get().min(8))
         .unwrap_or(1)
@@ -71,48 +83,10 @@ impl Default for RunOptions {
     }
 }
 
-/// Work-stealing map over `0..n` using scoped threads: each index is claimed
-/// from a shared counter, so long and short simulation points balance out.
-/// Determinism is preserved because the result vector is indexed, not
-/// ordered by completion.
-pub(crate) fn parallel_map<R: Send>(
-    n: usize,
-    threads: usize,
-    f: impl Fn(usize) -> R + Sync,
-) -> Vec<R> {
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::mpsc;
-
-    let next = AtomicUsize::new(0);
-    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel();
-        for _ in 0..threads.min(n) {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, r) in rx {
-            out[i] = Some(r);
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every index produced a result"))
-        .collect()
-}
+// the work-stealing map moved down into the simulation substrate so the
+// replication runner (oml-workload) shares one implementation; sweep-point
+// fan-out keeps using it through this import
+pub(crate) use oml_des::par::parallel_map;
 
 /// Runs a full `configs × series` grid in parallel and assembles the sweep
 /// points in order.

@@ -20,7 +20,7 @@ use oml_core::attach::AttachmentMode;
 use oml_core::policy::PolicyKind;
 use oml_des::stats::StoppingRule;
 use oml_sim::metrics::MetricsRow;
-use oml_workload::{run_scenario, ScenarioConfig};
+use oml_workload::{run_scenario, run_scenario_replicated, ScenarioConfig};
 
 /// `(comm_time, call_time, migration_time, control_time, calls, denial_rate,
 /// mean_closure, transfer_load, call_p95, events)` recorded from the
@@ -123,5 +123,61 @@ fn fig16_point_reproduces_pre_rework_metrics() {
         assert_close(g.label, "mean_closure", row.mean_closure, g.mean_closure);
         assert_close(g.label, "transfer_load", row.transfer_load, g.transfer_load);
         assert_close(g.label, "call_p95", row.call_p95, g.call_p95);
+    }
+}
+
+/// The parallel replication runner must be a pure scheduling change: the
+/// thread count picks which worker runs each replication, never what any
+/// replication computes or the order results merge in. Every aggregate
+/// field — floats included — is compared **bit-exact** between a
+/// single-threaded and a multi-threaded run of the same goldens.
+#[test]
+fn replicated_fig16_point_is_bit_identical_across_thread_counts() {
+    let rule = StoppingRule {
+        relative_precision: 1e-9,
+        confidence: 0.99,
+        min_batches: u64::MAX,
+        max_samples: 6_000,
+    };
+    for g in &GOLDENS {
+        let config = ScenarioConfig::fig16(4);
+        let seq = run_scenario_replicated(&config, g.policy, g.mode, rule, 0x5eed, 1);
+        for threads in [2, 4] {
+            let par = run_scenario_replicated(&config, g.policy, g.mode, rule, 0x5eed, threads);
+            assert_eq!(par.events, seq.events, "{}: events @{threads}", g.label);
+            assert_eq!(
+                par.replications, seq.replications,
+                "{}: replications @{threads}",
+                g.label
+            );
+            assert_eq!(
+                par.sample_count(),
+                seq.sample_count(),
+                "{}: samples @{threads}",
+                g.label
+            );
+            let (a, b) = (par.row(), seq.row());
+            for (field, got, want) in [
+                ("comm_time", a.comm_time, b.comm_time),
+                ("call_time", a.call_time, b.call_time),
+                ("migration_time", a.migration_time, b.migration_time),
+                ("control_time", a.control_time, b.control_time),
+                ("denial_rate", a.denial_rate, b.denial_rate),
+                ("transfer_load", a.transfer_load, b.transfer_load),
+                ("call_p95", a.call_p95, b.call_p95),
+                (
+                    "ci_half_width",
+                    a.ci_half_width.unwrap_or(-1.0),
+                    b.ci_half_width.unwrap_or(-1.0),
+                ),
+            ] {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{}: {field} not bit-identical at {threads} threads: {got:?} vs {want:?}",
+                    g.label
+                );
+            }
+        }
     }
 }

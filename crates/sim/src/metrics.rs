@@ -279,6 +279,156 @@ impl From<&SimMetrics> for MetricsRow {
     }
 }
 
+/// Order-sensitive merge of independent replications of one sweep point.
+///
+/// The parallel replication runner executes replications on worker threads
+/// but **absorbs their outcomes in replication-index order**, so every
+/// floating-point accumulation below happens in exactly the same sequence
+/// at any thread count — the aggregate is bit-identical whether the
+/// replications ran on one core or sixteen.
+///
+/// Counters and time totals add exactly. The communication-time batch means
+/// merge exactly as well (each replication contributes whole batches; see
+/// [`BatchMeans::merge`]). The only approximation is the 95th percentile:
+/// P² markers cannot be merged, so the aggregate reports the call-weighted
+/// mean of the per-replication p95 estimates — documented in DESIGN.md §13.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationAggregate {
+    /// Replications absorbed so far.
+    pub replications: u64,
+    /// Events delivered across all replications.
+    pub events: u64,
+    /// Total simulated time across all replications (sum, not max).
+    pub sim_time: f64,
+    calls: u64,
+    total_call_time: f64,
+    total_migration_time: f64,
+    total_control_time: f64,
+    total_transfer_load: f64,
+    moves_issued: u64,
+    moves_denied: u64,
+    migrations: u64,
+    objects_migrated: u64,
+    samples: Option<BatchMeans>,
+    p95_call_weight: f64,
+}
+
+impl ReplicationAggregate {
+    /// An empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        ReplicationAggregate::default()
+    }
+
+    /// Folds one replication's outcome into the aggregate.
+    ///
+    /// Call this in replication-index order (the runner does) — see the
+    /// type docs for why the order is part of the reproducibility contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if replications used different batch sizes.
+    pub fn absorb(&mut self, out: &SimOutcome) {
+        let m = &out.metrics;
+        self.replications += 1;
+        self.events += out.events;
+        self.sim_time += out.sim_time;
+        self.calls += m.calls;
+        self.total_call_time += m.total_call_time;
+        self.total_migration_time += m.total_migration_time;
+        self.total_control_time += m.total_control_time;
+        self.total_transfer_load += m.total_transfer_load;
+        self.moves_issued += m.moves_issued;
+        self.moves_denied += m.moves_denied;
+        self.migrations += m.migrations;
+        self.objects_migrated += m.objects_migrated;
+        self.p95_call_weight += m.call_time_p95() * m.calls as f64;
+        match &mut self.samples {
+            Some(samples) => samples.merge(&m.samples),
+            None => self.samples = Some(m.samples.clone()),
+        }
+    }
+
+    /// Total communication-time samples collected.
+    #[must_use]
+    pub fn sample_count(&self) -> u64 {
+        self.samples.as_ref().map_or(0, BatchMeans::sample_count)
+    }
+
+    /// Calls completed across all replications.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// The merged batch-means estimator, once a replication was absorbed.
+    #[must_use]
+    pub fn samples(&self) -> Option<&BatchMeans> {
+        self.samples.as_ref()
+    }
+
+    /// Confidence interval over the merged batch means.
+    #[must_use]
+    pub fn confidence_interval(&self, confidence: f64) -> Option<ConfidenceInterval> {
+        self.samples
+            .as_ref()
+            .and_then(|s| s.confidence_interval(confidence))
+    }
+
+    /// Whether the stopping rule is satisfied on the merged sample stream.
+    #[must_use]
+    pub fn should_stop(&self, rule: &StoppingRule) -> bool {
+        self.samples.as_ref().is_some_and(|s| rule.should_stop(s))
+    }
+
+    /// Whether the precision target itself was met (not just the caps).
+    #[must_use]
+    pub fn converged(&self, rule: &StoppingRule) -> bool {
+        self.samples
+            .as_ref()
+            .and_then(|s| s.confidence_interval(rule.confidence))
+            .is_some_and(|ci| {
+                self.samples.as_ref().map_or(0, BatchMeans::batch_count) >= rule.min_batches
+                    && ci.is_within(rule.relative_precision)
+            })
+    }
+
+    /// The aggregate as a standard experiment-table row.
+    #[must_use]
+    pub fn row(&self) -> MetricsRow {
+        let per_call = |total: f64| {
+            if self.calls == 0 {
+                0.0
+            } else {
+                total / self.calls as f64
+            }
+        };
+        MetricsRow {
+            comm_time: per_call(
+                self.total_call_time + self.total_migration_time + self.total_control_time,
+            ),
+            call_time: per_call(self.total_call_time),
+            migration_time: per_call(self.total_migration_time),
+            control_time: per_call(self.total_control_time),
+            ci_half_width: self.confidence_interval(0.99).map(|ci| ci.half_width),
+            calls: self.calls,
+            denial_rate: if self.moves_issued == 0 {
+                0.0
+            } else {
+                self.moves_denied as f64 / self.moves_issued as f64
+            },
+            mean_closure: if self.migrations == 0 {
+                0.0
+            } else {
+                self.objects_migrated as f64 / self.migrations as f64
+            },
+            transfer_load: per_call(self.total_transfer_load),
+            // call-weighted mean of per-replication P² estimates (see docs)
+            call_p95: per_call(self.p95_call_weight),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +540,61 @@ mod tests {
             skewed.per_client_comm[1].push(10.0);
         }
         assert!(skewed.fairness_index() < 0.6, "{}", skewed.fairness_index());
+    }
+
+    #[test]
+    fn replication_aggregate_sums_counters_and_merges_samples() {
+        let outcome = |seed: u64| {
+            let mut m = populated();
+            for i in 0..40 {
+                m.samples.push((seed + i) as f64 % 7.0);
+            }
+            SimOutcome {
+                metrics: m,
+                sim_time: 50.0,
+                events: 1_000,
+                converged: false,
+            }
+        };
+        let mut agg = ReplicationAggregate::new();
+        agg.absorb(&outcome(0));
+        agg.absorb(&outcome(3));
+        assert_eq!(agg.replications, 2);
+        assert_eq!(agg.events, 2_000);
+        assert_eq!(agg.calls(), 200);
+        assert_eq!(agg.sample_count(), 80);
+        assert_eq!(agg.samples().unwrap().batch_count(), 8);
+        let row = agg.row();
+        assert_eq!(row.calls, 200);
+        // per-call means are unchanged by doubling both numerator and denominator
+        assert!((row.comm_time - 2.0).abs() < 1e-12);
+        assert!((row.denial_rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_aggregate_absorb_order_is_the_contract() {
+        // absorbing in index order must be reproducible run-to-run
+        let make = |offset: f64| {
+            let mut m = SimMetrics::new(5);
+            m.calls = 10;
+            for i in 0..15 {
+                m.samples.push(offset + i as f64 * 0.37);
+            }
+            SimOutcome {
+                metrics: m,
+                sim_time: 1.0,
+                events: 10,
+                converged: false,
+            }
+        };
+        let run = || {
+            let mut agg = ReplicationAggregate::new();
+            for i in 0..4 {
+                agg.absorb(&make(i as f64));
+            }
+            agg.confidence_interval(0.99).unwrap().mean
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
     }
 
     #[test]

@@ -36,17 +36,20 @@
     clippy::wildcard_imports
 )]
 
+pub mod mega;
 pub mod scenario;
 pub mod table1;
+pub mod zipf;
 
 pub use scenario::ScenarioConfig;
 
 use oml_core::attach::AttachmentMode;
 use oml_core::ids::{NodeId, ObjectId};
 use oml_core::policy::PolicyKind;
-use oml_des::stats::StoppingRule;
+use oml_des::par::parallel_map;
+use oml_des::stats::{replication_seed, StoppingRule};
 use oml_net::{FaultConfig, Network};
-use oml_sim::metrics::SimOutcome;
+use oml_sim::metrics::{ReplicationAggregate, SimOutcome};
 use oml_sim::{BlockParams, Simulation, SimulationBuilder};
 
 /// Builds the simulation a scenario describes (without running it).
@@ -147,6 +150,87 @@ pub fn run_scenario(
     build_scenario(config, policy, attachment, stopping, seed).run()
 }
 
+/// Replications launched per round of the parallel replication runner.
+///
+/// A fixed round width keeps the set of replications — and therefore the
+/// merged statistics — independent of the worker count; it is also the
+/// natural parallel grain (8 saturates the default thread cap).
+pub const REPLICATIONS_PER_ROUND: u64 = 8;
+
+/// The per-call sample batch size `build_scenario` worlds use (the
+/// `SimulationBuilder` default).
+pub const SCENARIO_BATCH_SIZE: u64 = 500;
+
+/// Samples each replication contributes before the round is re-evaluated.
+///
+/// Chunks are whole multiples of the batch size, so every replication hands
+/// the aggregate only *completed* batches and the merged batch means are
+/// exact (see `BatchMeans::merge`). The chunk adapts to the rule's sample
+/// cap so quick runs stay quick while paper-precision runs amortize their
+/// per-replication warm-up.
+#[must_use]
+pub fn replication_chunk(stopping: &StoppingRule) -> u64 {
+    (stopping.max_samples / 16)
+        .max(4 * SCENARIO_BATCH_SIZE)
+        .div_ceil(SCENARIO_BATCH_SIZE)
+        * SCENARIO_BATCH_SIZE
+}
+
+/// Runs a scenario as **independent replications fanned across threads**,
+/// merged into one estimate — the multi-core counterpart of
+/// [`run_scenario`].
+///
+/// Replication `i` runs the full scenario under seed
+/// [`replication_seed`]`(seed, i)` with a fixed sample chunk
+/// ([`replication_chunk`]); rounds of [`REPLICATIONS_PER_ROUND`] run via
+/// [`parallel_map`] until the merged batch means satisfy `stopping` (its
+/// precision on the pooled confidence interval, its `max_samples` as the
+/// pooled cap). Because the replication set, their seeds, and the merge
+/// order depend only on `(config, stopping, seed)` — never on `threads` —
+/// the returned aggregate is **bit-identical at any thread count**; see
+/// DESIGN.md §13 for the full argument.
+///
+/// Compared to the single-run batch-means path this pays one warm-up per
+/// replication but decorrelates the batches (independent seeds), and it
+/// scales to as many cores as a round has replications.
+///
+/// # Panics
+///
+/// Panics if the scenario is inconsistent.
+#[must_use]
+pub fn run_scenario_replicated(
+    config: &ScenarioConfig,
+    policy: PolicyKind,
+    attachment: AttachmentMode,
+    stopping: StoppingRule,
+    seed: u64,
+    threads: usize,
+) -> ReplicationAggregate {
+    let chunk = replication_chunk(&stopping);
+    // each replication runs exactly `chunk` samples: precision is judged on
+    // the pooled estimate only, so the per-run rule is just the cap
+    let per_rep = StoppingRule {
+        min_batches: u64::MAX,
+        max_samples: chunk,
+        ..stopping
+    };
+    let mut agg = ReplicationAggregate::new();
+    let mut next_rep: u64 = 0;
+    loop {
+        let outs = parallel_map(REPLICATIONS_PER_ROUND as usize, threads, |j| {
+            let rep_seed = replication_seed(seed, next_rep + j as u64);
+            run_scenario(config, policy, attachment, per_rep, rep_seed)
+        });
+        for out in &outs {
+            agg.absorb(out);
+        }
+        next_rep += REPLICATIONS_PER_ROUND;
+        if agg.should_stop(&stopping) {
+            return agg;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +289,44 @@ mod tests {
         );
         // 6 + 6 objects exist
         assert!(sim.object_node(ObjectId::new(11)).is_some());
+    }
+
+    #[test]
+    fn replicated_runner_is_thread_count_invariant() {
+        let config = ScenarioConfig::fig8(10.0);
+        let rule = StoppingRule {
+            relative_precision: 1e-9,
+            confidence: 0.99,
+            min_batches: u64::MAX,
+            max_samples: 4_000,
+        };
+        let run = |threads| {
+            run_scenario_replicated(
+                &config,
+                PolicyKind::ConventionalMigration,
+                AttachmentMode::Unrestricted,
+                rule,
+                0xfeed,
+                threads,
+            )
+        };
+        let one = run(1);
+        assert_eq!(one.replications, REPLICATIONS_PER_ROUND);
+        assert!(one.sample_count() >= rule.max_samples);
+        for threads in [2, 4] {
+            let many = run(threads);
+            assert_eq!(many.events, one.events, "threads = {threads}");
+            assert_eq!(many.replications, one.replications);
+            assert_eq!(many.sample_count(), one.sample_count());
+            let (a, b) = (one.row(), many.row());
+            assert_eq!(a.comm_time.to_bits(), b.comm_time.to_bits());
+            assert_eq!(a.call_p95.to_bits(), b.call_p95.to_bits());
+            assert_eq!(
+                a.ci_half_width.map(f64::to_bits),
+                b.ci_half_width.map(f64::to_bits)
+            );
+            assert_eq!(a.calls, b.calls);
+        }
     }
 
     #[test]
