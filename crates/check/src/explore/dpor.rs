@@ -1,0 +1,256 @@
+//! Sleep-set dynamic partial-order reduction over the protocol model.
+//!
+//! The search is a depth-first enumeration of schedules with three pruning
+//! devices:
+//!
+//! * **Sleep sets** (Godefroid): after exploring step `t` from a state, `t`
+//!   joins the sleep set of the remaining siblings; a child's sleep set
+//!   keeps only the entries independent of the step taken. A slept step is
+//!   never taken first again from an equivalent position, cutting the
+//!   commuting half of every independent diamond. Sleep sets never hide a
+//!   reachable safety violation: they only skip schedules that are
+//!   Mazurkiewicz-equivalent to one already explored.
+//! * **State-hash pruning**: a state digest plus the sleep set keys a
+//!   visited table; a repeat (digest, sleep) pair generates an identical
+//!   subtree and is cut. The trace prefix that led there may differ, so the
+//!   prefix is checked at the prune point (a violation lives in some prefix
+//!   or some suffix; suffixes were covered at the first visit).
+//! * **Budgets**: schedule, step and depth ceilings. A budget cut clears
+//!   [`ExploreReport::exhaustive`] — the result is then a bounded
+//!   verification, not a proof.
+//!
+//! Independence is the conditional, footprint-based relation of
+//! [`Model::independent`], validated against the vector-clock
+//! happens-before of [`crate::vclock`] in tests.
+
+use std::collections::BTreeSet;
+use std::collections::HashSet;
+
+use crate::checker::check_trace;
+
+use super::model::{trace_digest, Model, Step};
+use super::schedule::Schedule;
+use super::{Counterexample, ExploreConfig};
+
+/// Exploration budgets. Defaults are sized so the bundled configurations
+/// enumerate exhaustively in well under a second.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum complete (or cut) schedules to enumerate.
+    pub max_schedules: u64,
+    /// Maximum total steps executed across the whole search.
+    pub max_steps: u64,
+    /// Maximum schedule depth; deeper branches are cut (and their prefix
+    /// checked).
+    pub max_depth: usize,
+    /// Stop after this many counterexamples (0 = collect every one).
+    pub max_counterexamples: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_schedules: 200_000,
+            max_steps: 5_000_000,
+            max_depth: 128,
+            max_counterexamples: 1,
+        }
+    }
+}
+
+impl Budget {
+    /// A tight budget for CI smoke runs.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Budget {
+            max_schedules: 40_000,
+            max_steps: 1_000_000,
+            ..Budget::default()
+        }
+    }
+}
+
+/// The outcome of one exploration.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Complete schedules enumerated (terminal states reached).
+    pub schedules: u64,
+    /// Total steps executed.
+    pub steps: u64,
+    /// Subtrees cut by the (state digest, sleep set) visited table.
+    pub pruned: u64,
+    /// Sibling steps skipped because they were asleep.
+    pub sleep_skips: u64,
+    /// Deepest schedule reached.
+    pub peak_depth: usize,
+    /// The search enumerated every schedule up to partial-order equivalence
+    /// without hitting a budget (and without stopping early on a
+    /// counterexample quota).
+    pub exhaustive: bool,
+    /// Minimized counterexamples, at most `max_counterexamples`.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl ExploreReport {
+    /// No violation was found (within the explored bound).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+struct Search<'a> {
+    cfg: &'a ExploreConfig,
+    budget: Budget,
+    visited: HashSet<u64>,
+    report: ExploreReport,
+    path: Vec<Step>,
+    done: bool,
+}
+
+/// Explores `cfg` under `budget` and reports what was found. Every complete
+/// schedule (and every cut prefix) streams through
+/// [`crate::checker::check_trace`] plus the model's quiesce checks; the
+/// first violations are minimized into replayable [`Schedule`]s.
+#[must_use]
+pub fn explore(cfg: &ExploreConfig, budget: &Budget) -> ExploreReport {
+    let mut search = Search {
+        cfg,
+        budget: *budget,
+        visited: HashSet::new(),
+        report: ExploreReport {
+            schedules: 0,
+            steps: 0,
+            pruned: 0,
+            sleep_skips: 0,
+            peak_depth: 0,
+            exhaustive: true,
+            counterexamples: Vec::new(),
+        },
+        path: Vec::new(),
+        done: false,
+    };
+    let root = Model::new(cfg);
+    search.dfs(&root, &BTreeSet::new());
+    search.report
+}
+
+impl Search<'_> {
+    fn over_budget(&self) -> bool {
+        self.report.schedules >= self.budget.max_schedules
+            || self.report.steps >= self.budget.max_steps
+    }
+
+    /// Records a (minimized) counterexample for the current path if the
+    /// supplied model's trace or end state is in violation. Sound at
+    /// non-terminal prefixes too: checker violations only accumulate, and
+    /// an orphaned lock (non-expiring, holder abandoned) is permanent — no
+    /// continuation can release it.
+    fn harvest(&mut self, m: &Model) {
+        let mut quiesced = m.clone();
+        quiesced.drain_quiesce();
+        let report = check_trace(quiesced.trace());
+        let orphans = quiesced.orphaned_locks();
+        if report.violations.is_empty() && orphans.is_empty() {
+            return;
+        }
+        let minimized = super::schedule::minimize(self.cfg, &self.path);
+        let mut replayed = Model::new(self.cfg);
+        for &s in &minimized {
+            replayed.apply(s);
+        }
+        replayed.drain_quiesce();
+        let schedule = Schedule {
+            cfg: self.cfg.clone(),
+            steps: minimized,
+            trace_digest: trace_digest(replayed.trace()),
+        };
+        let final_report = check_trace(replayed.trace());
+        self.report.counterexamples.push(Counterexample {
+            schedule,
+            violations: final_report.violations,
+            orphans: replayed.orphaned_locks(),
+        });
+        if self.budget.max_counterexamples > 0
+            && self.report.counterexamples.len() >= self.budget.max_counterexamples
+        {
+            self.done = true;
+            // stopping early: the enumeration is deliberately incomplete
+            self.report.exhaustive = false;
+        }
+    }
+
+    fn dfs(&mut self, m: &Model, sleep: &BTreeSet<Step>) {
+        if self.done {
+            return;
+        }
+        if self.over_budget() {
+            self.report.exhaustive = false;
+            return;
+        }
+        self.report.peak_depth = self.report.peak_depth.max(self.path.len());
+        let enabled = m.enabled();
+        if enabled.is_empty() {
+            self.report.schedules += 1;
+            self.harvest(m);
+            return;
+        }
+        if self.path.len() >= self.budget.max_depth {
+            self.report.schedules += 1;
+            self.report.exhaustive = false;
+            self.harvest(m);
+            return;
+        }
+        let mut slept: Vec<Step> = Vec::new();
+        for &t in &enabled {
+            if self.done || self.over_budget() {
+                if self.over_budget() {
+                    self.report.exhaustive = false;
+                }
+                return;
+            }
+            if sleep.contains(&t) {
+                self.report.sleep_skips += 1;
+                slept.push(t);
+                continue;
+            }
+            let mut child = m.clone();
+            child.apply(t);
+            self.report.steps += 1;
+            let child_sleep: BTreeSet<Step> = sleep
+                .iter()
+                .chain(slept.iter())
+                .copied()
+                .filter(|&s| m.independent(s, t))
+                .collect();
+            let key = visit_key(&child, &child_sleep);
+            if self.visited.insert(key) {
+                self.path.push(t);
+                self.dfs(&child, &child_sleep);
+                self.path.pop();
+            } else {
+                self.report.pruned += 1;
+                // the subtree was covered at its first visit; only this
+                // prefix is new — check it before discarding
+                self.path.push(t);
+                self.harvest(&child);
+                self.path.pop();
+            }
+            slept.push(t);
+        }
+    }
+}
+
+/// Keys the visited table on the state digest *and* the sleep set: two
+/// visits only share a subtree if they restrict future first-steps the same
+/// way. Keying on the digest alone would prune visits whose larger sleep
+/// set had already excluded schedules the earlier visit still needed.
+fn visit_key(m: &Model, sleep: &BTreeSet<Step>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = super::model::Fnv64::new();
+    m.state_digest().hash(&mut h);
+    for s in sleep {
+        s.hash(&mut h);
+    }
+    h.finish()
+}

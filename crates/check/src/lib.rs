@@ -13,9 +13,16 @@
 //!    the runtime's named `Mutex`/`RwLock` sites that accumulates the lock
 //!    acquisition graph and fails on cycles (potential deadlocks), with an
 //!    allowlist check so undocumented nestings fail CI.
+//! 3. **Schedule explorer** ([`explore`]): a bounded model checker that
+//!    enumerates every interleaving of a small cluster configuration under
+//!    a virtual scheduler — dynamic partial-order reduction with sleep sets
+//!    over a vector-clock independence relation, state-hash pruning and
+//!    budgets — streaming each schedule through the invariant checker and
+//!    minimizing any violation into a replayable schedule file.
 //!
-//! The crate depends only on `oml-core` (for the id newtypes) and performs
-//! no I/O: the runtime emits, this crate judges.
+//! The crate depends only on `oml-core` (for the id newtypes) and
+//! `oml-des` (for the explorer's virtual clock), and performs no I/O: the
+//! runtime emits, this crate judges.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +30,7 @@
 
 pub mod checker;
 pub mod event;
+pub mod explore;
 pub mod lockorder;
 pub mod vclock;
 

@@ -17,7 +17,9 @@
 //! * [`par`] — a deterministic work-stealing `parallel_map` for fanning
 //!   independent jobs (sweep points, replications) across cores,
 //! * [`shard`] — a conservatively synchronized sharded engine that runs one
-//!   huge world on many cores, bit-identical at any thread count.
+//!   huge world on many cores, bit-identical at any thread count,
+//! * [`virt`] — an explicitly advanced millisecond clock for model-checked
+//!   executions (the `oml-check` explorer's notion of time).
 //!
 //! The engine is intentionally generic: the distributed-object semantics live
 //! in `oml-sim`, this crate only knows about time, events and randomness.
@@ -77,6 +79,7 @@ pub mod par;
 pub mod shard;
 pub mod stats;
 pub mod trace;
+pub mod virt;
 
 pub use engine::{Engine, EventHandler, Scheduler, StepOutcome};
 pub use queue::{EventQueue, ScheduledEvent};

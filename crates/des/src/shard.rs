@@ -474,4 +474,121 @@ mod tests {
         eng.schedule(0, SimTime::ZERO, ());
         eng.run_until(SimTime::new(1.0));
     }
+
+    #[test]
+    fn exact_lookahead_delay_is_accepted() {
+        // the conservative bound is `delay >= lookahead`: a send at exactly
+        // the lookahead is legal and lands at the next window's start
+        struct Boundary;
+        impl ShardHandler for Boundary {
+            type Event = u32;
+            fn handle(&mut self, _: SimTime, hops: u32, ctx: &mut ShardCtx<'_, u32>) {
+                if hops > 0 {
+                    ctx.send((ctx.shard() + 1) % ctx.shards(), ctx.lookahead(), hops - 1);
+                }
+            }
+        }
+        let mut eng = ShardedEngine::new(vec![Boundary, Boundary], 0.5, 1);
+        eng.schedule(0, SimTime::ZERO, 4);
+        eng.run_until(SimTime::new(10.0));
+        assert_eq!(eng.events_handled(), 5);
+    }
+
+    #[test]
+    fn empty_shard_fast_forward_preserves_fingerprints() {
+        // shard 2 never receives anything; a long dead stretch before the
+        // first event is fast-forwarded. Neither may perturb the event
+        // pattern: the offset run must reproduce the t=0 run shifted by
+        // exactly the offset, on every shard.
+        struct Pair {
+            received: Vec<f64>,
+        }
+        impl ShardHandler for Pair {
+            type Event = Token;
+            fn handle(&mut self, now: SimTime, event: Token, ctx: &mut ShardCtx<'_, Token>) {
+                self.received.push(now.as_f64());
+                if event.0 > 0 {
+                    // bounce between shards 0 and 1 only; shard 2 stays empty
+                    ctx.send((ctx.shard() + 1) % 2, 1.0, Token(event.0 - 1));
+                }
+            }
+        }
+        let run = |offset: f64| -> (u64, Vec<Vec<f64>>) {
+            let handlers = (0..3).map(|_| Pair { received: vec![] }).collect();
+            let mut eng = ShardedEngine::new(handlers, 0.5, 1);
+            eng.schedule(0, SimTime::new(offset), Token(9));
+            eng.run_until(SimTime::new(offset + 100.0));
+            let events = eng.events_handled();
+            let logs = eng
+                .into_handlers()
+                .into_iter()
+                .map(|h| h.received)
+                .collect();
+            (events, logs)
+        };
+        let (base_events, base_logs) = run(0.0);
+        let (off_events, off_logs) = run(5_000.0);
+        assert_eq!(base_events, off_events);
+        assert!(base_logs[2].is_empty(), "shard 2 stays idle");
+        for (base, off) in base_logs.iter().zip(&off_logs) {
+            let shifted: Vec<f64> = base.iter().map(|t| t + 5_000.0).collect();
+            assert_eq!(&shifted, off, "fingerprint shifted by exactly the offset");
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_engine() {
+        // the same stochastic workload, same SimRng seed, run once through
+        // a 1-shard conservative engine and once through the plain event
+        // loop — every observable must agree exactly
+        use crate::engine::{Engine, EventHandler, Scheduler};
+
+        struct Solo {
+            rng: crate::SimRng,
+            sum: f64,
+            remaining: u32,
+        }
+        impl EventHandler for Solo {
+            type Event = Poke;
+            fn handle(&mut self, now: SimTime, _: Poke, sched: &mut Scheduler<Poke>) {
+                self.sum += now.as_f64();
+                if self.remaining == 0 {
+                    return;
+                }
+                self.remaining -= 1;
+                // mirror Chatter's RNG call sequence exactly: a destination
+                // draw (always the own shard when there is only one) then
+                // the delay draw
+                let _dest = self.rng.below(1);
+                sched.schedule_in(self.rng.exp(0.3), Poke);
+            }
+        }
+
+        let seed = crate::stats::replication_seed(42, 0);
+        let mut sharded = ShardedEngine::new(
+            vec![Chatter {
+                rng: crate::SimRng::seed_from(seed),
+                sum: 0.0,
+                remaining: 40,
+            }],
+            0.25,
+            1,
+        );
+        sharded.schedule(0, SimTime::ZERO, Poke);
+        sharded.run_until(SimTime::new(200.0));
+
+        let mut plain = Engine::new(Solo {
+            rng: crate::SimRng::seed_from(seed),
+            sum: 0.0,
+            remaining: 40,
+        });
+        plain.scheduler_mut().schedule_at(SimTime::ZERO, Poke);
+        plain.run_until(SimTime::new(200.0));
+
+        assert_eq!(sharded.events_handled(), plain.events_handled());
+        let sharded_h = sharded.into_handlers().pop().unwrap();
+        let plain_h = plain.into_handler();
+        assert_eq!(sharded_h.remaining, plain_h.remaining);
+        assert_eq!(sharded_h.sum, plain_h.sum, "event times agree exactly");
+    }
 }

@@ -32,7 +32,16 @@
 //!              --recovery adds the failure-detector schedules and the
 //!              unfenced zombie negative control; --durability adds the
 //!              quorum-replicated checkpoint schedules and the no-repair /
-//!              stale-promotion negative controls)
+//!              stale-promotion negative controls; --negative replays the
+//!              negative controls alone and exits nonzero — violations are
+//!              present by construction)
+//!   explore    DPOR model checker over the bundled small-scope matrix:
+//!              the clean configs must enumerate exhaustively with zero
+//!              violations and the seeded-mutation configs must yield
+//!              minimized counterexamples, saved under results/explore/ and
+//!              re-verified by bit-identical replay from disk (--smoke for
+//!              the CI budget, --budget N to cap enumerated schedules,
+//!              --replay FILE to re-execute a saved counterexample)
 //!   bench      fixed quick-precision perf suite; writes BENCH_02.json
 //!              (single-threaded unless --threads says otherwise, so the
 //!              tracked baseline stays comparable across commits)
@@ -69,6 +78,7 @@ use oml_experiments::experiments::{
     fig16_exclusive, fig4_cost, fig8, location_ablation, topology_ablation, visit_ablation,
     RunOptions,
 };
+use oml_experiments::explore::{render_outcome, replay_file, run_matrix};
 use oml_experiments::{render_plot, render_svg, ExperimentResult, SvgOptions};
 use oml_workload::mega::{run_mega, MegaConfig};
 use oml_workload::table1::{table1, value_for};
@@ -84,6 +94,9 @@ struct Cli {
     seeds: Option<String>,
     recovery: bool,
     durability_check: bool,
+    negative: bool,
+    budget: Option<u64>,
+    replay: Option<PathBuf>,
     /// Set iff `--threads` was given explicitly (bench defaults to 1 for
     /// baseline comparability, everything else to `default_threads()`).
     threads_override: Option<usize>,
@@ -103,6 +116,9 @@ fn parse_args() -> Result<Cli, String> {
     let mut seeds = None;
     let mut recovery = false;
     let mut durability_check = false;
+    let mut negative = false;
+    let mut budget = None;
+    let mut replay = None;
     let mut threads_override = None;
     let mut axis = None;
     let mut no_mega = false;
@@ -156,6 +172,15 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--recovery" => recovery = true,
             "--durability" => durability_check = true,
+            "--negative" => negative = true,
+            "--budget" => {
+                let v = args.next().ok_or("--budget needs a schedule count")?;
+                budget = Some(v.parse().map_err(|_| format!("bad budget: {v}"))?);
+            }
+            "--replay" => {
+                let v = args.next().ok_or("--replay needs a schedule file")?;
+                replay = Some(PathBuf::from(v));
+            }
             "--svg" => {
                 let v = args.next().ok_or("--svg needs a directory")?;
                 svg_dir = Some(PathBuf::from(v));
@@ -167,7 +192,7 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
-    if !precision_set && experiment.as_deref() != Some("check") {
+    if !precision_set && !matches!(experiment.as_deref(), Some("check" | "explore")) {
         eprintln!(
             "(no precision flag given; defaulting to --quick — use --paper for the 1%/p=0.99 rule)"
         );
@@ -186,6 +211,9 @@ fn parse_args() -> Result<Cli, String> {
         seeds,
         recovery,
         durability_check,
+        negative,
+        budget,
+        replay,
         threads_override,
         axis,
         no_mega,
@@ -270,6 +298,38 @@ fn emit(result: &ExperimentResult, cli: &Cli) {
 /// schedules (host+home double crash under duplicated checkpoint traffic)
 /// and the no-repair / stale-promotion negative controls, which must be
 /// *flagged*.
+/// The `--negative` path: replays the three rigged negative controls alone.
+/// Violations are present *by construction*, so this path always exits
+/// nonzero — the exit code uniformly means "violations found", whether they
+/// were hoped for or not. A control that comes back clean is reported too
+/// (the invariant meant to catch it is not biting), and still exits
+/// nonzero.
+fn run_check_negative(seed: u64) -> ExitCode {
+    println!("# repro check --negative — rigged controls, violations expected");
+    let mut all_flagged = true;
+    for (name, outcome) in [
+        ("unfenced zombie", replay_zombie_negative(seed)),
+        ("no-repair", replay_no_repair_negative(seed)),
+        ("stale-promotion", replay_stale_promotion_negative(seed)),
+    ] {
+        if outcome.report.is_clean() {
+            eprintln!("{name}: CLEAN — the invariant meant to catch it is not biting");
+            all_flagged = false;
+        } else {
+            println!(
+                "{name}: flagged as expected ({} violation(s))",
+                outcome.report.violations.len()
+            );
+        }
+    }
+    if all_flagged {
+        println!("\nall negative controls flagged; exiting nonzero (violations present)");
+    } else {
+        eprintln!("\nsome negative controls were NOT flagged");
+    }
+    ExitCode::FAILURE
+}
+
 fn run_check(seeds_arg: Option<&str>, recovery: bool, durability: bool) -> ExitCode {
     let seeds: Vec<u64> = match seeds_arg {
         None | Some("chaos") => CHAOS_SEEDS.to_vec(),
@@ -405,6 +465,59 @@ fn run_check(seeds_arg: Option<&str>, recovery: bool, durability: bool) -> ExitC
     }
 }
 
+/// The `explore` experiment: run the DPOR matrix (or replay one saved
+/// schedule with `--replay`), printing per-configuration verdicts. Exit is
+/// zero iff every configuration met its expectation — clean configs
+/// enumerate exhaustively without violations, seeded-mutation configs
+/// produce a counterexample whose disk round-trip replays bit-identically.
+fn run_explore(cli: &Cli) -> ExitCode {
+    if let Some(path) = &cli.replay {
+        return match replay_file(path) {
+            Ok(true) => {
+                println!("replay verified: violation reproduced, digest bit-identical");
+                ExitCode::SUCCESS
+            }
+            Ok(false) => {
+                eprintln!("replay FAILED to reproduce the recorded counterexample");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut budget = if cli.smoke {
+        oml_check::explore::Budget::smoke()
+    } else {
+        oml_check::explore::Budget::default()
+    };
+    if let Some(n) = cli.budget {
+        budget.max_schedules = n;
+    }
+    println!(
+        "# repro explore — DPOR over the small-scope matrix (≤{} schedules, ≤{} steps, depth ≤{})",
+        budget.max_schedules, budget.max_steps, budget.max_depth
+    );
+    let out_dir = PathBuf::from("results/explore");
+    let outcomes = run_matrix(&budget, &out_dir);
+    let mut all_passed = true;
+    for o in &outcomes {
+        print!("\n{}", render_outcome(o));
+        all_passed &= o.passed;
+    }
+    if all_passed {
+        println!(
+            "\nall {} configuration(s) met their expectations",
+            outcomes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nexploration expectations NOT met");
+        ExitCode::FAILURE
+    }
+}
+
 fn print_mega(report: &oml_workload::mega::MegaReport) {
     println!("# repro mega — the standing large-scale world");
     println!(
@@ -527,9 +640,9 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|availability|durability|check|bench|scaling|mega|...|all> \
-                 [--quick|--paper] [--seed N] [--threads N] [--seeds chaos|N,M,...] [--recovery] [--durability] \
-                 [--axis N,M,...] [--no-mega] [--smoke] [--csv DIR] [--svg DIR] [--plot]"
+                "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|availability|durability|check|explore|bench|scaling|mega|...|all> \
+                 [--quick|--paper] [--seed N] [--threads N] [--seeds chaos|N,M,...] [--recovery] [--durability] [--negative] \
+                 [--budget N] [--replay FILE] [--axis N,M,...] [--no-mega] [--smoke] [--csv DIR] [--svg DIR] [--plot]"
             );
             return ExitCode::FAILURE;
         }
@@ -571,7 +684,9 @@ fn main() -> ExitCode {
     };
 
     match cli.experiment.as_str() {
+        "check" if cli.negative => run_check_negative(CHAOS_SEEDS[0]),
         "check" => run_check(cli.seeds.as_deref(), cli.recovery, cli.durability_check),
+        "explore" => run_explore(&cli),
         "bench" => {
             // The bench suite is the tracked baseline: quick precision and
             // one thread unless overridden explicitly, so numbers stay

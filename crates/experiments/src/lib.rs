@@ -53,6 +53,7 @@
 pub mod bench;
 pub mod check;
 pub mod experiments;
+pub mod explore;
 pub mod plot;
 pub mod result;
 pub mod svg;

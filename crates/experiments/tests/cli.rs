@@ -99,3 +99,66 @@ fn replot_of_missing_file_is_an_error() {
         .expect("repro runs");
     assert!(!out.status.success());
 }
+
+#[test]
+fn check_clean_paths_exit_zero() {
+    // the exit-code contract: every clean verification path exits zero —
+    // for --seeds alone and with --recovery / --durability stacked on
+    for args in [
+        &["check", "--seeds", "2"][..],
+        &["check", "--seeds", "2", "--recovery"][..],
+        &["check", "--seeds", "2", "--durability"][..],
+    ] {
+        let out = repro().args(args).output().expect("repro runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "{args:?} exited {:?}:\n{stdout}\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            stdout.contains("all invariants hold"),
+            "{args:?} did not report success:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn check_negative_path_exits_nonzero() {
+    let out = repro()
+        .args(["check", "--negative"])
+        .output()
+        .expect("repro runs");
+    assert!(
+        !out.status.success(),
+        "the negative-control path must exit nonzero (violations are present by construction)"
+    );
+    // nonzero because the rigged violations were *found*, not because the
+    // tooling broke
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.matches("flagged as expected").count(),
+        3,
+        "expected all three negative controls flagged:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn explore_replay_of_garbage_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("oml-cli-explore-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.schedule");
+    std::fs::write(
+        &path,
+        "# oml-check counterexample schedule v1\nnot a field\n",
+    )
+    .unwrap();
+    let out = repro()
+        .args(["explore", "--replay", path.to_str().unwrap()])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success(), "garbage schedule must not verify");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -15,7 +15,6 @@ use oml_core::error::AttachError;
 use oml_core::ids::{AllianceId, BlockId, NodeId, ObjectId};
 use oml_core::object::Mobility;
 use oml_core::policy::{MovePolicy, PolicyKind};
-use parking_lot::Mutex as PlainMutex;
 
 use crate::error::RuntimeError;
 use crate::fault::{self, Delivery, FaultInjector, FaultPlan};
@@ -26,6 +25,7 @@ use crate::recovery::{
     preference_order, Admission, DetectorConfig, NodeHealth, PendingRefresh, RecoveryState,
     ReplicaCheckpoint, ReplicationInfo,
 };
+use crate::schedule::{FreeRun, ScheduleSource, SendAction};
 use crate::trace::{OrderedMutex, OrderedRwLock, TraceCollector};
 use crate::wire::CheckpointFrame;
 
@@ -138,6 +138,9 @@ pub(crate) struct Shared {
     pub(crate) registry: TypeRegistry,
     pub(crate) counters: Counters,
     pub(crate) injector: FaultInjector,
+    /// The scheduling seam: decides message hand-off timing and worker
+    /// ticks. [`FreeRun`] unless a test harness installed a custom source.
+    pub(crate) schedule: Arc<dyn ScheduleSource>,
     /// Objects stranded by a crashed worker, waiting for its restart.
     pub(crate) stash: OrderedMutex<Vec<StashedObject>>,
     /// The crash-recovery subsystem; `None` unless a failure detector was
@@ -228,6 +231,14 @@ impl Shared {
         {
             Delivery::Drop => Ok(()),
             Delivery::Deliver { copies, delay_ms } => {
+                // the scheduling seam sees every surviving control message;
+                // its delay composes with the fault plan's by taking the max
+                let delay_ms = match self.schedule.on_send(from_raw, to) {
+                    SendAction::Deliver => delay_ms,
+                    SendAction::Delay(d) => {
+                        delay_ms.max(u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+                    }
+                };
                 let mut msgs = Vec::with_capacity(copies as usize);
                 if copies > 1 {
                     if let Some(dup) = clone_control(&msg) {
@@ -1066,6 +1077,7 @@ pub struct ClusterBuilder {
     replication_k: usize,
     repair: bool,
     stale_promotion: bool,
+    schedule: Arc<dyn ScheduleSource>,
 }
 
 impl ClusterBuilder {
@@ -1229,6 +1241,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a custom [`ScheduleSource`]: every surviving control-message
+    /// hand-off and every worker idle tick is decided by it instead of the
+    /// free-running default. This is the seam a deterministic scheduler (or
+    /// a schedule-perturbing test harness) plugs into — see
+    /// [`crate::schedule`].
+    #[must_use]
+    pub fn schedule_source(mut self, source: Arc<dyn ScheduleSource>) -> Self {
+        self.schedule = source;
+        self
+    }
+
     /// Enables protocol trace collection: every node (and the client
     /// facade) records the structured events `oml-check` replays —
     /// sends/receives with message ids, residency transitions, move
@@ -1282,6 +1305,7 @@ impl ClusterBuilder {
             registry: TypeRegistry::new(),
             counters: Counters::default(),
             injector: FaultInjector::new(plan),
+            schedule: self.schedule,
             stash: OrderedMutex::new("shared.stash", Vec::new()),
             recovery,
             clock: if self.manual_clock {
@@ -1343,7 +1367,7 @@ impl ClusterBuilder {
         Cluster {
             shared,
             handles: OrderedMutex::new("cluster.handles", handles),
-            monitor: PlainMutex::new(monitor),
+            monitor: OrderedMutex::new("cluster.monitor", monitor),
         }
     }
 }
@@ -1363,7 +1387,7 @@ pub struct Cluster {
     /// One slot per node; `None` while that node is crashed.
     handles: OrderedMutex<Vec<Option<JoinHandle<()>>>>,
     /// The failure-detector sweep thread (wall-clock detectors only).
-    monitor: PlainMutex<Option<JoinHandle<()>>>,
+    monitor: OrderedMutex<Option<JoinHandle<()>>>,
 }
 
 impl Cluster {
@@ -1386,6 +1410,7 @@ impl Cluster {
             replication_k: 2,
             repair: true,
             stale_promotion: false,
+            schedule: Arc::new(FreeRun),
         }
     }
 

@@ -106,6 +106,7 @@ mod trace;
 
 pub mod error;
 pub mod object;
+pub mod schedule;
 pub mod wire;
 
 pub use cluster::{CheckpointHealth, Cluster, ClusterBuilder, ClusterStats, MoveGuard};
@@ -114,4 +115,5 @@ pub use fault::{FailurePattern, FaultPlan};
 pub use object::{Delinearizer, MobileObject};
 pub use proxy::ObjRef;
 pub use recovery::{DetectorConfig, NodeHealth};
+pub use schedule::{FreeRun, ScheduleSource, SendAction};
 pub use trace::KNOWN_LOCK_ORDER;

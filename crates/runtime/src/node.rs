@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
@@ -16,11 +16,11 @@ use crate::fault;
 use crate::message::{Envelope, Message, MoveReply, MAX_HOPS};
 use crate::object::MobileObject;
 
-/// How long a worker waits for a message before running its maintenance
-/// tick (lease sweeps). Also bounds how stale a lease can go unswept —
-/// though reads treat expired leases as free immediately, so the tick only
-/// affects garbage collection, never grant/deny outcomes.
-const TICK: Duration = Duration::from_millis(25);
+// How long a worker waits for a message before running its maintenance
+// tick (lease sweeps) is a scheduling decision: the installed
+// [`crate::schedule::ScheduleSource`] supplies it, defaulting to 25 ms.
+// Reads treat expired leases as free immediately, so the tick only affects
+// garbage collection, never grant/deny outcomes.
 
 pub(crate) struct NodeWorker {
     id: NodeId,
@@ -64,7 +64,7 @@ impl NodeWorker {
                 return;
             }
             self.shared.beat(self.id, self.epoch);
-            match self.rx.recv_timeout(TICK) {
+            match self.rx.recv_timeout(self.shared.schedule.tick(self.id)) {
                 Ok(env) => {
                     self.note_recv(&env);
                     if self.reject_stale(&env) {

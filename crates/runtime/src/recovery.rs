@@ -42,7 +42,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 use bytes::Bytes;
 use oml_core::ids::{NodeId, ObjectId};
-use parking_lot::Mutex;
 
 use crate::trace::{OrderedMutex, OrderedRwLock};
 
@@ -179,8 +178,10 @@ pub(crate) struct RecoveryState {
     breakers: Vec<AtomicU8>,
     /// Serializes epoch decisions (declare-dead vs restart vs stash
     /// reclamation). Held only around epoch/stash arithmetic, never across
-    /// message sends.
-    pub(crate) epoch_lock: Mutex<()>,
+    /// message sends. Registered with the lock-order analyzer: declare-dead
+    /// nests the directory and object-epoch locks under it (see
+    /// [`crate::trace::KNOWN_LOCK_ORDER`]).
+    pub(crate) epoch_lock: OrderedMutex<()>,
     /// Current epoch per object; bumped at reinstantiation. Absent = 0.
     pub(crate) object_epochs: OrderedRwLock<HashMap<ObjectId, u64>>,
     /// Per-node replica stores: `replica_stores[n]` is node `n`'s local map
@@ -211,7 +212,7 @@ impl RecoveryState {
             last_beat: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             health: (0..nodes).map(|_| AtomicU8::new(HEALTH_UP)).collect(),
             breakers: (0..nodes).map(|_| AtomicU8::new(BREAKER_CLOSED)).collect(),
-            epoch_lock: Mutex::new(()),
+            epoch_lock: OrderedMutex::new("shared.epoch_lock", ()),
             object_epochs: OrderedRwLock::new("shared.object_epochs", HashMap::new()),
             replica_stores: OrderedMutex::new(
                 "shared.replica_stores",

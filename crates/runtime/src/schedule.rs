@@ -1,0 +1,78 @@
+//! The scheduler seam: where the runtime's nondeterminism is decided.
+//!
+//! Two sources of schedule nondeterminism exist in the threaded runtime:
+//! *when a routed message reaches its destination queue* and *when a worker's
+//! idle tick fires* (the tick drives lease sweeps and heartbeats). Both are
+//! routed through a [`ScheduleSource`] so they can be observed or steered
+//! without touching the transport: the default [`FreeRun`] source reproduces
+//! the historical behavior exactly (immediate hand-off, 25 ms ticks), while
+//! a test harness can delay chosen edges or stretch ticks to force the
+//! interleavings it wants to witness.
+//!
+//! This is the runtime half of the exploration story: `oml-check::explore`
+//! enumerates schedules of a *protocol model* today, and this seam is the
+//! hook a future virtual-scheduler backend drives the real runtime from —
+//! every decision it would need to own already flows through here.
+//!
+//! Install a custom source with
+//! [`ClusterBuilder::schedule_source`](crate::ClusterBuilder::schedule_source).
+
+use std::fmt;
+use std::time::Duration;
+
+use oml_core::ids::NodeId;
+
+/// The worker idle tick of the free-running schedule (and the default for
+/// any source that does not override [`ScheduleSource::tick`]).
+pub const DEFAULT_TICK: Duration = Duration::from_millis(25);
+
+/// What the transport should do with one routed message hand-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendAction {
+    /// Hand the message to the destination queue immediately (the default).
+    Deliver,
+    /// Hold the message for this long before handing it over. Composes with
+    /// fault-injected delays by taking the larger of the two.
+    Delay(Duration),
+}
+
+/// A source of scheduling decisions for the cluster's message hand-offs and
+/// worker ticks.
+///
+/// Implementations must be cheap and lock-free where possible: `on_send`
+/// runs on every routed message, inside the sender's hot path.
+pub trait ScheduleSource: Send + Sync + fmt::Debug {
+    /// Decides one message hand-off from process `from` (a raw node id, or
+    /// `u32::MAX` for the client facade) towards node `to`. Called after
+    /// fault injection has decided the message survives.
+    fn on_send(&self, from: u32, to: NodeId) -> SendAction {
+        let _ = (from, to);
+        SendAction::Deliver
+    }
+
+    /// How long node `node`'s worker waits for a message before running its
+    /// maintenance sweep (lease expiry, heartbeat).
+    fn tick(&self, node: NodeId) -> Duration {
+        let _ = node;
+        DEFAULT_TICK
+    }
+}
+
+/// The threads-and-channels default: every hand-off is immediate and every
+/// worker ticks at [`DEFAULT_TICK`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FreeRun;
+
+impl ScheduleSource for FreeRun {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_run_is_pass_through() {
+        let s = FreeRun;
+        assert_eq!(s.on_send(0, NodeId::new(1)), SendAction::Deliver);
+        assert_eq!(s.tick(NodeId::new(0)), DEFAULT_TICK);
+    }
+}

@@ -32,7 +32,23 @@ use oml_check::event::{EventKind, TraceEvent};
 /// * `shared.alliances -> shared.attachments`: `Cluster::attach` validates
 ///   the cooperation context against the alliance registry while inserting
 ///   the edge, so the registry guard spans the attachment update.
-pub const KNOWN_LOCK_ORDER: &[(&str, &str)] = &[("shared.alliances", "shared.attachments")];
+/// * `shared.epoch_lock -> shared.directory`: declare-dead snapshots the
+///   dead node's directory entries while holding the epoch decision lock,
+///   so a concurrent rejoin cannot interleave between verdict and snapshot.
+/// * `shared.epoch_lock -> shared.object_epochs`: the same declare-dead
+///   critical section bumps the stranded objects' epochs (and stash
+///   reclamation reads them) under the epoch lock — the fencing decision
+///   and the epoch bump must be atomic.
+/// * `cluster.handles -> shared.epoch_lock`: `Cluster::restart_node` holds
+///   the worker-handle table while rejoining (reap-check, rejoin and
+///   respawn must be atomic against a concurrent restart); no epoch-lock
+///   section ever takes the handle table, so the edge is one-way.
+pub const KNOWN_LOCK_ORDER: &[(&str, &str)] = &[
+    ("shared.alliances", "shared.attachments"),
+    ("shared.epoch_lock", "shared.directory"),
+    ("shared.epoch_lock", "shared.object_epochs"),
+    ("cluster.handles", "shared.epoch_lock"),
+];
 
 /// Collects protocol trace events from every thread of a cluster.
 pub(crate) struct TraceCollector {
