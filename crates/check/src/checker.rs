@@ -166,9 +166,24 @@ pub enum Violation {
         /// The freshest quorum-durable version that still survived.
         durable: (u64, u64),
     },
+    /// Traffic (or a fresh session) from a transport peer was delivered
+    /// under an incarnation at or below one this process had already
+    /// **refused at handshake time** — the accept-time fence leaked: a
+    /// zombie got a frame through after being told it is dead.
+    DeliveryAfterFencedHandshake {
+        /// The zombie peer.
+        peer: u32,
+        /// The incarnation the delivery (or accepted session) carried.
+        epoch: u64,
+        /// The incarnation the fence had already refused (`epoch <=
+        /// fenced` is the violation).
+        fenced: u64,
+    },
 }
 
 impl fmt::Display for Violation {
+    // one match arm per violation kind; length tracks the enum, not logic
+    #[allow(clippy::too_many_lines)]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::DoubleResidency {
@@ -268,6 +283,15 @@ impl fmt::Display for Violation {
                 f,
                 "stale replica promoted: {object} recovered from {replica}'s copy e{}.{} while quorum-durable e{}.{} survived at an available node",
                 promoted.0, promoted.1, durable.0, durable.1
+            ),
+            Violation::DeliveryAfterFencedHandshake {
+                peer,
+                epoch,
+                fenced,
+            } => write!(
+                f,
+                "delivery after fenced handshake: traffic from {} under incarnation {epoch} although incarnation {fenced} was already refused",
+                process_name(*peer)
             ),
         }
     }
@@ -428,6 +452,9 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
     let mut denied: BTreeSet<BlockId> = BTreeSet::new();
     let mut closures: Vec<PendingClosure> = Vec::new();
     let mut repl: Option<ReplState> = None;
+    // per (observing process, peer): the greatest incarnation refused at
+    // handshake time — nothing at or below it may be delivered afterwards
+    let mut fenced_floors: BTreeMap<(u32, u32), u64> = BTreeMap::new();
 
     for (idx, ev) in trace.iter().enumerate() {
         processes.insert(ev.process);
@@ -733,12 +760,32 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
                     }
                 }
             }
+            EventKind::HandshakeFenced { peer, epoch } => {
+                let floor = fenced_floors.entry((ev.process, *peer)).or_insert(0);
+                *floor = (*floor).max(*epoch);
+            }
+            EventKind::TransportDelivery { peer, epoch }
+            | EventKind::TransportConnected { peer, epoch }
+            | EventKind::TransportReconnected { peer, epoch, .. } => {
+                if let Some(&fenced) = fenced_floors.get(&(ev.process, *peer)) {
+                    if *epoch <= fenced {
+                        report
+                            .violations
+                            .push(Violation::DeliveryAfterFencedHandshake {
+                                peer: *peer,
+                                epoch: *epoch,
+                                fenced,
+                            });
+                    }
+                }
+            }
             EventKind::MoveRequested { .. }
             | EventKind::SurrenderRequested { .. }
             | EventKind::Attach { .. }
             | EventKind::Detach { .. }
             | EventKind::Suspected { .. }
             | EventKind::FencedStale { .. }
+            | EventKind::TransportDisconnected { .. }
             | EventKind::BreakerOpen { .. } => {}
         }
     }
@@ -1390,6 +1437,88 @@ mod tests {
             ),
             TraceEvent::new(1, EventKind::FencedStale { epoch: 3 }),
         ];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    fn hs_fenced(at: u32, peer: u32, epoch: u64) -> TraceEvent {
+        TraceEvent::new(at, EventKind::HandshakeFenced { peer, epoch })
+    }
+    fn delivery(at: u32, peer: u32, epoch: u64) -> TraceEvent {
+        TraceEvent::new(at, EventKind::TransportDelivery { peer, epoch })
+    }
+
+    #[test]
+    fn delivery_after_fenced_handshake_is_flagged() {
+        let trace = vec![hs_fenced(0, 2, 1), delivery(0, 2, 1)];
+        let report = check_trace(&trace);
+        assert!(
+            matches!(
+                report.violations.as_slice(),
+                [Violation::DeliveryAfterFencedHandshake {
+                    peer: 2,
+                    epoch: 1,
+                    fenced: 1,
+                }]
+            ),
+            "{report}"
+        );
+        assert!(report
+            .to_string()
+            .contains("delivery after fenced handshake"));
+    }
+
+    #[test]
+    fn older_than_fenced_incarnation_is_also_flagged() {
+        // refusing incarnation 3 fences everything at or below it
+        let trace = vec![
+            hs_fenced(0, 1, 3),
+            TraceEvent::new(
+                0,
+                EventKind::TransportReconnected {
+                    peer: 1,
+                    epoch: 2,
+                    attempt: 4,
+                },
+            ),
+        ];
+        let report = check_trace(&trace);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::DeliveryAfterFencedHandshake {
+                epoch: 2,
+                fenced: 3,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn fresh_incarnation_after_fence_is_clean() {
+        // the legitimate successor (strictly newer incarnation) connects,
+        // delivers, drops, reconnects — none of it violates the fence
+        let trace = vec![
+            hs_fenced(0, 2, 1),
+            TraceEvent::new(0, EventKind::TransportConnected { peer: 2, epoch: 2 }),
+            delivery(0, 2, 2),
+            TraceEvent::new(0, EventKind::TransportDisconnected { peer: 2 }),
+            TraceEvent::new(
+                0,
+                EventKind::TransportReconnected {
+                    peer: 2,
+                    epoch: 2,
+                    attempt: 2,
+                },
+            ),
+            delivery(0, 2, 2),
+        ];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn fences_are_per_observer_and_per_peer() {
+        // node 1's fence of peer 2 says nothing about other observers or
+        // other peers
+        let trace = vec![hs_fenced(1, 2, 5), delivery(0, 2, 5), delivery(1, 3, 5)];
         assert!(check_trace(&trace).is_clean());
     }
 }

@@ -260,6 +260,48 @@ pub enum EventKind {
     /// even when repair actions are disabled, so the checker can judge
     /// replication factors "after repair quiesced".
     RepairSweep,
+    /// A transport peer's **first** session handshake was accepted under
+    /// incarnation `epoch` (socket transport, coordinator side).
+    TransportConnected {
+        /// The peer node that connected.
+        peer: u32,
+        /// The incarnation its Hello presented.
+        epoch: u64,
+    },
+    /// A live transport session to `peer` died (EOF, reset, write
+    /// failure); its supervisor is redialing under backoff.
+    TransportDisconnected {
+        /// The peer whose session dropped.
+        peer: u32,
+    },
+    /// A peer re-established its session after an outage.
+    TransportReconnected {
+        /// The peer that came back.
+        peer: u32,
+        /// The incarnation its Hello presented.
+        epoch: u64,
+        /// Dial attempts the outage took.
+        attempt: u32,
+    },
+    /// A session handshake was **refused**: the peer presented incarnation
+    /// `epoch` at or below the acceptor's fencing floor. From this event
+    /// on, no delivery (and no accepted session) may carry an incarnation
+    /// `<= epoch` for this peer — the checker's
+    /// no-delivery-after-fenced-handshake invariant.
+    HandshakeFenced {
+        /// The zombie peer.
+        peer: u32,
+        /// The stale incarnation it presented.
+        epoch: u64,
+    },
+    /// A payload frame from `peer`'s authenticated session was delivered
+    /// to the protocol layer under the session's incarnation `epoch`.
+    TransportDelivery {
+        /// The sending peer.
+        peer: u32,
+        /// The session incarnation the frame arrived under.
+        epoch: u64,
+    },
 }
 
 /// One event in a collected trace.

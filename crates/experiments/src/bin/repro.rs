@@ -22,6 +22,10 @@
 //!   availability  recovery extension: client-visible latency/denials across
 //!              a crash → detect → reinstantiate → heal cycle on the real
 //!              runtime, with and without the failure detector
+//!              (--multiprocess runs it instead over real worker OS
+//!              processes on a Unix-domain socket, with a real SIGKILL
+//!              mid-workload; exits nonzero if the denial-rate recovery
+//!              shape regresses)
 //!   durability robustness extension: fraction of objects surviving
 //!              correlated failures (host crash, host+home double crash,
 //!              replica-set-minus-one) as the checkpoint replication
@@ -74,9 +78,9 @@ use oml_experiments::check::{
     replay_zombie_negative, CHAOS_SEEDS,
 };
 use oml_experiments::experiments::{
-    availability, break_even_scaling, durability, egoism, faults, fig12, fig14, fig16,
-    fig16_exclusive, fig4_cost, fig8, location_ablation, topology_ablation, visit_ablation,
-    RunOptions,
+    availability, availability_multiprocess, break_even_scaling, durability, egoism, faults, fig12,
+    fig14, fig16, fig16_exclusive, fig4_cost, fig8, location_ablation, multiproc_worker_types,
+    topology_ablation, visit_ablation, RunOptions,
 };
 use oml_experiments::explore::{render_outcome, replay_file, run_matrix};
 use oml_experiments::{render_plot, render_svg, ExperimentResult, SvgOptions};
@@ -103,6 +107,7 @@ struct Cli {
     axis: Option<String>,
     no_mega: bool,
     smoke: bool,
+    multiprocess: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -123,6 +128,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut axis = None;
     let mut no_mega = false;
     let mut smoke = false;
+    let mut multiprocess = false;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -158,6 +164,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--no-mega" => no_mega = true,
             "--smoke" => smoke = true,
+            "--multiprocess" => multiprocess = true,
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
@@ -218,6 +225,7 @@ fn parse_args() -> Result<Cli, String> {
         axis,
         no_mega,
         smoke,
+        multiprocess,
     })
 }
 
@@ -633,6 +641,12 @@ fn run_scaling(cli: &Cli) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // worker role: `availability --multiprocess` re-executes this binary as
+    // its worker processes with OML_MP_* set; nothing else may run in them
+    if let Some(opts) = oml_runtime::WorkerOptions::from_env() {
+        let _ = oml_runtime::run_worker(&opts, &multiproc_worker_types());
+        return ExitCode::SUCCESS;
+    }
     let cli = match parse_args() {
         Ok(cli) => cli,
         Err(msg) => {
@@ -642,7 +656,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|availability|durability|check|explore|bench|scaling|mega|...|all> \
                  [--quick|--paper] [--seed N] [--threads N] [--seeds chaos|N,M,...] [--recovery] [--durability] [--negative] \
-                 [--budget N] [--replay FILE] [--axis N,M,...] [--no-mega] [--smoke] [--csv DIR] [--svg DIR] [--plot]"
+                 [--budget N] [--replay FILE] [--axis N,M,...] [--no-mega] [--smoke] [--multiprocess] [--csv DIR] [--svg DIR] [--plot]"
             );
             return ExitCode::FAILURE;
         }
@@ -676,6 +690,9 @@ fn main() -> ExitCode {
             "visit" => emit(&visit_ablation(&cli.opts), &cli),
             "location" => emit(&location_ablation(&cli.opts), &cli),
             "faults" => emit(&faults(&cli.opts), &cli),
+            "availability" if cli.multiprocess => {
+                emit(&availability_multiprocess(&cli.opts), &cli);
+            }
             "availability" => emit(&availability(&cli.opts), &cli),
             "durability" => emit(&durability(&cli.opts), &cli),
             _ => return false,

@@ -859,6 +859,197 @@ pub fn availability(opts: &RunOptions) -> ExperimentResult {
     }
 }
 
+/// Delinearizer for [`AvailCounter`] — named (not a closure) because the
+/// worker *processes* of the multiprocess availability run must register
+/// it too ([`multiproc_worker_types`]).
+fn delinearize_avail_counter(bytes: &[u8]) -> Box<dyn oml_runtime::MobileObject> {
+    let mut r = oml_runtime::wire::WireReader::new(bytes);
+    Box::new(AvailCounter(r.u64().expect("valid counter state")))
+}
+
+/// The delinearizer table a worker process spawned by
+/// [`availability_multiprocess`] must pass to `oml_runtime::run_worker`
+/// (the `repro` binary re-executes itself as the workers).
+#[must_use]
+pub fn multiproc_worker_types() -> Vec<(&'static str, oml_runtime::Delinearizer)> {
+    vec![("avail-counter", delinearize_avail_counter)]
+}
+
+/// Multi-process availability — the same crash → detect → reinstantiate →
+/// heal denial-rate shape as [`availability`], but with the nodes as real
+/// worker **OS processes** over a Unix-domain stream socket and the crash
+/// as a real **SIGKILL** mid-workload. X is the operation index (bucketed),
+/// so the recovery shape is visible directly: denials spike in the bucket
+/// containing the kill, fall once the detector declares death and the
+/// object is reinstantiated from its coordinator checkpoint, and return to
+/// zero after the respawned incarnation (old one fenced at the socket
+/// accept) rejoins.
+///
+/// Doubles as the CI regression gate: it panics (nonzero exit) if the
+/// outage bucket shows no denials (the kill did nothing), if the final
+/// bucket still shows denials (recovery regressed), if any in-flight op
+/// fails to resolve inside its timeout, or if the collected transport
+/// trace violates the checker's invariants (including
+/// no-delivery-after-fenced-handshake).
+///
+/// # Panics
+///
+/// See above — every panic is a correctness regression, not a flake: all
+/// waits are bounded and generous relative to the detector constants.
+#[must_use]
+pub fn availability_multiprocess(opts: &RunOptions) -> ExperimentResult {
+    use oml_runtime::wire::WireWriter;
+    use oml_runtime::{
+        MultiProcCluster, MultiProcConfig, ProcHealth, RuntimeError, SocketConfig, TransportAddr,
+    };
+    use std::time::{Duration, Instant};
+
+    const OPS: u64 = 90;
+    const KILL_AT: u64 = 30;
+    const RESPAWN_AT: u64 = 60;
+    const BUCKET: u64 = 10;
+    const CALL_TIMEOUT_MS: u64 = 120;
+
+    let dir = std::env::temp_dir().join(format!("oml-avail-mp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for the coordinator socket");
+    let mut socket = SocketConfig::default();
+    socket.backoff.base_ms = 5;
+    socket.backoff.cap_ms = 100;
+    socket.backoff.seed = opts.seed ^ 0x6D70; // "mp"
+    let cluster = MultiProcCluster::spawn(MultiProcConfig {
+        workers: 3,
+        addr: TransportAddr::Unix(dir.join("coord.sock")),
+        call_timeout_ms: CALL_TIMEOUT_MS,
+        heartbeat_ms: 25,
+        suspect_after: 3,
+        dead_after: 8,
+        socket,
+        worker_program: std::env::current_exe().expect("own executable path"),
+        worker_args: Vec::new(),
+        monitor: true,
+    })
+    .expect("spawn worker processes");
+    assert!(
+        cluster.wait_ready(Duration::from_secs(10)),
+        "worker processes never heartbeat"
+    );
+    for i in 0..3u32 {
+        cluster
+            .create(
+                i,
+                i,
+                "avail-counter",
+                WireWriter::new().u64(0).finish().to_vec(),
+            )
+            .expect("create over the socket transport");
+    }
+
+    let buckets = (OPS / BUCKET) as usize;
+    let mut denied = vec![0u64; buckets];
+    let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); buckets];
+    for i in 0..OPS {
+        if i == KILL_AT {
+            cluster.kill(2); // real SIGKILL, object 2's host, mid-workload
+        }
+        if i == RESPAWN_AT {
+            // respawn only after the detector has finished the declare-dead
+            // + reinstantiate cycle, like an operator replacing a box the
+            // monitoring already wrote off
+            let until = Instant::now() + Duration::from_secs(10);
+            while cluster.health(2) != ProcHealth::Dead {
+                assert!(Instant::now() < until, "detector never declared the kill");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            cluster
+                .respawn(2)
+                .expect("respawn under a fresh incarnation");
+        }
+        let bucket = (i / BUCKET) as usize;
+        let started = Instant::now();
+        match cluster.invoke(i as u32 % 3, "add", &WireWriter::new().u64(1).finish()) {
+            Ok(_) => {}
+            Err(RuntimeError::Timeout { .. } | RuntimeError::NodeDown(_)) => denied[bucket] += 1,
+            Err(other) => panic!("op {i}: unexpected error {other}"),
+        }
+        latencies[bucket].push(started.elapsed().as_secs_f64() * 1e3);
+        // pace the client slightly so the outage window spans real time and
+        // the detector's constants, not the loop's speed, set the shape
+        std::thread::sleep(Duration::from_millis(3));
+    }
+
+    let stats = cluster.stats();
+    let trace = cluster.take_trace();
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // the executable shape + invariant gates (see the doc comment)
+    assert!(stats.declared_dead >= 1, "the SIGKILL was never detected");
+    assert!(
+        stats.reinstantiated >= 1,
+        "the stranded object never re-homed"
+    );
+    let kill_bucket = (KILL_AT / BUCKET) as usize;
+    assert!(
+        denied[kill_bucket] > 0,
+        "no denials in the kill bucket — the crash did not bite"
+    );
+    assert_eq!(
+        denied[buckets - 1],
+        0,
+        "denials in the final bucket — recovery regressed"
+    );
+    let report = oml_check::check_trace(&trace);
+    assert!(
+        report.violations.is_empty(),
+        "transport trace violations: {:?}",
+        report.violations
+    );
+
+    let mut points = Vec::new();
+    for b in 0..buckets {
+        let lat = &latencies[b];
+        let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+        let mut sorted = lat.clone();
+        sorted.sort_by(f64::total_cmp);
+        let p95 = sorted
+            .get(((sorted.len() as f64 * 0.95).ceil() as usize).saturating_sub(1))
+            .copied()
+            .unwrap_or(0.0);
+        let mut series = BTreeMap::new();
+        series.insert(
+            "multiprocess unix socket".to_owned(),
+            MetricsRow {
+                comm_time: mean,
+                call_time: mean,
+                migration_time: 0.0,
+                control_time: 0.0,
+                ci_half_width: None,
+                calls: BUCKET,
+                denial_rate: denied[b] as f64 / BUCKET as f64,
+                mean_closure: 0.0,
+                transfer_load: 0.0,
+                call_p95: p95,
+            },
+        );
+        points.push(SweepPoint {
+            x: (b as u64 * BUCKET) as f64,
+            series,
+        });
+    }
+    ExperimentResult {
+        id: "availability-multiprocess".into(),
+        title: format!(
+            "multi-process availability across a SIGKILL/recover cycle \
+             (3 worker processes over a unix socket, {OPS} ops, SIGKILL at \
+             {KILL_AT}, respawn after declare-dead at ~{RESPAWN_AT}, call \
+             timeout {CALL_TIMEOUT_MS} ms)"
+        ),
+        x_label: "operation index (bucket start)".into(),
+        y_label: "mean client-visible call latency (ms)".into(),
+        points,
+    }
+}
+
 /// Durability extension — fraction of objects that survive correlated
 /// failures as the checkpoint replication factor `k` grows, on the **real
 /// runtime** with quorum-replicated checkpoints.

@@ -6,8 +6,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::transport::channel::{ChannelMesh, MeshConfig};
+use crate::transport::{Transport, TransportError};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
 use oml_check::event::{EventKind, ReleaseCause, TraceEvent, CLIENT_PROCESS};
 use oml_core::alliance::AllianceRegistry;
 use oml_core::attach::{AttachOutcome, AttachmentGraph, AttachmentMode};
@@ -126,10 +128,11 @@ pub(crate) type StashedObject = (NodeId, ObjectId, Box<dyn MobileObject>, u64);
 
 /// State shared by every node worker and the cluster facade.
 pub(crate) struct Shared {
-    senders: Vec<Sender<Envelope>>,
-    /// Kept so crashed nodes can be restarted on a clone of their receiver
-    /// (and so queued messages survive a crash instead of disconnecting).
-    receivers: Vec<Receiver<Envelope>>,
+    /// The in-process transport: bounded per-node inboxes behind the
+    /// [`Transport`] seam. The mesh (not the worker) owns each channel, so
+    /// queued messages survive a worker crash and are drained by the
+    /// restarted incarnation — the pre-trait behaviour, preserved.
+    mesh: ChannelMesh<Envelope>,
     directory: OrderedRwLock<HashMap<ObjectId, NodeId>>,
     mobility: OrderedRwLock<HashMap<ObjectId, Mobility>>,
     pub(crate) policy: OrderedMutex<Box<dyn MovePolicy>>,
@@ -208,7 +211,7 @@ impl Shared {
                     }
                     msgs.push(self.trace_envelope(from_raw, epoch, to, msg));
                     for m in msgs {
-                        let _ = self.senders[to.index()].send(m);
+                        let _ = self.mesh.send(to.as_u32(), m);
                     }
                     Ok(())
                 }
@@ -220,9 +223,7 @@ impl Shared {
         );
         if !faultable {
             let env = self.trace_envelope(from_raw, epoch, to, msg);
-            return self.senders[to.index()]
-                .send(env)
-                .map_err(|_| RuntimeError::ShuttingDown);
+            return self.mesh.send(to.as_u32(), env).map_err(map_mesh_err);
         }
         let is_end = matches!(msg, Message::EndRequest { .. });
         match self
@@ -246,7 +247,7 @@ impl Shared {
                     }
                 }
                 msgs.push(self.trace_envelope(from_raw, epoch, to, msg));
-                let tx = self.senders[to.index()].clone();
+                let tx = self.mesh.sender(to.as_u32());
                 if delay_ms > 0 {
                     // deliver later from a detached thread; a message landing
                     // after shutdown sits in a queue nobody reads — harmless
@@ -376,7 +377,7 @@ impl Shared {
         let Some(rec) = &self.recovery else {
             return Vec::new();
         };
-        preference_order(object, home, self.senders.len())
+        preference_order(object, home, self.mesh.peers() as usize)
             .into_iter()
             .filter(|n| rec.replica_available(n.index()))
             .take(rec.replica_k)
@@ -699,7 +700,7 @@ impl Shared {
         };
         let now = self.now_ms();
         let window = rec.config.suspicion_after_ms();
-        for i in 0..self.senders.len() {
+        for i in 0..self.mesh.peers() as usize {
             if rec.health(i) == NodeHealth::Dead {
                 continue;
             }
@@ -980,9 +981,7 @@ impl Shared {
         if usable(home) {
             return Some(home);
         }
-        (0..self.senders.len() as u32)
-            .map(NodeId::new)
-            .find(|&n| usable(n))
+        (0..self.mesh.peers()).map(NodeId::new).find(|&n| usable(n))
     }
 }
 
@@ -1267,13 +1266,7 @@ impl ClusterBuilder {
     /// Spawns the node threads and returns the running cluster.
     #[must_use]
     pub fn build(self) -> Cluster {
-        let mut senders = Vec::with_capacity(self.nodes as usize);
-        let mut receivers = Vec::with_capacity(self.nodes as usize);
-        for _ in 0..self.nodes {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
+        let mesh = ChannelMesh::new(self.nodes, MeshConfig::default());
         let policy = match (self.custom_policy, self.lease_ms) {
             (Some(p), _) => p,
             (None, Some(ttl)) => self.policy.build_with_lease(ttl),
@@ -1292,8 +1285,7 @@ impl ClusterBuilder {
             )
         });
         let shared = Arc::new(Shared {
-            senders,
-            receivers,
+            mesh,
             directory: OrderedRwLock::new("shared.directory", HashMap::new()),
             mobility: OrderedRwLock::new("shared.mobility", HashMap::new()),
             policy: OrderedMutex::new("shared.policy", policy),
@@ -1372,9 +1364,21 @@ impl ClusterBuilder {
     }
 }
 
+/// Maps a mesh-transport failure onto the runtime's error surface:
+/// backpressure (the bounded inbox stayed full past the send deadline)
+/// is a timeout the caller can retry; everything else means shutdown.
+fn map_mesh_err(e: TransportError) -> RuntimeError {
+    match e {
+        TransportError::Backpressure { waited_ms } | TransportError::Timeout { waited_ms } => {
+            RuntimeError::Timeout { waited_ms }
+        }
+        _ => RuntimeError::ShuttingDown,
+    }
+}
+
 fn spawn_worker(shared: &Arc<Shared>, id: NodeId, epoch: u64) -> JoinHandle<()> {
     let shared = Arc::clone(shared);
-    let rx = shared.receivers[id.index()].clone();
+    let rx = shared.mesh.endpoint(id.as_u32());
     std::thread::Builder::new()
         .name(format!("oml-node-{}", id.index()))
         .spawn(move || NodeWorker::new(id, shared, rx, epoch).run())
@@ -1417,7 +1421,7 @@ impl Cluster {
     /// Number of nodes.
     #[must_use]
     pub fn nodes(&self) -> u32 {
-        self.shared.senders.len() as u32
+        self.shared.mesh.peers()
     }
 
     /// Registers the delinearizer for a type tag. Must happen before any
@@ -1726,7 +1730,7 @@ impl Cluster {
     /// quick load-balance view.
     #[must_use]
     pub fn occupancy(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.shared.senders.len()];
+        let mut counts = vec![0usize; self.shared.mesh.peers() as usize];
         for (_, node) in self.placement_snapshot() {
             counts[node.index()] += 1;
         }
@@ -1809,7 +1813,7 @@ impl Cluster {
             repl.get(&object)?.home
         };
         Some(
-            preference_order(object, home, self.shared.senders.len())
+            preference_order(object, home, self.shared.mesh.peers() as usize)
                 .into_iter()
                 .filter(|n| rec.replica_available(n.index()))
                 .take(rec.replica_k)
@@ -1938,7 +1942,13 @@ impl Cluster {
         };
         // the crash command bypasses the injector: it is scripted, not a
         // message fault
-        let _ = self.shared.senders[node.index()].send(Envelope::untraced(Message::Crash));
+        // raw (deadline-free) sender: the scripted crash command must reach
+        // the worker even through a full inbox
+        let _ = self
+            .shared
+            .mesh
+            .sender(node.as_u32())
+            .send(Envelope::untraced(Message::Crash));
         let _ = handle.join();
         self.shared.injector.note(format!("crash {node}"));
         self.shared
@@ -2061,7 +2071,7 @@ impl Cluster {
     /// detector or for an out-of-range node.
     #[must_use]
     pub fn node_health(&self, node: NodeId) -> Option<NodeHealth> {
-        if node.index() >= self.shared.senders.len() {
+        if node.index() >= self.shared.mesh.peers() as usize {
             return None;
         }
         self.shared
@@ -2188,8 +2198,13 @@ impl Cluster {
         if self.shared.closing.swap(true, Ordering::AcqRel) {
             return;
         }
-        for tx in &self.shared.senders {
-            let _ = tx.send(Envelope::untraced(Message::Shutdown));
+        // raw senders: Shutdown must be deliverable through full inboxes
+        for i in 0..self.shared.mesh.peers() {
+            let _ = self
+                .shared
+                .mesh
+                .sender(i)
+                .send(Envelope::untraced(Message::Shutdown));
         }
         for handle in self.handles.lock().iter_mut().filter_map(Option::take) {
             let _ = handle.join();
@@ -2197,11 +2212,12 @@ impl Cluster {
         if let Some(monitor) = self.monitor.lock().take() {
             let _ = monitor.join();
         }
+        self.shared.mesh.shutdown();
         self.shared.down.store(true, Ordering::Release);
     }
 
     fn check_node(&self, node: NodeId) -> Result<(), RuntimeError> {
-        if node.index() < self.shared.senders.len() {
+        if node.index() < self.shared.mesh.peers() as usize {
             Ok(())
         } else {
             Err(RuntimeError::UnknownNode(node))

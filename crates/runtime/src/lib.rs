@@ -107,6 +107,7 @@ mod trace;
 pub mod error;
 pub mod object;
 pub mod schedule;
+pub mod transport;
 pub mod wire;
 
 pub use cluster::{CheckpointHealth, Cluster, ClusterBuilder, ClusterStats, MoveGuard};
@@ -117,3 +118,10 @@ pub use proxy::ObjRef;
 pub use recovery::{DetectorConfig, NodeHealth};
 pub use schedule::{FreeRun, ScheduleSource, SendAction};
 pub use trace::KNOWN_LOCK_ORDER;
+pub use transport::multiproc::{
+    run_worker, MultiProcCluster, MultiProcConfig, MultiProcStats, ProcHealth, WorkerExit,
+    WorkerOptions,
+};
+pub use transport::netio::TransportAddr;
+pub use transport::socket::{SocketConfig, SocketPeer, SocketServer};
+pub use transport::{LinkHealth, Transport, TransportError, TransportEvent};

@@ -1,0 +1,286 @@
+//! Length-prefixed stream framing with corruption rejection.
+//!
+//! A stream socket is just bytes; this module turns it into the same
+//! discrete-envelope world the channel mesh provides. Each frame is
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! where `crc` is the CRC-32 (IEEE, reflected) of the payload. The decoder
+//! is **incremental**: feed it arbitrary chunks (a stalled proxy may
+//! deliver one byte at a time, a batch write may deliver ten frames at
+//! once) and pop complete frames as they materialize. Truncation is
+//! therefore not an error — it is the steady state between reads — but
+//! *corruption* is terminal for the connection:
+//!
+//! * a length above [`FrameConfig::max_frame`] (a corrupt or hostile
+//!   prefix would otherwise make us allocate gigabytes), and
+//! * a payload whose CRC disagrees with the header
+//!
+//! both yield a [`FrameError`], and the socket layer drops the connection
+//! (the supervisor reconnects; the session handshake restores a clean
+//! frame boundary). Resynchronizing inside a corrupt stream is not
+//! attempted — there is no reliable resync point in a length-prefixed
+//! format.
+
+use bytes::Bytes;
+
+/// Frame header size: `len` + `crc`, both `u32` little-endian.
+pub const HEADER_LEN: usize = 8;
+
+/// Framing limits. Separate from the socket config so the decoder can be
+/// tested (and property-tested) without any socket.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameConfig {
+    /// Largest accepted payload, in bytes. Defaults to 4 MiB — a migration
+    /// carries one object's linearized state, not bulk data.
+    pub max_frame: u32,
+}
+
+impl Default for FrameConfig {
+    fn default() -> Self {
+        FrameConfig { max_frame: 4 << 20 }
+    }
+}
+
+/// A framing-level protocol violation. Always terminal for the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header announced a payload larger than [`FrameConfig::max_frame`].
+    TooLarge {
+        /// The announced length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// The payload's CRC-32 disagreed with the header.
+    Corrupt {
+        /// CRC the header promised.
+        expected: u32,
+        /// CRC the payload actually hashes to.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            FrameError::Corrupt { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#010x}, payload {got:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) of `data`.
+/// Table-driven; the table is built in a `const` so the hot path is one
+/// lookup per byte.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Appends one framed payload to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Appends a batch of framed payloads to `out` — what the writer thread
+/// does to coalesce a drained queue into one `write` syscall.
+pub fn encode_batch<'a, I: IntoIterator<Item = &'a [u8]>>(payloads: I, out: &mut Vec<u8>) {
+    for p in payloads {
+        encode_frame(p, out);
+    }
+}
+
+/// Incremental frame decoder: buffer bytes with [`extend`](Self::extend),
+/// pop frames with [`next_frame`](Self::next_frame).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    cfg: FrameConfig,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so feeding one byte at a
+    /// time stays O(n) amortized.
+    read: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `cfg`'s limits.
+    #[must_use]
+    pub fn new(cfg: FrameConfig) -> Self {
+        FrameDecoder {
+            cfg,
+            buf: Vec::new(),
+            read: 0,
+        }
+    }
+
+    /// Buffers another chunk read from the stream.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        // compact before growing: everything before `read` is dead
+        if self.read > 0 && (self.read == self.buf.len() || self.read > 4096) {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are needed.
+    ///
+    /// # Errors
+    /// [`FrameError`] on an oversized length prefix or checksum mismatch;
+    /// the decoder (and the connection) must be discarded afterwards.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        let avail = &self.buf[self.read..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        let expected = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]);
+        if len > self.cfg.max_frame {
+            return Err(FrameError::TooLarge {
+                len,
+                max: self.cfg.max_frame,
+            });
+        }
+        let total = HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER_LEN..total];
+        let got = crc32(payload);
+        if got != expected {
+            return Err(FrameError::Corrupt { expected, got });
+        }
+        let frame = Bytes::copy_from_slice(payload);
+        self.read += total;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // standard check value for "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trips_a_frame() {
+        let mut wire = Vec::new();
+        encode_frame(b"hello", &mut wire);
+        let mut dec = FrameDecoder::new(FrameConfig::default());
+        dec.extend(&wire);
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(&frame[..], b"hello");
+        assert!(dec.next_frame().unwrap().is_none());
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_frame() {
+        let mut wire = Vec::new();
+        encode_frame(b"", &mut wire);
+        let mut dec = FrameDecoder::new(FrameConfig::default());
+        dec.extend(&wire);
+        assert_eq!(&dec.next_frame().unwrap().unwrap()[..], b"");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_payload_arrives() {
+        let mut dec = FrameDecoder::new(FrameConfig { max_frame: 16 });
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&17u32.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        dec.extend(&wire);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::TooLarge { len: 17, max: 16 })
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut wire = Vec::new();
+        encode_frame(b"payload", &mut wire);
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        let mut dec = FrameDecoder::new(FrameConfig::default());
+        dec.extend(&wire);
+        assert!(matches!(dec.next_frame(), Err(FrameError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let mut wire = Vec::new();
+        encode_batch([b"one".as_slice(), b"two".as_slice()], &mut wire);
+        let mut dec = FrameDecoder::new(FrameConfig::default());
+        let mut got = Vec::new();
+        for b in wire {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f.to_vec());
+            }
+        }
+        assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(
+            FrameError::TooLarge { len: 9, max: 8 }.to_string(),
+            "frame length 9 exceeds cap 8"
+        );
+        assert!(FrameError::Corrupt {
+            expected: 1,
+            got: 2
+        }
+        .to_string()
+        .contains("checksum mismatch"));
+    }
+}

@@ -1,0 +1,1361 @@
+//! The multi-process runtime: real OS processes over the socket transport.
+//!
+//! The in-process [`crate::Cluster`] shares its directory, policy tables
+//! and checkpoint stores through one address space; across processes that
+//! shared state needs an owner. This module uses a **coordinator/worker**
+//! split: the coordinator process owns the directory, the incarnation
+//! table, the failure detector and the checkpoint cache, and workers are
+//! plain object hosts — they install, invoke, surrender, heartbeat. Every
+//! protocol message relays through the coordinator's [`SocketServer`], so
+//! the transport's star topology is also the protocol's.
+//!
+//! The recovery machinery deliberately mirrors the in-process runtime,
+//! mechanism for mechanism, so `repro availability --multiprocess` is the
+//! same experiment with real SIGKILL instead of simulated crashes:
+//!
+//! * heartbeats + k-missed suspicion + declare-dead (PR 4's detector),
+//! * incarnation epochs, bumped on respawn/declare-dead and **fenced at
+//!   the socket accept** ([`SocketServer::fence_below`]) — a zombie's
+//!   reconnect is refused before one frame is read,
+//! * per-object epochs on installs, so a stale install is refused by the
+//!   worker exactly like `NodeWorker::handle_install` refuses one,
+//! * coordinator-cached checkpoints (seeded at create, refreshed by every
+//!   invoke reply's piggybacked state) from which objects stranded on a
+//!   dead worker are reinstantiated at a live one.
+//!
+//! Client calls fail the same way, too: transport death surfaces as
+//! [`RuntimeError::NodeDown`], expired waits as
+//! [`RuntimeError::Timeout`] — the error surface the availability
+//! experiment already measures.
+
+use super::netio::TransportAddr;
+use super::socket::{SocketConfig, SocketPeer, SocketServer};
+use super::{Transport, TransportError, TransportEvent};
+use crate::error::RuntimeError;
+use crate::object::{Delinearizer, MobileObject};
+use crate::wire::{WireReader, WireWriter};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+use oml_check::event::{EventKind, TraceEvent, CLIENT_PROCESS};
+use oml_core::ids::{NodeId, ObjectId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// protocol messages
+
+const TAG_INSTALL: u32 = 10;
+const TAG_ACK: u32 = 11;
+const TAG_INVOKE: u32 = 12;
+const TAG_INVOKE_RESP: u32 = 13;
+const TAG_SURRENDER: u32 = 14;
+const TAG_SURRENDER_RESP: u32 = 15;
+const TAG_HEARTBEAT: u32 = 16;
+const TAG_SHUTDOWN: u32 = 17;
+
+/// One coordinator↔worker protocol message, linearized with
+/// [`crate::wire`] (crate-visible so the framing proptests can round-trip
+/// it).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ProtoMsg {
+    /// Install (or create) an object under `obj_epoch`; refuse if stale.
+    Install {
+        corr: u64,
+        object: u32,
+        type_tag: String,
+        state: Vec<u8>,
+        obj_epoch: u64,
+    },
+    /// Generic ok/err reply to `corr`.
+    Ack { corr: u64, ok: bool, err: String },
+    /// Invoke a method on a hosted object.
+    Invoke {
+        corr: u64,
+        object: u32,
+        method: String,
+        payload: Vec<u8>,
+    },
+    /// Invoke reply, piggybacking the object's fresh linearized state so
+    /// the coordinator's checkpoint cache stays one call behind at most.
+    InvokeResp {
+        corr: u64,
+        result: Result<Vec<u8>, String>,
+        type_tag: String,
+        new_state: Vec<u8>,
+        obj_epoch: u64,
+    },
+    /// Give up an object (first half of a migration).
+    Surrender { corr: u64, object: u32 },
+    /// Surrender reply carrying the linearized state to re-install.
+    SurrenderResp {
+        corr: u64,
+        ok: bool,
+        err: String,
+        type_tag: String,
+        state: Vec<u8>,
+        obj_epoch: u64,
+    },
+    /// Worker liveness beat (node identity comes from the session).
+    Heartbeat,
+    /// Orderly worker exit.
+    Shutdown,
+}
+
+impl ProtoMsg {
+    pub(crate) fn encode(&self) -> Bytes {
+        match self {
+            ProtoMsg::Install {
+                corr,
+                object,
+                type_tag,
+                state,
+                obj_epoch,
+            } => WireWriter::new()
+                .u32(TAG_INSTALL)
+                .u64(*corr)
+                .u32(*object)
+                .str(type_tag)
+                .bytes(state)
+                .u64(*obj_epoch)
+                .finish(),
+            ProtoMsg::Ack { corr, ok, err } => WireWriter::new()
+                .u32(TAG_ACK)
+                .u64(*corr)
+                .u32(u32::from(*ok))
+                .str(err)
+                .finish(),
+            ProtoMsg::Invoke {
+                corr,
+                object,
+                method,
+                payload,
+            } => WireWriter::new()
+                .u32(TAG_INVOKE)
+                .u64(*corr)
+                .u32(*object)
+                .str(method)
+                .bytes(payload)
+                .finish(),
+            ProtoMsg::InvokeResp {
+                corr,
+                result,
+                type_tag,
+                new_state,
+                obj_epoch,
+            } => {
+                let (ok, data, err) = match result {
+                    Ok(d) => (1u32, d.as_slice(), ""),
+                    Err(e) => (0u32, [].as_slice(), e.as_str()),
+                };
+                WireWriter::new()
+                    .u32(TAG_INVOKE_RESP)
+                    .u64(*corr)
+                    .u32(ok)
+                    .bytes(data)
+                    .str(err)
+                    .str(type_tag)
+                    .bytes(new_state)
+                    .u64(*obj_epoch)
+                    .finish()
+            }
+            ProtoMsg::Surrender { corr, object } => WireWriter::new()
+                .u32(TAG_SURRENDER)
+                .u64(*corr)
+                .u32(*object)
+                .finish(),
+            ProtoMsg::SurrenderResp {
+                corr,
+                ok,
+                err,
+                type_tag,
+                state,
+                obj_epoch,
+            } => WireWriter::new()
+                .u32(TAG_SURRENDER_RESP)
+                .u64(*corr)
+                .u32(u32::from(*ok))
+                .str(err)
+                .str(type_tag)
+                .bytes(state)
+                .u64(*obj_epoch)
+                .finish(),
+            ProtoMsg::Heartbeat => WireWriter::new().u32(TAG_HEARTBEAT).finish(),
+            ProtoMsg::Shutdown => WireWriter::new().u32(TAG_SHUTDOWN).finish(),
+        }
+    }
+
+    pub(crate) fn decode(buf: &[u8]) -> Result<ProtoMsg, String> {
+        let mut r = WireReader::new(buf);
+        match r.u32()? {
+            TAG_INSTALL => Ok(ProtoMsg::Install {
+                corr: r.u64()?,
+                object: r.u32()?,
+                type_tag: r.str()?,
+                state: r.bytes()?,
+                obj_epoch: r.u64()?,
+            }),
+            TAG_ACK => Ok(ProtoMsg::Ack {
+                corr: r.u64()?,
+                ok: r.u32()? != 0,
+                err: r.str()?,
+            }),
+            TAG_INVOKE => Ok(ProtoMsg::Invoke {
+                corr: r.u64()?,
+                object: r.u32()?,
+                method: r.str()?,
+                payload: r.bytes()?,
+            }),
+            TAG_INVOKE_RESP => {
+                let corr = r.u64()?;
+                let ok = r.u32()? != 0;
+                let data = r.bytes()?;
+                let err = r.str()?;
+                Ok(ProtoMsg::InvokeResp {
+                    corr,
+                    result: if ok { Ok(data) } else { Err(err) },
+                    type_tag: r.str()?,
+                    new_state: r.bytes()?,
+                    obj_epoch: r.u64()?,
+                })
+            }
+            TAG_SURRENDER => Ok(ProtoMsg::Surrender {
+                corr: r.u64()?,
+                object: r.u32()?,
+            }),
+            TAG_SURRENDER_RESP => Ok(ProtoMsg::SurrenderResp {
+                corr: r.u64()?,
+                ok: r.u32()? != 0,
+                err: r.str()?,
+                type_tag: r.str()?,
+                state: r.bytes()?,
+                obj_epoch: r.u64()?,
+            }),
+            TAG_HEARTBEAT => Ok(ProtoMsg::Heartbeat),
+            TAG_SHUTDOWN => Ok(ProtoMsg::Shutdown),
+            other => Err(format!("unknown protocol tag {other}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// coordinator
+
+/// Detector verdict for one worker process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcHealth {
+    /// Heartbeating normally.
+    Up,
+    /// Missed beats; revocable.
+    Suspected,
+    /// Declared dead; incarnation fenced, objects reinstantiated.
+    Dead,
+}
+
+/// Configuration for [`MultiProcCluster::spawn`].
+#[derive(Debug, Clone)]
+pub struct MultiProcConfig {
+    /// Worker process count (node ids `0..workers`).
+    pub workers: u32,
+    /// Where the coordinator listens (`Tcp("127.0.0.1:0")` or a Unix
+    /// socket path in a fresh temp dir).
+    pub addr: TransportAddr,
+    /// Per-call reply deadline, ms.
+    pub call_timeout_ms: u64,
+    /// Worker heartbeat period, ms.
+    pub heartbeat_ms: u64,
+    /// Missed beats before suspicion.
+    pub suspect_after: u32,
+    /// Missed beats before declare-dead.
+    pub dead_after: u32,
+    /// Socket transport tuning (shared by server and the spawned workers'
+    /// env, except the seed-derived parts).
+    pub socket: SocketConfig,
+    /// The worker executable (usually `std::env::current_exe()`).
+    pub worker_program: std::path::PathBuf,
+    /// Arguments placed before the env-driven worker options.
+    pub worker_args: Vec<String>,
+    /// Run the background detector thread (tests drive `sweep()` manually
+    /// with this off).
+    pub monitor: bool,
+}
+
+/// A worker slot at the coordinator.
+struct ProcSlot {
+    child: Option<Child>,
+    incarnation: u64,
+    health: ProcHealth,
+    last_beat: Instant,
+    ever_beat: bool,
+}
+
+/// A cached checkpoint: enough to reinstantiate the object anywhere.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    type_tag: String,
+    state: Vec<u8>,
+    obj_epoch: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    declared_dead: u64,
+    reinstantiated: u64,
+    fenced_handshakes: u64,
+    reconnects: u64,
+    deliveries: u64,
+}
+
+struct CoordState {
+    slots: Vec<ProcSlot>,
+    /// object → hosting worker.
+    directory: HashMap<u32, u32>,
+    checkpoints: HashMap<u32, Checkpoint>,
+    pending: HashMap<u64, Sender<ProtoMsg>>,
+    counters: Counters,
+}
+
+struct CoordShared {
+    cfg: MultiProcConfig,
+    server: SocketServer,
+    state: Mutex<CoordState>,
+    trace: Mutex<Vec<TraceEvent>>,
+    next_corr: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl CoordShared {
+    fn trace(&self, kind: EventKind) {
+        self.trace
+            .lock()
+            .push(TraceEvent::new(CLIENT_PROCESS, kind));
+    }
+}
+
+/// Observable recovery counters, mirroring `Cluster::stats()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiProcStats {
+    /// Workers declared dead by the detector.
+    pub declared_dead: u64,
+    /// Objects reinstantiated from coordinator checkpoints.
+    pub reinstantiated: u64,
+    /// Zombie handshakes refused at accept time.
+    pub fenced_handshakes: u64,
+    /// Worker sessions re-established after an outage.
+    pub reconnects: u64,
+    /// Payload frames delivered to the coordinator.
+    pub deliveries: u64,
+}
+
+/// The coordinator: spawns worker processes, owns directory + detector +
+/// checkpoint cache, exposes a client API shaped like [`crate::Cluster`].
+pub struct MultiProcCluster {
+    inner: Arc<CoordShared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl MultiProcCluster {
+    /// Binds the server, spawns `cfg.workers` worker processes (incarnation
+    /// 1 each) and waits for their first sessions.
+    ///
+    /// # Errors
+    /// Bind or spawn failures.
+    pub fn spawn(cfg: MultiProcConfig) -> io::Result<MultiProcCluster> {
+        let server = SocketServer::bind(&cfg.addr, cfg.workers, cfg.socket.clone())?;
+        let now = Instant::now();
+        let slots = (0..cfg.workers)
+            .map(|_| ProcSlot {
+                child: None,
+                incarnation: 1,
+                health: ProcHealth::Up,
+                last_beat: now,
+                ever_beat: false,
+            })
+            .collect();
+        let inner = Arc::new(CoordShared {
+            cfg,
+            server,
+            state: Mutex::new(CoordState {
+                slots,
+                directory: HashMap::new(),
+                checkpoints: HashMap::new(),
+                pending: HashMap::new(),
+                counters: Counters::default(),
+            }),
+            trace: Mutex::new(Vec::new()),
+            next_corr: AtomicU64::new(1),
+            closed: AtomicBool::new(false),
+        });
+        let cluster = MultiProcCluster {
+            inner: Arc::clone(&inner),
+            threads: Mutex::new(Vec::new()),
+        };
+
+        for node in 0..inner.cfg.workers {
+            cluster.spawn_worker_process(node, 1)?;
+        }
+
+        let d_inner = Arc::clone(&inner);
+        let dispatcher = std::thread::Builder::new()
+            .name("oml-mp-dispatch".into())
+            .spawn(move || dispatch_loop(&d_inner))
+            .expect("spawn dispatcher");
+        cluster.threads.lock().push(dispatcher);
+
+        if inner.cfg.monitor {
+            let m_inner = Arc::clone(&inner);
+            let monitor = std::thread::Builder::new()
+                .name("oml-mp-monitor".into())
+                .spawn(move || {
+                    while !m_inner.closed.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(m_inner.cfg.heartbeat_ms));
+                        sweep_impl(&m_inner);
+                    }
+                })
+                .expect("spawn monitor");
+            cluster.threads.lock().push(monitor);
+        }
+        Ok(cluster)
+    }
+
+    /// The server's resolved address (what workers dial).
+    #[must_use]
+    pub fn addr(&self) -> &TransportAddr {
+        self.inner.server.addr()
+    }
+
+    fn spawn_worker_process(&self, node: u32, incarnation: u64) -> io::Result<()> {
+        let cfg = &self.inner.cfg;
+        let child = Command::new(&cfg.worker_program)
+            .args(&cfg.worker_args)
+            .env("OML_MP_ADDR", self.inner.server.addr().to_string())
+            .env("OML_MP_NODE", node.to_string())
+            .env("OML_MP_EPOCH", incarnation.to_string())
+            .env("OML_MP_HB_MS", cfg.heartbeat_ms.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let mut state = self.inner.state.lock();
+        let slot = &mut state.slots[node as usize];
+        slot.child = Some(child);
+        slot.last_beat = Instant::now();
+        Ok(())
+    }
+
+    /// Blocks until all workers have heartbeat at least once (readiness
+    /// barrier for experiments). `false` on timeout.
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let state = self.inner.state.lock();
+                if state.slots.iter().all(|s| s.ever_beat) {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn corr(&self) -> u64 {
+        self.inner.next_corr.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Sends `msg` to `node` and awaits the correlated reply.
+    fn call(&self, node: u32, corr: u64, msg: &ProtoMsg) -> Result<ProtoMsg, RuntimeError> {
+        let (tx, rx) = bounded(1);
+        self.inner.state.lock().pending.insert(corr, tx);
+        let cleanup = |inner: &CoordShared| {
+            inner.state.lock().pending.remove(&corr);
+        };
+        if let Err(e) = self.inner.server.send(node, msg.encode()) {
+            cleanup(&self.inner);
+            return Err(map_transport_err(&e, node));
+        }
+        let timeout = Duration::from_millis(self.inner.cfg.call_timeout_ms);
+        match rx.recv_timeout(timeout) {
+            Ok(reply) => Ok(reply),
+            Err(_) => {
+                cleanup(&self.inner);
+                Err(RuntimeError::Timeout {
+                    waited_ms: self.inner.cfg.call_timeout_ms,
+                })
+            }
+        }
+    }
+
+    /// Fail-fast admission mirroring the in-process circuit breaker: calls
+    /// to suspected/dead workers return [`RuntimeError::NodeDown`] without
+    /// sleeping out the deadline.
+    fn admit(&self, node: u32) -> Result<(), RuntimeError> {
+        let state = self.inner.state.lock();
+        match state.slots.get(node as usize) {
+            Some(slot) if slot.health == ProcHealth::Up => Ok(()),
+            Some(_) => Err(RuntimeError::NodeDown(NodeId::new(node))),
+            None => Err(RuntimeError::UnknownNode(NodeId::new(node))),
+        }
+    }
+
+    /// Creates `object` at `node` with its initial linearized `state`.
+    ///
+    /// # Errors
+    /// Standard call-path errors plus a failed install ack.
+    pub fn create(
+        &self,
+        node: u32,
+        object: u32,
+        type_tag: &str,
+        state: Vec<u8>,
+    ) -> Result<(), RuntimeError> {
+        self.admit(node)?;
+        let corr = self.corr();
+        let msg = ProtoMsg::Install {
+            corr,
+            object,
+            type_tag: type_tag.to_owned(),
+            state: state.clone(),
+            obj_epoch: 1,
+        };
+        match self.call(node, corr, &msg)? {
+            ProtoMsg::Ack { ok: true, .. } => {
+                let mut st = self.inner.state.lock();
+                st.directory.insert(object, node);
+                st.checkpoints.insert(
+                    object,
+                    Checkpoint {
+                        type_tag: type_tag.to_owned(),
+                        state,
+                        obj_epoch: 1,
+                    },
+                );
+                Ok(())
+            }
+            ProtoMsg::Ack { err, .. } => Err(RuntimeError::MethodFailed {
+                object: ObjectId::new(object),
+                message: err,
+            }),
+            other => Err(RuntimeError::MethodFailed {
+                object: ObjectId::new(object),
+                message: format!("unexpected reply {other:?}"),
+            }),
+        }
+    }
+
+    /// Invokes `method` on `object` wherever it lives. The reply's
+    /// piggybacked state refreshes the coordinator's checkpoint.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownObject`] for unknown ids,
+    /// [`RuntimeError::NodeDown`] fail-fast for suspected/dead hosts,
+    /// [`RuntimeError::Timeout`] on an expired wait.
+    pub fn invoke(
+        &self,
+        object: u32,
+        method: &str,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, RuntimeError> {
+        let node = {
+            let state = self.inner.state.lock();
+            *state
+                .directory
+                .get(&object)
+                .ok_or(RuntimeError::UnknownObject(ObjectId::new(object)))?
+        };
+        self.admit(node)?;
+        let corr = self.corr();
+        let msg = ProtoMsg::Invoke {
+            corr,
+            object,
+            method: method.to_owned(),
+            payload: payload.to_vec(),
+        };
+        match self.call(node, corr, &msg)? {
+            ProtoMsg::InvokeResp {
+                result,
+                type_tag,
+                new_state,
+                obj_epoch,
+                ..
+            } => {
+                if result.is_ok() {
+                    let mut st = self.inner.state.lock();
+                    let ck = st.checkpoints.entry(object).or_insert_with(|| Checkpoint {
+                        type_tag: type_tag.clone(),
+                        state: Vec::new(),
+                        obj_epoch: 0,
+                    });
+                    if obj_epoch >= ck.obj_epoch {
+                        *ck = Checkpoint {
+                            type_tag,
+                            state: new_state,
+                            obj_epoch,
+                        };
+                    }
+                }
+                result.map_err(|message| RuntimeError::MethodFailed {
+                    object: ObjectId::new(object),
+                    message,
+                })
+            }
+            other => Err(RuntimeError::MethodFailed {
+                object: ObjectId::new(object),
+                message: format!("unexpected reply {other:?}"),
+            }),
+        }
+    }
+
+    /// Migrates `object` to `to`: surrender at the current host, install
+    /// at the target under a bumped object epoch. If the install leg fails
+    /// the object is recovered from its checkpoint at any live worker.
+    ///
+    /// # Errors
+    /// Standard call-path errors from either leg.
+    pub fn migrate(&self, object: u32, to: u32) -> Result<(), RuntimeError> {
+        let from = {
+            let state = self.inner.state.lock();
+            *state
+                .directory
+                .get(&object)
+                .ok_or(RuntimeError::UnknownObject(ObjectId::new(object)))?
+        };
+        if from == to {
+            return Ok(());
+        }
+        self.admit(from)?;
+        self.admit(to)?;
+        let corr = self.corr();
+        let reply = self.call(from, corr, &ProtoMsg::Surrender { corr, object })?;
+        let (type_tag, state, obj_epoch) = match reply {
+            ProtoMsg::SurrenderResp {
+                ok: true,
+                type_tag,
+                state,
+                obj_epoch,
+                ..
+            } => (type_tag, state, obj_epoch),
+            ProtoMsg::SurrenderResp { err, .. } => {
+                return Err(RuntimeError::MethodFailed {
+                    object: ObjectId::new(object),
+                    message: err,
+                })
+            }
+            other => {
+                return Err(RuntimeError::MethodFailed {
+                    object: ObjectId::new(object),
+                    message: format!("unexpected reply {other:?}"),
+                })
+            }
+        };
+        // the object now exists only as bytes; keep the checkpoint fresh
+        // before attempting the install leg
+        let next_epoch = obj_epoch + 1;
+        {
+            let mut st = self.inner.state.lock();
+            st.checkpoints.insert(
+                object,
+                Checkpoint {
+                    type_tag: type_tag.clone(),
+                    state: state.clone(),
+                    obj_epoch: next_epoch,
+                },
+            );
+            st.directory.remove(&object);
+        }
+        let corr = self.corr();
+        let install = ProtoMsg::Install {
+            corr,
+            object,
+            type_tag,
+            state,
+            obj_epoch: next_epoch,
+        };
+        match self.call(to, corr, &install) {
+            Ok(ProtoMsg::Ack { ok: true, .. }) => {
+                self.inner.state.lock().directory.insert(object, to);
+                Ok(())
+            }
+            Ok(ProtoMsg::Ack { err, .. }) => {
+                self.recover_object(object);
+                Err(RuntimeError::MethodFailed {
+                    object: ObjectId::new(object),
+                    message: err,
+                })
+            }
+            Ok(other) => {
+                self.recover_object(object);
+                Err(RuntimeError::MethodFailed {
+                    object: ObjectId::new(object),
+                    message: format!("unexpected reply {other:?}"),
+                })
+            }
+            Err(e) => {
+                self.recover_object(object);
+                Err(e)
+            }
+        }
+    }
+
+    /// Best-effort reinstall of a homeless object from its checkpoint at
+    /// any Up worker (used after a failed install leg; the detector sweep
+    /// uses the same path for objects stranded on dead workers).
+    fn recover_object(&self, object: u32) {
+        let _ = reinstall_from_checkpoint_shared(&self.inner, object);
+    }
+
+    /// Where `object` currently lives, if anywhere.
+    #[must_use]
+    pub fn location_of(&self, object: u32) -> Option<u32> {
+        self.inner.state.lock().directory.get(&object).copied()
+    }
+
+    /// The detector's verdict for `node`.
+    #[must_use]
+    pub fn health(&self, node: u32) -> ProcHealth {
+        self.inner.state.lock().slots[node as usize].health
+    }
+
+    /// SIGKILLs worker `node` (no warning, no cleanup — the real thing).
+    /// The detector discovers the death from missed heartbeats.
+    pub fn kill(&self, node: u32) {
+        let child = {
+            let mut state = self.inner.state.lock();
+            state.slots[node as usize].child.take()
+        };
+        if let Some(mut child) = child {
+            let _ = child.kill(); // SIGKILL on unix
+            let _ = child.wait(); // reap
+        }
+        self.inner.trace(EventKind::Crash {
+            node: NodeId::new(node),
+        });
+    }
+
+    /// Respawns worker `node` under a **bumped** incarnation; the old
+    /// incarnation is fenced at the socket accept from here on.
+    ///
+    /// # Errors
+    /// Process spawn failures.
+    pub fn respawn(&self, node: u32) -> io::Result<()> {
+        let incarnation = {
+            let mut state = self.inner.state.lock();
+            let slot = &mut state.slots[node as usize];
+            slot.incarnation += 1;
+            slot.health = ProcHealth::Up;
+            slot.last_beat = Instant::now();
+            slot.ever_beat = false;
+            slot.incarnation
+        };
+        self.inner.server.fence_below(node, incarnation);
+        self.inner.trace(EventKind::Restart {
+            node: NodeId::new(node),
+        });
+        self.spawn_worker_process(node, incarnation)
+    }
+
+    /// Respawns worker `node` presenting a **stale** incarnation — the
+    /// zombie negative control. Its handshake must be refused; the
+    /// process observes the refusal and exits.
+    ///
+    /// # Errors
+    /// Process spawn failures.
+    pub fn respawn_zombie(&self, node: u32) -> io::Result<()> {
+        let stale = {
+            let state = self.inner.state.lock();
+            state.slots[node as usize].incarnation.saturating_sub(1)
+        };
+        let cfg = &self.inner.cfg;
+        let child = Command::new(&cfg.worker_program)
+            .args(&cfg.worker_args)
+            .env("OML_MP_ADDR", self.inner.server.addr().to_string())
+            .env("OML_MP_NODE", node.to_string())
+            .env("OML_MP_EPOCH", stale.to_string())
+            .env("OML_MP_HB_MS", cfg.heartbeat_ms.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()?;
+        // the zombie is not this slot's child — it must die on its own
+        std::thread::Builder::new()
+            .name("oml-mp-zombie-reaper".into())
+            .spawn(move || {
+                let mut child = child;
+                let _ = child.wait();
+            })
+            .expect("spawn zombie reaper");
+        Ok(())
+    }
+
+    /// One failure-detector pass under the caller's clock (the monitor
+    /// thread calls this periodically when `cfg.monitor` is on).
+    pub fn sweep(&self) {
+        sweep_impl(&self.inner);
+    }
+
+    /// Recovery counters so far.
+    #[must_use]
+    pub fn stats(&self) -> MultiProcStats {
+        let state = self.inner.state.lock();
+        MultiProcStats {
+            declared_dead: state.counters.declared_dead,
+            reinstantiated: state.counters.reinstantiated,
+            fenced_handshakes: state.counters.fenced_handshakes,
+            reconnects: state.counters.reconnects,
+            deliveries: state.counters.deliveries,
+        }
+    }
+
+    /// Drains the collected protocol/transport trace (feed it to
+    /// `oml_check::check_trace`).
+    #[must_use]
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.inner.trace.lock())
+    }
+
+    /// Orderly teardown: Shutdown to live workers, short grace, SIGKILL
+    /// stragglers, then server + thread teardown.
+    pub fn shutdown(&self) {
+        let live: Vec<u32> = {
+            let state = self.inner.state.lock();
+            state
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.child.is_some())
+                .map(|(n, _)| n as u32)
+                .collect()
+        };
+        for node in live {
+            let _ = self.inner.server.send(node, ProtoMsg::Shutdown.encode());
+        }
+        let grace = Instant::now() + Duration::from_millis(500);
+        loop {
+            let mut all_gone = true;
+            {
+                let mut state = self.inner.state.lock();
+                for slot in &mut state.slots {
+                    if let Some(child) = &mut slot.child {
+                        match child.try_wait() {
+                            Ok(Some(_)) => slot.child = None,
+                            _ => all_gone = false,
+                        }
+                    }
+                }
+            }
+            if all_gone || Instant::now() >= grace {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        {
+            let mut state = self.inner.state.lock();
+            for slot in &mut state.slots {
+                if let Some(mut child) = slot.child.take() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+        }
+        self.inner.closed.store(true, Ordering::Release);
+        self.inner.server.shutdown();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn map_transport_err(e: &TransportError, node: u32) -> RuntimeError {
+    match e {
+        TransportError::Down { .. } | TransportError::Fenced { .. } => {
+            RuntimeError::NodeDown(NodeId::new(node))
+        }
+        TransportError::Closed => RuntimeError::ShuttingDown,
+        TransportError::Backpressure { waited_ms } | TransportError::Timeout { waited_ms } => {
+            RuntimeError::Timeout {
+                waited_ms: *waited_ms,
+            }
+        }
+        TransportError::Io(_) => RuntimeError::NodeDown(NodeId::new(node)),
+    }
+}
+
+/// The coordinator's inbound loop: routes replies to waiting calls, feeds
+/// heartbeats to the detector, mirrors transport events into the trace.
+fn dispatch_loop(inner: &Arc<CoordShared>) {
+    while !inner.closed.load(Ordering::Acquire) {
+        let ev = match inner.server.recv_timeout(0, Duration::from_millis(20)) {
+            Ok(ev) => ev,
+            Err(TransportError::Closed) => return,
+            Err(_) => continue,
+        };
+        match ev {
+            TransportEvent::Delivery { from, epoch, msg } => {
+                inner.trace(EventKind::TransportDelivery { peer: from, epoch });
+                let Ok(decoded) = ProtoMsg::decode(&msg) else {
+                    continue;
+                };
+                let mut state = inner.state.lock();
+                state.counters.deliveries += 1;
+                // fencing belt-and-braces: the accept-time fence is the
+                // contract, but a session accepted before a bump could
+                // still drain; drop anything from a stale incarnation
+                if epoch < state.slots[from as usize].incarnation {
+                    drop(state);
+                    inner.trace(EventKind::FencedStale { epoch });
+                    continue;
+                }
+                match decoded {
+                    ProtoMsg::Heartbeat => {
+                        let slot = &mut state.slots[from as usize];
+                        slot.last_beat = Instant::now();
+                        slot.ever_beat = true;
+                        if slot.health == ProcHealth::Suspected {
+                            slot.health = ProcHealth::Up;
+                        }
+                    }
+                    ProtoMsg::Ack { corr, .. }
+                    | ProtoMsg::InvokeResp { corr, .. }
+                    | ProtoMsg::SurrenderResp { corr, .. } => {
+                        // a reply is as good as a heartbeat
+                        {
+                            let slot = &mut state.slots[from as usize];
+                            slot.last_beat = Instant::now();
+                            slot.ever_beat = true;
+                        }
+                        if let Some(tx) = state.pending.remove(&corr) {
+                            let _ = tx.try_send(decoded);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TransportEvent::Connected { peer, epoch } => {
+                inner.trace(EventKind::TransportConnected { peer, epoch });
+            }
+            TransportEvent::Reconnected {
+                peer,
+                epoch,
+                attempt,
+            } => {
+                inner.state.lock().counters.reconnects += 1;
+                inner.trace(EventKind::TransportReconnected {
+                    peer,
+                    epoch,
+                    attempt,
+                });
+            }
+            TransportEvent::Disconnected { peer } => {
+                inner.trace(EventKind::TransportDisconnected { peer });
+            }
+            TransportEvent::HandshakeFenced { peer, epoch } => {
+                inner.state.lock().counters.fenced_handshakes += 1;
+                inner.trace(EventKind::HandshakeFenced { peer, epoch });
+            }
+        }
+    }
+}
+
+/// One detector pass: Up→Suspected after `suspect_after` missed beats,
+/// Suspected→Dead after `dead_after`; death fences the incarnation and
+/// reinstantiates the dead worker's objects from checkpoints.
+fn sweep_impl(inner: &Arc<CoordShared>) {
+    let hb = inner.cfg.heartbeat_ms;
+    let mut newly_dead: Vec<u32> = Vec::new();
+    let mut newly_suspected: Vec<u32> = Vec::new();
+    {
+        let mut state = inner.state.lock();
+        for (node, slot) in state.slots.iter_mut().enumerate() {
+            let silent_ms = slot.last_beat.elapsed().as_millis() as u64;
+            match slot.health {
+                ProcHealth::Up => {
+                    if silent_ms > hb * u64::from(inner.cfg.suspect_after) {
+                        slot.health = ProcHealth::Suspected;
+                        newly_suspected.push(node as u32);
+                    }
+                }
+                ProcHealth::Suspected => {
+                    if silent_ms > hb * u64::from(inner.cfg.dead_after) {
+                        slot.health = ProcHealth::Dead;
+                        slot.incarnation += 1;
+                        newly_dead.push(node as u32);
+                    }
+                }
+                ProcHealth::Dead => {}
+            }
+        }
+        state.counters.declared_dead += newly_dead.len() as u64;
+    }
+    for node in newly_suspected {
+        inner.trace(EventKind::Suspected {
+            node: NodeId::new(node),
+        });
+    }
+    for node in newly_dead {
+        let incarnation = {
+            let state = inner.state.lock();
+            state.slots[node as usize].incarnation
+        };
+        inner.server.fence_below(node, incarnation);
+        inner.trace(EventKind::DeclaredDead {
+            node: NodeId::new(node),
+        });
+        // reinstantiate everything stranded on the dead worker
+        let stranded: Vec<u32> = {
+            let state = inner.state.lock();
+            state
+                .directory
+                .iter()
+                .filter(|(_, &n)| n == node)
+                .map(|(&o, _)| o)
+                .collect()
+        };
+        for object in stranded {
+            let _ = reinstall_from_checkpoint_shared(inner, object);
+        }
+    }
+}
+
+/// Reinstalls `object` from its checkpoint at the first Up worker, under a
+/// bumped object epoch. Used by the sweep (dead host) and the failed
+/// install leg of a migration.
+fn reinstall_from_checkpoint_shared(inner: &Arc<CoordShared>, object: u32) -> Option<u32> {
+    let (ck, target) = {
+        let state = inner.state.lock();
+        let ck = state.checkpoints.get(&object)?.clone();
+        let target = state
+            .slots
+            .iter()
+            .position(|s| s.health == ProcHealth::Up)
+            .map(|i| i as u32)?;
+        (ck, target)
+    };
+    let corr = inner.next_corr.fetch_add(1, Ordering::AcqRel);
+    let next_epoch = ck.obj_epoch + 1;
+    let msg = ProtoMsg::Install {
+        corr,
+        object,
+        type_tag: ck.type_tag.clone(),
+        state: ck.state.clone(),
+        obj_epoch: next_epoch,
+    };
+    let (tx, rx) = bounded(1);
+    inner.state.lock().pending.insert(corr, tx);
+    if inner.server.send(target, msg.encode()).is_err() {
+        inner.state.lock().pending.remove(&corr);
+        return None;
+    }
+    let ok = matches!(
+        rx.recv_timeout(Duration::from_millis(inner.cfg.call_timeout_ms)),
+        Ok(ProtoMsg::Ack { ok: true, .. })
+    );
+    if !ok {
+        inner.state.lock().pending.remove(&corr);
+        return None;
+    }
+    {
+        let mut state = inner.state.lock();
+        state.directory.insert(object, target);
+        if let Some(ck) = state.checkpoints.get_mut(&object) {
+            ck.obj_epoch = next_epoch;
+        }
+        state.counters.reinstantiated += 1;
+    }
+    inner.trace(EventKind::Reinstantiated {
+        object: ObjectId::new(object),
+        at: NodeId::new(target),
+        epoch: next_epoch,
+    });
+    Some(target)
+}
+
+// ---------------------------------------------------------------------------
+// worker
+
+/// How a worker's main loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The coordinator asked for an orderly shutdown.
+    Shutdown,
+    /// The handshake was refused — this incarnation is a fenced zombie and
+    /// must not act.
+    Fenced,
+}
+
+/// A worker process's configuration, normally read from the environment
+/// the coordinator set ([`WorkerOptions::from_env`]).
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// The coordinator's listen address.
+    pub addr: TransportAddr,
+    /// This worker's node id.
+    pub node: u32,
+    /// This worker's incarnation (presented in the handshake).
+    pub epoch: u64,
+    /// Heartbeat period, ms.
+    pub heartbeat_ms: u64,
+    /// Socket transport tuning.
+    pub socket: SocketConfig,
+}
+
+impl WorkerOptions {
+    /// Reads `OML_MP_ADDR` / `OML_MP_NODE` / `OML_MP_EPOCH` /
+    /// `OML_MP_HB_MS`. `None` when the process was not launched as a
+    /// worker (the vars are absent).
+    #[must_use]
+    pub fn from_env() -> Option<WorkerOptions> {
+        let addr = TransportAddr::parse(&std::env::var("OML_MP_ADDR").ok()?).ok()?;
+        let node = std::env::var("OML_MP_NODE").ok()?.parse().ok()?;
+        let epoch = std::env::var("OML_MP_EPOCH").ok()?.parse().ok()?;
+        let heartbeat_ms = std::env::var("OML_MP_HB_MS").ok()?.parse().ok()?;
+        Some(WorkerOptions {
+            addr,
+            node,
+            epoch,
+            heartbeat_ms,
+            socket: SocketConfig::default(),
+        })
+    }
+}
+
+/// Runs a worker process's main loop: connect (handshaking node id +
+/// incarnation), host objects, heartbeat, answer protocol messages.
+/// Returns when fenced or asked to shut down — callers should exit the
+/// process promptly either way.
+///
+/// # Errors
+/// None currently — transport failures are ridden out by the supervisor —
+/// but the signature reserves the right.
+pub fn run_worker(opts: &WorkerOptions, types: &[(&str, Delinearizer)]) -> io::Result<WorkerExit> {
+    let peer = SocketPeer::connect(
+        opts.addr.clone(),
+        opts.node,
+        opts.epoch,
+        opts.socket.clone(),
+    );
+    let registry: HashMap<&str, Delinearizer> = types.iter().copied().collect();
+    let mut objects: HashMap<u32, (Box<dyn MobileObject>, u64)> = HashMap::new();
+    let hb = Duration::from_millis(opts.heartbeat_ms.max(1));
+    // None = never beaten, so the first loop iteration beats immediately
+    let mut last_beat: Option<Instant> = None;
+
+    loop {
+        if peer.is_fenced() {
+            peer.shutdown();
+            return Ok(WorkerExit::Fenced);
+        }
+        if last_beat.is_none_or(|t| t.elapsed() >= hb / 2) {
+            // ignore failures: while down the beat queues (bounded) or the
+            // supervisor is already on it
+            let _ = peer.send(0, ProtoMsg::Heartbeat.encode());
+            last_beat = Some(Instant::now());
+        }
+        let ev = match peer.recv_timeout(0, Duration::from_millis(10)) {
+            Ok(ev) => ev,
+            Err(TransportError::Closed) => return Ok(WorkerExit::Shutdown),
+            Err(_) => continue,
+        };
+        let msg = match ev {
+            TransportEvent::Delivery { msg, .. } => msg,
+            TransportEvent::HandshakeFenced { .. } => {
+                peer.shutdown();
+                return Ok(WorkerExit::Fenced);
+            }
+            _ => continue,
+        };
+        let Ok(decoded) = ProtoMsg::decode(&msg) else {
+            continue;
+        };
+        match decoded {
+            ProtoMsg::Install {
+                corr,
+                object,
+                type_tag,
+                state,
+                obj_epoch,
+            } => {
+                let reply = match objects.get(&object) {
+                    // the same fencing rule as NodeWorker::handle_install:
+                    // never let an older incarnation of an object replace
+                    // a newer one
+                    Some((_, have)) if obj_epoch <= *have => ProtoMsg::Ack {
+                        corr,
+                        ok: false,
+                        err: format!("stale object epoch {obj_epoch} <= {have}"),
+                    },
+                    _ => match registry.get(type_tag.as_str()) {
+                        Some(delin) => {
+                            objects.insert(object, (delin(&state), obj_epoch));
+                            ProtoMsg::Ack {
+                                corr,
+                                ok: true,
+                                err: String::new(),
+                            }
+                        }
+                        None => ProtoMsg::Ack {
+                            corr,
+                            ok: false,
+                            err: format!("no delinearizer for `{type_tag}`"),
+                        },
+                    },
+                };
+                let _ = peer.send(0, reply.encode());
+            }
+            ProtoMsg::Invoke {
+                corr,
+                object,
+                method,
+                payload,
+            } => {
+                let reply = match objects.get_mut(&object) {
+                    Some((obj, obj_epoch)) => {
+                        let result = obj.invoke(&method, &payload);
+                        ProtoMsg::InvokeResp {
+                            corr,
+                            result,
+                            type_tag: obj.type_tag().to_owned(),
+                            new_state: obj.linearize(),
+                            obj_epoch: *obj_epoch,
+                        }
+                    }
+                    None => ProtoMsg::InvokeResp {
+                        corr,
+                        result: Err(format!("object o{object} is not hosted here")),
+                        type_tag: String::new(),
+                        new_state: Vec::new(),
+                        obj_epoch: 0,
+                    },
+                };
+                let _ = peer.send(0, reply.encode());
+            }
+            ProtoMsg::Surrender { corr, object } => {
+                let reply = match objects.remove(&object) {
+                    Some((obj, obj_epoch)) => ProtoMsg::SurrenderResp {
+                        corr,
+                        ok: true,
+                        err: String::new(),
+                        type_tag: obj.type_tag().to_owned(),
+                        state: obj.linearize(),
+                        obj_epoch,
+                    },
+                    None => ProtoMsg::SurrenderResp {
+                        corr,
+                        ok: false,
+                        err: format!("object o{object} is not hosted here"),
+                        type_tag: String::new(),
+                        state: Vec::new(),
+                        obj_epoch: 0,
+                    },
+                };
+                let _ = peer.send(0, reply.encode());
+            }
+            ProtoMsg::Shutdown => {
+                // give the writer a beat to flush queued replies
+                std::thread::sleep(Duration::from_millis(50));
+                peer.shutdown();
+                return Ok(WorkerExit::Shutdown);
+            }
+            // coordinator never sends these to a worker
+            ProtoMsg::Ack { .. }
+            | ProtoMsg::InvokeResp { .. }
+            | ProtoMsg::SurrenderResp { .. }
+            | ProtoMsg::Heartbeat => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_messages_round_trip() {
+        let msgs = [
+            ProtoMsg::Install {
+                corr: 7,
+                object: 3,
+                type_tag: "counter".into(),
+                state: vec![1, 2, 3],
+                obj_epoch: 2,
+            },
+            ProtoMsg::Ack {
+                corr: 7,
+                ok: true,
+                err: String::new(),
+            },
+            ProtoMsg::Invoke {
+                corr: 8,
+                object: 3,
+                method: "add".into(),
+                payload: vec![9],
+            },
+            ProtoMsg::InvokeResp {
+                corr: 8,
+                result: Ok(vec![4, 5]),
+                type_tag: "counter".into(),
+                new_state: vec![6],
+                obj_epoch: 2,
+            },
+            ProtoMsg::InvokeResp {
+                corr: 9,
+                result: Err("boom".into()),
+                type_tag: "counter".into(),
+                new_state: vec![],
+                obj_epoch: 2,
+            },
+            ProtoMsg::Surrender {
+                corr: 10,
+                object: 3,
+            },
+            ProtoMsg::SurrenderResp {
+                corr: 10,
+                ok: false,
+                err: "gone".into(),
+                type_tag: String::new(),
+                state: vec![],
+                obj_epoch: 0,
+            },
+            ProtoMsg::Heartbeat,
+            ProtoMsg::Shutdown,
+        ];
+        for msg in msgs {
+            let wire = msg.encode();
+            assert_eq!(ProtoMsg::decode(&wire).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_proto_messages_are_rejected() {
+        let wire = ProtoMsg::Invoke {
+            corr: 1,
+            object: 2,
+            method: "m".into(),
+            payload: vec![1, 2, 3],
+        }
+        .encode();
+        for cut in 0..wire.len() {
+            assert!(
+                ProtoMsg::decode(&wire[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_options_roundtrip_via_env_format() {
+        // from_env parses what the coordinator serializes; exercised
+        // end-to-end in tests/multiproc.rs — here just the addr formats
+        let unix = TransportAddr::parse("unix:/tmp/x.sock").unwrap();
+        assert_eq!(unix.to_string(), "unix:/tmp/x.sock");
+        let tcp = TransportAddr::parse("tcp:127.0.0.1:41000").unwrap();
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:41000");
+    }
+}

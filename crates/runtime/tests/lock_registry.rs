@@ -21,6 +21,16 @@ const ALLOWLIST: &[(&str, &str)] = &[
     // the type registry is populated before workers start and read-locked
     // as a leaf afterwards
     ("object.rs", "type-registry leaf RwLock"),
+    // transport-internal leaf locks (peer slots, fencing floors, thread
+    // handles): held for map lookups only, never while any Ordered lock or
+    // another transport lock is held
+    ("socket.rs", "socket transport leaf locks"),
+    // coordinator state + trace collector: two leaves, always acquired
+    // state-then-trace or independently, never interleaved with Ordered
+    // locks (the multiprocess runtime does not use the in-process Cluster)
+    ("multiproc.rs", "multi-process coordinator leaf locks"),
+    // the proxy's live-connection table, locked to register/sever streams
+    ("chaos_proxy.rs", "fault-proxy connection-table leaf lock"),
 ];
 
 #[test]

@@ -1,0 +1,193 @@
+//! End-to-end multi-process chaos test: real worker OS processes over a
+//! Unix-domain socket, a real SIGKILL mid-workload, recovery through the
+//! coordinator's failure detector + checkpoint reinstantiation, and the
+//! zombie negative control (a respawn presenting its old incarnation must
+//! be refused at the socket accept). The collected trace is fed to
+//! `oml_check::check_trace` at the end — the same invariants the
+//! in-process chaos suites run under.
+//!
+//! Built with `harness = false`: the binary re-executes itself as the
+//! worker processes (`WorkerOptions::from_env()` distinguishes the roles),
+//! which libtest's argument parsing would reject.
+
+use oml_runtime::transport::netio::TransportAddr;
+use oml_runtime::transport::socket::SocketConfig;
+use oml_runtime::{
+    run_worker, MobileObject, MultiProcCluster, MultiProcConfig, ProcHealth, RuntimeError,
+    WorkerOptions,
+};
+use std::time::{Duration, Instant};
+
+/// The test workload object: a counter whose state is its 8-byte value.
+struct Counter(u64);
+
+impl MobileObject for Counter {
+    fn type_tag(&self) -> &'static str {
+        "counter"
+    }
+
+    fn invoke(&mut self, method: &str, payload: &[u8]) -> Result<Vec<u8>, String> {
+        match method {
+            "add" => {
+                self.0 += u64::from(payload.first().copied().unwrap_or(0));
+                Ok(self.0.to_le_bytes().to_vec())
+            }
+            "get" => Ok(self.0.to_le_bytes().to_vec()),
+            other => Err(format!("unknown method {other}")),
+        }
+    }
+
+    fn linearize(&self) -> Vec<u8> {
+        self.0.to_le_bytes().to_vec()
+    }
+}
+
+fn delinearize_counter(state: &[u8]) -> Box<dyn MobileObject> {
+    let mut bytes = [0u8; 8];
+    let n = state.len().min(8);
+    bytes[..n].copy_from_slice(&state[..n]);
+    Box::new(Counter(u64::from_le_bytes(bytes)))
+}
+
+fn cfg(addr: TransportAddr) -> MultiProcConfig {
+    let mut socket = SocketConfig::default();
+    socket.backoff.base_ms = 5;
+    socket.backoff.cap_ms = 100;
+    MultiProcConfig {
+        workers: 3,
+        addr,
+        call_timeout_ms: 500,
+        heartbeat_ms: 25,
+        suspect_after: 4,
+        dead_after: 12,
+        socket,
+        worker_program: std::env::current_exe().expect("own path"),
+        worker_args: Vec::new(),
+        monitor: true,
+    }
+}
+
+fn value_of(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(b)
+}
+
+/// Retries an invoke through an outage window; panics if the cluster never
+/// recovers (hangs are a test failure, not a wait).
+fn invoke_until_ok(
+    cluster: &MultiProcCluster,
+    object: u32,
+    method: &str,
+    payload: &[u8],
+    deadline: Duration,
+) -> (Vec<u8>, u32) {
+    let until = Instant::now() + deadline;
+    let mut denials = 0;
+    loop {
+        match cluster.invoke(object, method, payload) {
+            Ok(bytes) => return (bytes, denials),
+            Err(RuntimeError::NodeDown(_) | RuntimeError::Timeout { .. }) => {
+                denials += 1;
+                assert!(
+                    Instant::now() < until,
+                    "cluster never recovered: {denials} consecutive denials"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected invoke error: {other}"),
+        }
+    }
+}
+
+fn scenario() {
+    let dir = std::env::temp_dir().join(format!("oml-mp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let addr = TransportAddr::Unix(dir.join("coord.sock"));
+    let cluster = MultiProcCluster::spawn(cfg(addr)).expect("spawn cluster");
+    assert!(
+        cluster.wait_ready(Duration::from_secs(10)),
+        "workers never heartbeat"
+    );
+
+    // ---- healthy phase: create, invoke, migrate between real processes
+    cluster
+        .create(0, 1, "counter", 0u64.to_le_bytes().to_vec())
+        .expect("create");
+    let (v, _) = invoke_until_ok(&cluster, 1, "add", &[5], Duration::from_secs(5));
+    assert_eq!(value_of(&v), 5);
+    cluster.migrate(1, 1).expect("migrate to worker 1");
+    assert_eq!(cluster.location_of(1), Some(1));
+    let (v, _) = invoke_until_ok(&cluster, 1, "add", &[7], Duration::from_secs(5));
+    assert_eq!(value_of(&v), 12, "state travelled with the migration");
+
+    // ---- chaos phase: SIGKILL the hosting worker mid-workload
+    cluster.kill(1);
+    let (v, denials) = invoke_until_ok(&cluster, 1, "add", &[1], Duration::from_secs(20));
+    assert!(
+        denials > 0,
+        "a SIGKILLed host should deny at least one call before recovery"
+    );
+    // the checkpoint is at most one successful call behind: 12 (+1 now)
+    assert_eq!(
+        value_of(&v),
+        13,
+        "recovered state must come from the freshest checkpoint"
+    );
+    assert_eq!(cluster.health(1), ProcHealth::Dead);
+    let home = cluster.location_of(1).expect("object re-homed");
+    assert_ne!(home, 1, "object must have left the dead worker");
+    let stats = cluster.stats();
+    assert!(stats.declared_dead >= 1, "detector never declared death");
+    assert!(stats.reinstantiated >= 1, "object never reinstantiated");
+
+    // ---- recovery phase: respawn under a fresh incarnation
+    cluster.respawn(1).expect("respawn");
+    assert!(
+        cluster.wait_ready(Duration::from_secs(10)),
+        "respawned worker never heartbeat"
+    );
+    let (v, _) = invoke_until_ok(&cluster, 1, "get", &[], Duration::from_secs(5));
+    assert_eq!(value_of(&v), 13);
+
+    // ---- zombie negative control: the old incarnation must be fenced at
+    // the socket accept, before a single payload frame is read
+    cluster.respawn_zombie(1).expect("spawn zombie");
+    let until = Instant::now() + Duration::from_secs(10);
+    while cluster.stats().fenced_handshakes == 0 {
+        assert!(Instant::now() < until, "zombie handshake was never refused");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // the live incarnation keeps working while the zombie is refused
+    let (v, _) = invoke_until_ok(&cluster, 1, "add", &[2], Duration::from_secs(5));
+    assert_eq!(value_of(&v), 15);
+
+    // ---- every in-flight op resolved above (no hangs); now the trace must
+    // satisfy the checker, including no-delivery-after-fenced-handshake
+    let trace = cluster.take_trace();
+    cluster.shutdown();
+    let report = oml_check::check_trace(&trace);
+    assert!(
+        report.violations.is_empty(),
+        "trace violations: {:?}",
+        report.violations
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e.kind, oml_check::event::EventKind::HandshakeFenced { .. })),
+        "the refused zombie handshake must appear in the trace"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("multiproc sigkill/recovery/zombie scenario: ok");
+}
+
+fn main() {
+    // worker role: the coordinator re-executes this binary with OML_MP_*
+    // set; run the worker loop and exit with it
+    if let Some(opts) = WorkerOptions::from_env() {
+        let _ = run_worker(&opts, &[("counter", delinearize_counter)]);
+        return;
+    }
+    scenario();
+}
