@@ -179,6 +179,32 @@ pub enum Violation {
         /// fenced` is the violation).
         fenced: u64,
     },
+    /// A WAL record that was **durably acked** (appended and fsynced before
+    /// the caller was told success) did not survive a cold restart of its
+    /// store — the durability contract of `fsync=Always` was broken: a torn
+    /// write, a skipped fsync, or corruption ate an acknowledged write.
+    DurableCheckpointLost {
+        /// The store that lost the record.
+        node: u32,
+        /// The lost object.
+        object: ObjectId,
+        /// The lost record's object epoch.
+        object_epoch: u64,
+        /// The lost record's refresh sequence.
+        seq: u64,
+    },
+    /// After a cold restart recovered an object at some epoch, a later
+    /// reinstantiation used an epoch at or below the recovered one — the
+    /// epoch floor did not survive the restart, so PR 4's fencing can no
+    /// longer tell the recovered copy from a zombie.
+    StaleEpochAfterRecovery {
+        /// The object reinstantiated under a stale epoch.
+        object: ObjectId,
+        /// The stale epoch the reinstantiation used.
+        epoch: u64,
+        /// The epoch floor cold recovery had established.
+        floor: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -292,6 +318,24 @@ impl fmt::Display for Violation {
                 f,
                 "delivery after fenced handshake: traffic from {} under incarnation {epoch} although incarnation {fenced} was already refused",
                 process_name(*peer)
+            ),
+            Violation::DurableCheckpointLost {
+                node,
+                object,
+                object_epoch,
+                seq,
+            } => write!(
+                f,
+                "durable checkpoint lost: {object} e{object_epoch}.{seq} was acked durable at {} but did not survive cold restart",
+                process_name(*node)
+            ),
+            Violation::StaleEpochAfterRecovery {
+                object,
+                epoch,
+                floor,
+            } => write!(
+                f,
+                "stale epoch after recovery: {object} reinstantiated under epoch {epoch} although cold recovery established floor {floor}"
             ),
         }
     }
@@ -455,6 +499,14 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
     // per (observing process, peer): the greatest incarnation refused at
     // handshake time — nothing at or below it may be delivered afterwards
     let mut fenced_floors: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    // per store: the freshest version acked *durable* per object (must
+    // survive that store's cold restart), and appends still buffered (a
+    // later WalSynced promotes them)
+    let mut durable_wal: BTreeMap<u32, BTreeMap<ObjectId, (u64, u64)>> = BTreeMap::new();
+    let mut buffered_wal: BTreeMap<u32, Vec<(ObjectId, u64, u64)>> = BTreeMap::new();
+    // per object: the highest epoch any cold recovery handed back — later
+    // reinstantiations must exceed it
+    let mut recovered_floors: BTreeMap<ObjectId, u64> = BTreeMap::new();
 
     for (idx, ev) in trace.iter().enumerate() {
         processes.insert(ev.process);
@@ -653,6 +705,15 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
             }
             EventKind::Reinstantiated { object, at, epoch } => {
                 objects.insert(*object);
+                if let Some(&floor) = recovered_floors.get(object) {
+                    if *epoch <= floor {
+                        report.violations.push(Violation::StaleEpochAfterRecovery {
+                            object: *object,
+                            epoch: *epoch,
+                            floor,
+                        });
+                    }
+                }
                 if let Some(&prev) = live_epochs.get(object) {
                     if *epoch <= prev {
                         // epochs must be strictly increasing, or fencing
@@ -779,6 +840,76 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
                     }
                 }
             }
+            EventKind::WalAppended {
+                node,
+                object,
+                object_epoch,
+                seq,
+                durable,
+            } => {
+                let version = (*object_epoch, *seq);
+                if *durable {
+                    let slot = durable_wal
+                        .entry(*node)
+                        .or_default()
+                        .entry(*object)
+                        .or_insert(version);
+                    if *slot < version {
+                        *slot = version;
+                    }
+                } else {
+                    buffered_wal
+                        .entry(*node)
+                        .or_default()
+                        .push((*object, *object_epoch, *seq));
+                }
+            }
+            EventKind::WalSynced { node, .. } => {
+                // everything appended before the sync is now on stable
+                // storage: promote the node's buffered appends
+                for (object, object_epoch, seq) in buffered_wal.entry(*node).or_default().drain(..)
+                {
+                    let version = (object_epoch, seq);
+                    let slot = durable_wal
+                        .entry(*node)
+                        .or_default()
+                        .entry(object)
+                        .or_insert(version);
+                    if *slot < version {
+                        *slot = version;
+                    }
+                }
+            }
+            EventKind::ColdRecovered {
+                node, recovered, ..
+            } => {
+                let recovered_versions: BTreeMap<ObjectId, (u64, u64)> =
+                    recovered.iter().map(|&(o, e, s)| (o, (e, s))).collect();
+                if let Some(expected) = durable_wal.get(node) {
+                    for (&object, &(object_epoch, seq)) in expected {
+                        let survived = recovered_versions
+                            .get(&object)
+                            .is_some_and(|&v| v >= (object_epoch, seq));
+                        if !survived {
+                            report.violations.push(Violation::DurableCheckpointLost {
+                                node: *node,
+                                object,
+                                object_epoch,
+                                seq,
+                            });
+                        }
+                    }
+                }
+                // the store's content after restart IS the recovered set
+                // (still on disk, hence still durable); buffered appends
+                // died with the process
+                durable_wal.insert(*node, recovered_versions);
+                buffered_wal.remove(node);
+                for &(object, object_epoch, _) in recovered {
+                    let floor = recovered_floors.entry(object).or_insert(0);
+                    *floor = (*floor).max(object_epoch);
+                }
+            }
             EventKind::MoveRequested { .. }
             | EventKind::SurrenderRequested { .. }
             | EventKind::Attach { .. }
@@ -786,6 +917,7 @@ pub fn check_trace(trace: &[TraceEvent]) -> CheckReport {
             | EventKind::Suspected { .. }
             | EventKind::FencedStale { .. }
             | EventKind::TransportDisconnected { .. }
+            | EventKind::SnapshotCompacted { .. }
             | EventKind::BreakerOpen { .. } => {}
         }
     }
@@ -1520,5 +1652,134 @@ mod tests {
         // other peers
         let trace = vec![hs_fenced(1, 2, 5), delivery(0, 2, 5), delivery(1, 3, 5)];
         assert!(check_trace(&trace).is_clean());
+    }
+
+    fn wal_append(node: u32, o: u32, epoch: u64, seq: u64, durable: bool) -> TraceEvent {
+        TraceEvent::new(
+            node,
+            EventKind::WalAppended {
+                node,
+                object: obj(o),
+                object_epoch: epoch,
+                seq,
+                durable,
+            },
+        )
+    }
+    fn wal_sync(node: u32, records: u64) -> TraceEvent {
+        TraceEvent::new(node, EventKind::WalSynced { node, records })
+    }
+    fn cold(node: u32, recovered: Vec<(u32, u64, u64)>) -> TraceEvent {
+        TraceEvent::new(
+            node,
+            EventKind::ColdRecovered {
+                node,
+                recovered: recovered
+                    .into_iter()
+                    .map(|(o, e, s)| (obj(o), e, s))
+                    .collect(),
+                torn: false,
+                corrupt: false,
+            },
+        )
+    }
+
+    #[test]
+    fn durable_append_surviving_cold_restart_is_clean() {
+        let trace = vec![
+            wal_append(0, 1, 1, 0, true),
+            wal_append(0, 1, 1, 1, true),
+            cold(0, vec![(1, 1, 1)]),
+        ];
+        let report = check_trace(&trace);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn durable_append_missing_after_cold_restart_is_flagged() {
+        let trace = vec![wal_append(0, 1, 1, 3, true), cold(0, vec![(1, 1, 2)])];
+        let report = check_trace(&trace);
+        assert!(
+            matches!(
+                report.violations.as_slice(),
+                [Violation::DurableCheckpointLost {
+                    node: 0,
+                    object_epoch: 1,
+                    seq: 3,
+                    ..
+                }]
+            ),
+            "{report}"
+        );
+        assert!(report.to_string().contains("durable checkpoint lost"));
+    }
+
+    #[test]
+    fn buffered_append_lost_in_cold_restart_is_acceptable() {
+        // fsync=Never: the append was acked Buffered, so losing it is the
+        // documented contract, not a violation
+        let trace = vec![wal_append(0, 1, 1, 0, false), cold(0, vec![])];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn synced_append_becomes_durable_and_must_survive() {
+        let trace = vec![
+            wal_append(0, 1, 1, 0, false),
+            wal_sync(0, 1),
+            cold(0, vec![]),
+        ];
+        let report = check_trace(&trace);
+        assert!(
+            matches!(
+                report.violations.as_slice(),
+                [Violation::DurableCheckpointLost { .. }]
+            ),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn wal_tracking_is_per_store() {
+        // node 1's restart says nothing about node 0's durable records
+        let trace = vec![wal_append(0, 1, 1, 0, true), cold(1, vec![])];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn recovery_resets_the_durable_set_to_what_survived() {
+        // after a clean recovery a second restart only owes what the first
+        // one handed back
+        let trace = vec![
+            wal_append(0, 1, 1, 0, false),
+            cold(0, vec![]),
+            cold(0, vec![]),
+        ];
+        assert!(check_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn reinstantiation_below_recovered_floor_is_flagged() {
+        let trace = vec![cold(0, vec![(1, 4, 0)]), reinstantiate(1, 0, 3)];
+        let report = check_trace(&trace);
+        assert!(
+            matches!(
+                report.violations.as_slice(),
+                [Violation::StaleEpochAfterRecovery {
+                    epoch: 3,
+                    floor: 4,
+                    ..
+                }]
+            ),
+            "{report}"
+        );
+        assert!(report.to_string().contains("stale epoch after recovery"));
+    }
+
+    #[test]
+    fn reinstantiation_above_recovered_floor_is_clean() {
+        let trace = vec![cold(0, vec![(1, 4, 0)]), reinstantiate(1, 0, 5)];
+        let report = check_trace(&trace);
+        assert!(report.is_clean(), "{report}");
     }
 }

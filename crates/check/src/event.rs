@@ -302,6 +302,61 @@ pub enum EventKind {
         /// The session incarnation the frame arrived under.
         epoch: u64,
     },
+    /// A checkpoint record was appended to `node`'s write-ahead log
+    /// (`WalStore::put` call sites). `durable` reflects the fsync policy's
+    /// verdict *at ack time*: `true` means the record was synced before the
+    /// caller was acked, so it must survive a cold restart of `node`.
+    WalAppended {
+        /// The node whose store appended (coordinator stores use
+        /// [`CLIENT_PROCESS`]).
+        node: u32,
+        /// The checkpointed object.
+        object: ObjectId,
+        /// The record's object epoch.
+        object_epoch: u64,
+        /// The record's refresh sequence.
+        seq: u64,
+        /// Whether the record was fsynced before the ack.
+        durable: bool,
+    },
+    /// An explicit WAL sync completed at `node`: every record appended
+    /// before this point is now durable (promotes earlier buffered
+    /// `WalAppended`s).
+    WalSynced {
+        /// The syncing node's store.
+        node: u32,
+        /// Records this sync made durable.
+        records: u64,
+    },
+    /// `node`'s store compacted its WAL into snapshot generation
+    /// `generation` (write-temp → atomic-rename → manifest flip). Durable
+    /// records survive compaction by construction; this event lets traces
+    /// show cold restarts recovering from a snapshot rather than a long log.
+    SnapshotCompacted {
+        /// The compacting node's store.
+        node: u32,
+        /// The new live generation.
+        generation: u64,
+        /// Records written into the snapshot.
+        records: u64,
+    },
+    /// `node`'s store was reopened after every process died (cold restart)
+    /// and replayed snapshot + WAL suffix. `recovered` lists each object's
+    /// recovered `(epoch, seq)` version; `torn`/`corrupt` report what the
+    /// replay found (a torn tail is steady state, corruption must never be
+    /// silently accepted). The checker demands every durable `WalAppended`
+    /// version be covered, and fences later `Reinstantiated` events below
+    /// the recovered epochs.
+    ColdRecovered {
+        /// The restarted node's store.
+        node: u32,
+        /// Recovered objects with their `(object_epoch, seq)` versions.
+        recovered: Vec<(ObjectId, u64, u64)>,
+        /// The replay truncated a torn tail.
+        torn: bool,
+        /// The replay hit a checksum/decoding failure.
+        corrupt: bool,
+    },
 }
 
 /// One event in a collected trace.

@@ -272,3 +272,85 @@ fn injected_denied_mover_mutation_is_named() {
         "{report}"
     );
 }
+
+#[test]
+fn injected_lost_durable_checkpoint_is_named() {
+    let mut trace = benign_trace(7, 6, 20);
+    // plant a durability hole: the store at node 0 acks object 2's
+    // checkpoint as durable, then cold restart hands back only an older
+    // version — a torn WAL tail under fsync=Always, which must be flagged
+    let object = ObjectId::new(2);
+    trace.push(TraceEvent::new(
+        0,
+        EventKind::WalAppended {
+            node: 0,
+            object,
+            object_epoch: 3,
+            seq: 8,
+            durable: true,
+        },
+    ));
+    trace.push(TraceEvent::new(
+        0,
+        EventKind::ColdRecovered {
+            node: 0,
+            recovered: vec![(object, 3, 7)],
+            torn: true,
+            corrupt: false,
+        },
+    ));
+    let report = check_trace(&trace);
+    assert_eq!(report.violations.len(), 1, "{report}");
+    match &report.violations[0] {
+        Violation::DurableCheckpointLost {
+            node,
+            object: o,
+            object_epoch,
+            seq,
+        } => {
+            assert_eq!(*node, 0);
+            assert_eq!(*o, object);
+            assert_eq!(*object_epoch, 3);
+            assert_eq!(*seq, 8);
+        }
+        other => panic!("expected DurableCheckpointLost, got {other}"),
+    }
+}
+
+#[test]
+fn injected_stale_epoch_after_recovery_is_named() {
+    let mut trace = benign_trace(9, 6, 20);
+    // plant a fencing regression: recovery reports object 4 at epoch 6,
+    // then the object is reinstantiated at epoch 5 — a pre-restart zombie
+    // epoch that would let fenced traffic act again
+    let object = ObjectId::new(4);
+    trace.push(TraceEvent::new(
+        0,
+        EventKind::ColdRecovered {
+            node: 0,
+            recovered: vec![(object, 6, 1)],
+            torn: false,
+            corrupt: false,
+        },
+    ));
+    trace.push(TraceEvent::new(
+        1,
+        EventKind::Reinstantiated {
+            object,
+            at: NodeId::new(1),
+            epoch: 5,
+        },
+    ));
+    let report = check_trace(&trace);
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            Violation::StaleEpochAfterRecovery {
+                object: o,
+                epoch: 5,
+                floor: 6,
+            } if *o == object
+        )),
+        "expected StaleEpochAfterRecovery, got {report}"
+    );
+}

@@ -29,7 +29,14 @@
 //!   durability robustness extension: fraction of objects surviving
 //!              correlated failures (host crash, host+home double crash,
 //!              replica-set-minus-one) as the checkpoint replication
-//!              factor k grows, on the real runtime
+//!              factor k grows, on the real runtime; checkpoint stores are
+//!              WAL-backed under the --fsync policy (or OML_FSYNC)
+//!              (--cold-restart instead SIGKILLs a whole multi-process
+//!              cluster — coordinator and workers — and cold-starts a
+//!              successor from the on-disk WAL alone, reporting recovered
+//!              fraction and recovery latency per fsync policy plus a
+//!              torn-write negative control the checker must flag; exits
+//!              nonzero on any durability regression)
 //!   check      replay seeded chaos schedules with protocol tracing on and
 //!              verify the paper's invariants plus the lock-order graph
 //!              (--seeds chaos | --seeds N,M,... to pick the schedules;
@@ -108,6 +115,10 @@ struct Cli {
     no_mega: bool,
     smoke: bool,
     multiprocess: bool,
+    cold_restart: bool,
+    /// Validated `--fsync` policy string; also exported as `OML_FSYNC` so
+    /// re-executed child processes inherit it.
+    fsync: Option<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -129,6 +140,8 @@ fn parse_args() -> Result<Cli, String> {
     let mut no_mega = false;
     let mut smoke = false;
     let mut multiprocess = false;
+    let mut cold_restart = false;
+    let mut fsync = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -165,6 +178,17 @@ fn parse_args() -> Result<Cli, String> {
             "--no-mega" => no_mega = true,
             "--smoke" => smoke = true,
             "--multiprocess" => multiprocess = true,
+            "--cold-restart" => cold_restart = true,
+            "--fsync" => {
+                let v = args.next().ok_or("--fsync needs always|never|batch:N:MS")?;
+                if oml_runtime::FsyncPolicy::parse(&v).is_none() {
+                    return Err(format!("bad fsync policy: {v} (always|never|batch:N:MS)"));
+                }
+                // exported so the worker/seed/recover child processes this
+                // binary re-executes see the same policy
+                env::set_var("OML_FSYNC", &v);
+                fsync = Some(v);
+            }
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
@@ -226,7 +250,25 @@ fn parse_args() -> Result<Cli, String> {
         no_mega,
         smoke,
         multiprocess,
+        cold_restart,
+        fsync,
     })
+}
+
+/// One-line JSON record of the fsync policy an experiment actually ran
+/// under — `--fsync` if given, else `OML_FSYNC`, else the default.
+fn print_fsync_summary(experiment: &str, flag: Option<&str>) {
+    let policy = flag.map_or_else(
+        || {
+            env::var("OML_FSYNC")
+                .ok()
+                .and_then(|v| oml_runtime::FsyncPolicy::parse(v.trim()))
+                .unwrap_or_default()
+                .to_string()
+        },
+        str::to_owned,
+    );
+    println!("{{\"experiment\": \"{experiment}\", \"fsync\": \"{policy}\"}}");
 }
 
 fn print_table1() {
@@ -647,6 +689,12 @@ fn main() -> ExitCode {
         let _ = oml_runtime::run_worker(&opts, &multiproc_worker_types());
         return ExitCode::SUCCESS;
     }
+    // cold-restart seed/recover roles (`durability --cold-restart`
+    // re-executes this binary with OML_COLD_ROLE set); checked after the
+    // worker role because worker grandchildren inherit OML_COLD_ROLE too
+    if let Some(code) = oml_experiments::cold::maybe_run_child() {
+        return code;
+    }
     let cli = match parse_args() {
         Ok(cli) => cli,
         Err(msg) => {
@@ -656,7 +704,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro <table1|fig4|fig8|fig10|fig11|fig12|fig14|fig16|fig16x|availability|durability|check|explore|bench|scaling|mega|...|all> \
                  [--quick|--paper] [--seed N] [--threads N] [--seeds chaos|N,M,...] [--recovery] [--durability] [--negative] \
-                 [--budget N] [--replay FILE] [--axis N,M,...] [--no-mega] [--smoke] [--multiprocess] [--csv DIR] [--svg DIR] [--plot]"
+                 [--budget N] [--replay FILE] [--axis N,M,...] [--no-mega] [--smoke] [--multiprocess] \
+                 [--cold-restart] [--fsync always|never|batch:N:MS] [--csv DIR] [--svg DIR] [--plot]"
             );
             return ExitCode::FAILURE;
         }
@@ -692,15 +741,22 @@ fn main() -> ExitCode {
             "faults" => emit(&faults(&cli.opts), &cli),
             "availability" if cli.multiprocess => {
                 emit(&availability_multiprocess(&cli.opts), &cli);
+                print_fsync_summary("availability-multiprocess", cli.fsync.as_deref());
             }
             "availability" => emit(&availability(&cli.opts), &cli),
-            "durability" => emit(&durability(&cli.opts), &cli),
+            "durability" => {
+                emit(&durability(&cli.opts), &cli);
+                print_fsync_summary("durability", cli.fsync.as_deref());
+            }
             _ => return false,
         }
         true
     };
 
     match cli.experiment.as_str() {
+        "durability" if cli.cold_restart => {
+            oml_experiments::cold::run_cold_restart(cli.fsync.as_deref())
+        }
         "check" if cli.negative => run_check_negative(CHAOS_SEEDS[0]),
         "check" => run_check(cli.seeds.as_deref(), cli.recovery, cli.durability_check),
         "explore" => run_explore(&cli),

@@ -875,6 +875,17 @@ pub fn multiproc_worker_types() -> Vec<(&'static str, oml_runtime::Delinearizer)
     vec![("avail-counter", delinearize_avail_counter)]
 }
 
+/// The fsync policy the durable-store experiments run under: `OML_FSYNC`
+/// (`always` / `never` / `batch:N:MS`; the `repro --fsync` flag sets the
+/// same variable so child processes inherit it), defaulting to `always`.
+#[must_use]
+pub fn fsync_from_env() -> oml_runtime::FsyncPolicy {
+    std::env::var("OML_FSYNC")
+        .ok()
+        .and_then(|v| oml_runtime::FsyncPolicy::parse(v.trim()))
+        .unwrap_or_default()
+}
+
 /// Multi-process availability — the same crash → detect → reinstantiate →
 /// heal denial-rate shape as [`availability`], but with the nodes as real
 /// worker **OS processes** over a Unix-domain stream socket and the crash
@@ -916,6 +927,9 @@ pub fn availability_multiprocess(opts: &RunOptions) -> ExperimentResult {
     socket.backoff.base_ms = 5;
     socket.backoff.cap_ms = 100;
     socket.backoff.seed = opts.seed ^ 0x6D70; // "mp"
+                                              // the coordinator's checkpoint table is WAL-backed under OML_FSYNC so
+                                              // the availability run also exercises the durable put-before-ack path
+    let fsync = fsync_from_env();
     let cluster = MultiProcCluster::spawn(MultiProcConfig {
         workers: 3,
         addr: TransportAddr::Unix(dir.join("coord.sock")),
@@ -927,6 +941,8 @@ pub fn availability_multiprocess(opts: &RunOptions) -> ExperimentResult {
         worker_program: std::env::current_exe().expect("own executable path"),
         worker_args: Vec::new(),
         monitor: true,
+        store_dir: Some(dir.join("store")),
+        fsync,
     })
     .expect("spawn worker processes");
     assert!(
@@ -1042,7 +1058,8 @@ pub fn availability_multiprocess(opts: &RunOptions) -> ExperimentResult {
             "multi-process availability across a SIGKILL/recover cycle \
              (3 worker processes over a unix socket, {OPS} ops, SIGKILL at \
              {KILL_AT}, respawn after declare-dead at ~{RESPAWN_AT}, call \
-             timeout {CALL_TIMEOUT_MS} ms)"
+             timeout {CALL_TIMEOUT_MS} ms, durable coordinator store \
+             fsync={fsync})"
         ),
         x_label: "operation index (bucket start)".into(),
         y_label: "mean client-visible call latency (ms)".into(),
@@ -1097,6 +1114,7 @@ pub fn durability(opts: &RunOptions) -> ExperimentResult {
         ("host+home", Pattern::HostAndHome),
         ("replica-set-minus-one", Pattern::ReplicaSetMinusOne),
     ];
+    let fsync = fsync_from_env();
 
     let mut points = Vec::new();
     for (ki, k) in [1usize, 2, 3].into_iter().enumerate() {
@@ -1110,6 +1128,13 @@ pub fn durability(opts: &RunOptions) -> ExperimentResult {
                     .wrapping_add(1 + ki as u64)
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add(pi as u64 * 31 + trial);
+                // every trial's replica checkpoints go through a real WAL
+                // under the OML_FSYNC policy: a quorum ack now implies the
+                // per-policy durability contract, not just an in-memory map
+                let store_dir = std::env::temp_dir().join(format!(
+                    "oml-durability-{}-{ki}-{pi}-{trial}",
+                    std::process::id()
+                ));
                 let cluster = Cluster::builder()
                     .nodes(NODES)
                     .policy(PolicyKind::TransientPlacement)
@@ -1120,6 +1145,7 @@ pub fn durability(opts: &RunOptions) -> ExperimentResult {
                     .manual_clock()
                     .failure_detector(HEARTBEAT_MS, K_MISSED)
                     .replication(k)
+                    .durable_store(&store_dir, fsync)
                     .build();
                 cluster.register_type("avail-counter", |bytes| {
                     let mut r = WireReader::new(bytes);
@@ -1185,6 +1211,7 @@ pub fn durability(opts: &RunOptions) -> ExperimentResult {
                     None => {}
                 }
                 cluster.shutdown();
+                let _ = std::fs::remove_dir_all(&store_dir);
             }
 
             series.insert(
@@ -1213,7 +1240,7 @@ pub fn durability(opts: &RunOptions) -> ExperimentResult {
         title: format!(
             "checkpoint durability under correlated failures (runtime, \
              {NODES} nodes, {TRIALS} trials per cell, detector hb={HEARTBEAT_MS}ms \
-             k={K_MISSED})"
+             k={K_MISSED}, WAL-backed checkpoint stores fsync={fsync})"
         ),
         x_label: "checkpoint replication factor k".into(),
         y_label: "recovered fraction after correlated failure".into(),

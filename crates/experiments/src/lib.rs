@@ -52,6 +52,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod cold;
 pub mod experiments;
 pub mod explore;
 pub mod plot;

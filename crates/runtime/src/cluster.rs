@@ -28,6 +28,7 @@ use crate::recovery::{
     ReplicaCheckpoint, ReplicationInfo,
 };
 use crate::schedule::{FreeRun, ScheduleSource, SendAction};
+use crate::store::{CheckpointStore, FsyncPolicy};
 use crate::trace::{OrderedMutex, OrderedRwLock, TraceCollector};
 use crate::wire::CheckpointFrame;
 
@@ -505,13 +506,18 @@ impl Shared {
         let Some(rec) = &self.recovery else {
             return false;
         };
-        let applied = {
+        let (applied, wal) = {
             let mut stores = rec.replica_stores.lock();
             let store = &mut stores[at.index()];
-            match store.get(&object) {
-                Some(existing) if existing.version() >= (frame.object_epoch, frame.seq) => false,
+            match store.get(object) {
+                Some(existing) if existing.version() >= (frame.object_epoch, frame.seq) => {
+                    (false, None)
+                }
                 _ => {
-                    store.insert(
+                    let compactions = store.wal_stats().compactions;
+                    // the put (and its fsync, per policy) completes before
+                    // any ack is sent — acks never outrun durability
+                    match store.put(
                         object,
                         ReplicaCheckpoint {
                             type_tag: frame.type_tag.clone(),
@@ -519,11 +525,43 @@ impl Shared {
                             object_epoch: frame.object_epoch,
                             seq: frame.seq,
                         },
-                    );
-                    true
+                    ) {
+                        Ok(durability) => {
+                            let wal = store.durable_backed().then(|| {
+                                let stats = store.wal_stats();
+                                let compacted = (stats.compactions > compactions)
+                                    .then_some((stats.generation, store.len() as u64));
+                                (durability.is_durable(), compacted)
+                            });
+                            (true, wal)
+                        }
+                        Err(_) => (false, None), // a failed write is no write
+                    }
                 }
             }
         };
+        if let Some((durable, compacted)) = wal {
+            self.trace.emit(
+                at.as_u32(),
+                EventKind::WalAppended {
+                    node: at.as_u32(),
+                    object,
+                    object_epoch: frame.object_epoch,
+                    seq: frame.seq,
+                    durable,
+                },
+            );
+            if let Some((generation, records)) = compacted {
+                self.trace.emit(
+                    at.as_u32(),
+                    EventKind::SnapshotCompacted {
+                        node: at.as_u32(),
+                        generation,
+                        records,
+                    },
+                );
+            }
+        }
         if applied {
             self.trace.emit(
                 at.as_u32(),
@@ -782,7 +820,7 @@ impl Shared {
                     if !rec.replica_available(n) {
                         continue;
                     }
-                    if let Some(ckpt) = store.get(&object) {
+                    if let Some(ckpt) = store.get(object) {
                         if freshest.is_none_or(|f| ckpt.version() > f.version()) {
                             freshest = Some(ckpt);
                         }
@@ -798,7 +836,7 @@ impl Shared {
                     continue;
                 }
                 for target in self.replica_targets(object, home) {
-                    let needs = match stores[target.index()].get(&object) {
+                    let needs = match stores[target.index()].get(object) {
                         None => true,
                         Some(c) => c.version() < freshest.version(),
                     };
@@ -892,7 +930,22 @@ impl Shared {
             }
         }
         // the dead node's replica holdings died with it
-        rec.replica_stores.lock()[i].clear();
+        // a clear() persists a tombstone record on WAL-backed stores;
+        // epoch floors survive it by the store contract
+        let _ = rec.replica_stores.lock()[i].clear();
+        // persist the bumped epochs as floors at every surviving store, so
+        // a cold restart cannot reinstantiate below them
+        if !reinstated.is_empty() {
+            let mut stores = rec.replica_stores.lock();
+            for (n, store) in stores.iter_mut().enumerate() {
+                if n == i {
+                    continue;
+                }
+                for &(object, epoch) in &reinstated {
+                    let _ = store.note_epoch(object, epoch);
+                }
+            }
+        }
         for (object, epoch) in reinstated {
             let home = {
                 let repl = rec.replication.lock();
@@ -911,7 +964,7 @@ impl Shared {
                     if !rec.replica_available(n) {
                         continue;
                     }
-                    if let Some(ckpt) = store.get(&object) {
+                    if let Some(ckpt) = store.get(object) {
                         let better = best.as_ref().is_none_or(|(_, b)| {
                             if rec.stale_promotion {
                                 ckpt.version() < b.version()
@@ -1076,6 +1129,8 @@ pub struct ClusterBuilder {
     replication_k: usize,
     repair: bool,
     stale_promotion: bool,
+    store_dir: Option<std::path::PathBuf>,
+    store_fsync: FsyncPolicy,
     schedule: Arc<dyn ScheduleSource>,
 }
 
@@ -1230,6 +1285,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Backs every node's replica store with an on-disk [`crate::WalStore`]
+    /// at `dir/node-<i>` under `fsync`: checkpoint puts are acknowledged
+    /// only once the record is durable per policy, and a cold restart of
+    /// the whole cluster (same `dir`) replays snapshot + WAL, truncates
+    /// torn tails and seeds the object-epoch table from the persisted
+    /// floors so fencing survives the restart. Meaningless without
+    /// [`ClusterBuilder::failure_detector`].
+    #[must_use]
+    pub fn durable_store(mut self, dir: impl Into<std::path::PathBuf>, fsync: FsyncPolicy) -> Self {
+        self.store_dir = Some(dir.into());
+        self.store_fsync = fsync;
+        self
+    }
+
     /// Disables epoch fencing (negative-testing hook): zombie workers and
     /// their stale messages are then *not* rejected, so
     /// [`Cluster::zombie_restart_node`] observably corrupts state — the
@@ -1274,7 +1343,34 @@ impl ClusterBuilder {
         };
         let plan = self.fault_plan.unwrap_or_else(|| FaultPlan::seeded(0));
         let jitter_seed = plan.seed();
+        // per-node cold-recovery outcomes (WAL-backed stores only), traced
+        // once the collector exists
+        type NodeRecovery = (u32, Vec<(ObjectId, u64, u64)>, bool, bool);
+        let mut recovered: Vec<NodeRecovery> = Vec::new();
         let recovery = self.detector.map(|cfg| {
+            let stores: Vec<Box<dyn CheckpointStore>> = match &self.store_dir {
+                Some(dir) => (0..self.nodes)
+                    .map(|i| {
+                        let cfg = crate::store::WalStoreConfig::with_fsync(
+                            dir.join(format!("node-{i}")),
+                            self.store_fsync,
+                        );
+                        let (store, report) = crate::store::WalStore::open(cfg)
+                            .unwrap_or_else(|e| panic!("durable store node-{i}: {e}"));
+                        let mut versions: Vec<(ObjectId, u64, u64)> = store
+                            .objects()
+                            .iter()
+                            .filter_map(|&o| store.get(o).map(|c| (o, c.object_epoch, c.seq)))
+                            .collect();
+                        versions.sort_unstable_by_key(|&(o, _, _)| o);
+                        recovered.push((i, versions, report.torn_bytes > 0, report.corrupt));
+                        Box::new(store) as Box<dyn CheckpointStore>
+                    })
+                    .collect(),
+                None => (0..self.nodes)
+                    .map(|_| Box::new(crate::store::MemStore::new()) as Box<dyn CheckpointStore>)
+                    .collect(),
+            };
             RecoveryState::new(
                 self.nodes as usize,
                 cfg,
@@ -1282,6 +1378,7 @@ impl ClusterBuilder {
                 self.replication_k,
                 self.repair,
                 self.stale_promotion,
+                stores,
             )
         });
         let shared = Arc::new(Shared {
@@ -1324,6 +1421,19 @@ impl ClusterBuilder {
                     nodes: self.nodes,
                 },
             );
+            // cold-recovery markers: arm the checker's durability
+            // invariants and record the recovered epoch floors
+            for (node, versions, torn, corrupt) in recovered {
+                shared.trace.emit(
+                    node,
+                    EventKind::ColdRecovered {
+                        node,
+                        recovered: versions,
+                        torn,
+                        corrupt,
+                    },
+                );
+            }
         }
         let handles = (0..self.nodes as usize)
             .map(|i| Some(spawn_worker(&shared, NodeId::new(i as u32), 1)))
@@ -1414,6 +1524,8 @@ impl Cluster {
             replication_k: 2,
             repair: true,
             stale_promotion: false,
+            store_dir: None,
+            store_fsync: FsyncPolicy::Always,
             schedule: Arc::new(FreeRun),
         }
     }
@@ -1780,7 +1892,7 @@ impl Cluster {
                 if !rec.replica_available(n) {
                     continue;
                 }
-                for &o in store.keys() {
+                for o in store.objects() {
                     *m.entry(o).or_insert(0) += 1;
                 }
             }

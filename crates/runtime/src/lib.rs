@@ -107,6 +107,7 @@ mod trace;
 pub mod error;
 pub mod object;
 pub mod schedule;
+pub mod store;
 pub mod transport;
 pub mod wire;
 
@@ -117,6 +118,10 @@ pub use object::{Delinearizer, MobileObject};
 pub use proxy::ObjRef;
 pub use recovery::{DetectorConfig, NodeHealth};
 pub use schedule::{FreeRun, ScheduleSource, SendAction};
+pub use store::{
+    CheckpointStore, Durability, FaultFs, FsyncPolicy, MemStore, RecoveryReport, StoreError,
+    StoredCheckpoint, WalStats, WalStore, WalStoreConfig,
+};
 pub use trace::KNOWN_LOCK_ORDER;
 pub use transport::multiproc::{
     run_worker, MultiProcCluster, MultiProcConfig, MultiProcStats, ProcHealth, WorkerExit,

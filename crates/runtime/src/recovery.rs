@@ -40,9 +40,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
-use bytes::Bytes;
 use oml_core::ids::{NodeId, ObjectId};
 
+use crate::store::CheckpointStore;
 use crate::trace::{OrderedMutex, OrderedRwLock};
 
 /// Failure-detector tuning: how often nodes are expected to beat, and how
@@ -99,25 +99,10 @@ pub(crate) enum Admission {
     FailFast,
 }
 
-/// One replica's copy of an object's passive state, stamped with the
-/// freshness coordinates that order it against other replicas.
-#[derive(Clone)]
-pub(crate) struct ReplicaCheckpoint {
-    pub(crate) type_tag: String,
-    pub(crate) state: Bytes,
-    /// The object epoch the copy was linearized under.
-    pub(crate) object_epoch: u64,
-    /// The refresh sequence number within that epoch. Freshness is the
-    /// lexicographic order on `(object_epoch, seq)`.
-    pub(crate) seq: u64,
-}
-
-impl ReplicaCheckpoint {
-    /// The freshness coordinates: replicas compare lexicographically.
-    pub(crate) fn version(&self) -> (u64, u64) {
-        (self.object_epoch, self.seq)
-    }
-}
+/// One replica's copy of an object's passive state: since the store
+/// subsystem landed this is [`crate::store::StoredCheckpoint`] — the same
+/// freshness coordinates, now shared with the on-disk WAL stores.
+pub(crate) use crate::store::StoredCheckpoint as ReplicaCheckpoint;
 
 /// An in-flight quorum-acknowledged refresh: which write we are waiting on
 /// and which replicas have acked it so far.
@@ -184,10 +169,12 @@ pub(crate) struct RecoveryState {
     pub(crate) epoch_lock: OrderedMutex<()>,
     /// Current epoch per object; bumped at reinstantiation. Absent = 0.
     pub(crate) object_epochs: OrderedRwLock<HashMap<ObjectId, u64>>,
-    /// Per-node replica stores: `replica_stores[n]` is node `n`'s local map
-    /// of passive copies. One lock over all stores — cross-store scans
-    /// (promotion, repair planning) then see a consistent cut.
-    pub(crate) replica_stores: OrderedMutex<Vec<HashMap<ObjectId, ReplicaCheckpoint>>>,
+    /// Per-node replica stores: `replica_stores[n]` is node `n`'s local
+    /// [`CheckpointStore`] of passive copies — in-memory by default, WAL-
+    /// backed via [`crate::ClusterBuilder::durable_store`]. One lock over
+    /// all stores — cross-store scans (promotion, repair planning) then see
+    /// a consistent cut.
+    pub(crate) replica_stores: OrderedMutex<Vec<Box<dyn CheckpointStore>>>,
     /// Per-object replication bookkeeping (home, sequencing, quorum acks).
     pub(crate) replication: OrderedMutex<HashMap<ObjectId, ReplicationInfo>>,
 }
@@ -200,7 +187,19 @@ impl RecoveryState {
         replica_k: usize,
         repair: bool,
         stale_promotion: bool,
+        stores: Vec<Box<dyn CheckpointStore>>,
     ) -> Self {
+        assert_eq!(stores.len(), nodes, "one checkpoint store per node");
+        // epoch monotonicity across restarts: the recovered floors seed the
+        // live epoch table, so a reinstantiation after a cold restart can
+        // never hand out an epoch a previous incarnation already used
+        let mut epochs: HashMap<ObjectId, u64> = HashMap::new();
+        for store in &stores {
+            for (object, floor) in store.epoch_floors() {
+                let e = epochs.entry(object).or_insert(0);
+                *e = (*e).max(floor);
+            }
+        }
         RecoveryState {
             config,
             fenced,
@@ -213,11 +212,8 @@ impl RecoveryState {
             health: (0..nodes).map(|_| AtomicU8::new(HEALTH_UP)).collect(),
             breakers: (0..nodes).map(|_| AtomicU8::new(BREAKER_CLOSED)).collect(),
             epoch_lock: OrderedMutex::new("shared.epoch_lock", ()),
-            object_epochs: OrderedRwLock::new("shared.object_epochs", HashMap::new()),
-            replica_stores: OrderedMutex::new(
-                "shared.replica_stores",
-                (0..nodes).map(|_| HashMap::new()).collect(),
-            ),
+            object_epochs: OrderedRwLock::new("shared.object_epochs", epochs),
+            replica_stores: OrderedMutex::new("shared.replica_stores", stores),
             replication: OrderedMutex::new("shared.replication", HashMap::new()),
         }
     }
@@ -398,6 +394,9 @@ mod tests {
             2,
             true,
             false,
+            (0..nodes)
+                .map(|_| Box::new(crate::store::MemStore::new()) as Box<dyn CheckpointStore>)
+                .collect(),
         )
     }
 
@@ -477,17 +476,39 @@ mod tests {
     fn replica_versions_order_lexicographically() {
         let older = ReplicaCheckpoint {
             type_tag: "t".into(),
-            state: Bytes::new(),
+            state: bytes::Bytes::new(),
             object_epoch: 1,
             seq: 9,
         };
         let newer = ReplicaCheckpoint {
             type_tag: "t".into(),
-            state: Bytes::new(),
+            state: bytes::Bytes::new(),
             object_epoch: 2,
             seq: 0,
         };
         assert!(newer.version() > older.version());
+    }
+
+    #[test]
+    fn recovered_floors_seed_the_epoch_table() {
+        let mut store = crate::store::MemStore::new();
+        let _ = store.note_epoch(ObjectId::new(3), 7).unwrap();
+        let r = RecoveryState::new(
+            1,
+            DetectorConfig {
+                heartbeat_ms: 10,
+                k_missed: 2,
+            },
+            true,
+            1,
+            true,
+            false,
+            vec![Box::new(store)],
+        );
+        assert_eq!(
+            r.object_epochs.read().get(&ObjectId::new(3)).copied(),
+            Some(7)
+        );
     }
 
     #[test]

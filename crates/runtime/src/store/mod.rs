@@ -1,0 +1,425 @@
+//! Durable checkpoint stores: the persistence substrate under the
+//! quorum-replicated checkpoints.
+//!
+//! PR 5's replicated checkpoints keep every passive copy in process
+//! memory, so a correlated failure beyond the replica set — or a
+//! whole-cluster power loss — still loses every object. This module adds
+//! the missing layer: a [`CheckpointStore`] trait with two production
+//! implementations,
+//!
+//! * [`MemStore`] — today's behavior, bit-compatible: a `HashMap` with the
+//!   same freshness coordinates, for clusters that opt out of disk, and
+//! * [`WalStore`] — a per-node on-disk store built on a CRC-32-framed
+//!   append-only write-ahead log (the incremental-decoder idiom of
+//!   [`crate::transport::frame`]: truncation is steady state, corruption
+//!   is terminal), a configurable [`FsyncPolicy`], snapshot compaction via
+//!   write-temp-then-atomic-rename with a manifest, and cold-start
+//!   recovery that replays snapshot + WAL suffix, truncates at the first
+//!   torn record and preserves object-epoch monotonicity so PR 4's
+//!   fencing survives restarts.
+//!
+//! All *real* filesystem IO is confined to [`fsio`] (enforced by the
+//! `store_io.rs` source-scan test); [`FaultFs`] is a purely in-memory
+//! [`fsio::Storage`] that injects torn writes, skipped fsyncs, bit flips
+//! and vanishing files — the storage-side sibling of the transport's
+//! `FaultProxy` — so the chaos tests can simulate power loss
+//! deterministically (a real SIGKILL never loses completed `write`s: the
+//! page cache survives the process).
+
+pub mod faultfs;
+pub mod fsio;
+pub mod wal;
+
+pub use faultfs::{FaultFs, FaultFsCounters};
+pub use fsio::{RealFs, Storage};
+pub use wal::{
+    CompactionReport, RecoveryReport, WalRecord, WalReplayer, WalSegment, WalStore, WalStoreConfig,
+};
+
+use bytes::Bytes;
+use oml_core::ids::ObjectId;
+use std::collections::HashMap;
+
+/// One stored passive copy of an object, stamped with the freshness
+/// coordinates that order it against other copies: freshness is the
+/// lexicographic order on `(object_epoch, seq)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredCheckpoint {
+    /// The registered type tag used to delinearize the state.
+    pub type_tag: String,
+    /// The object's linearized state.
+    pub state: Bytes,
+    /// The object epoch the copy was linearized under.
+    pub object_epoch: u64,
+    /// The refresh sequence number within that epoch.
+    pub seq: u64,
+}
+
+impl StoredCheckpoint {
+    /// The freshness coordinates: copies compare lexicographically.
+    #[must_use]
+    pub fn version(&self) -> (u64, u64) {
+        (self.object_epoch, self.seq)
+    }
+}
+
+/// How durable a just-acknowledged write is, per the store's fsync policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub enum Durability {
+    /// The record is on stable storage (fsync completed before returning).
+    Durable,
+    /// The record is written but not yet synced — a power loss may lose it.
+    Buffered,
+}
+
+impl Durability {
+    /// `true` iff the write reached stable storage before returning.
+    #[must_use]
+    pub fn is_durable(self) -> bool {
+        matches!(self, Durability::Durable)
+    }
+}
+
+/// When the write-ahead log is fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Every append is synced before the write is acknowledged. An acked
+    /// checkpoint survives any cold restart.
+    #[default]
+    Always,
+    /// Sync after `n` unsynced records or `ms` milliseconds, whichever
+    /// comes first. Bounded loss window, amortized sync cost.
+    Batch {
+        /// Unsynced records that force a sync.
+        n: u64,
+        /// Milliseconds since the last sync that force one.
+        ms: u64,
+    },
+    /// Never sync (the OS flushes when it pleases) — the negative-control
+    /// policy: acks lie about durability and the checker must catch the
+    /// loss after a simulated power failure.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always` / `never` / `batch:N:MS` (the `--fsync` /
+    /// `OML_FSYNC` grammar). `None` on anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            other => {
+                let rest = other.strip_prefix("batch:")?;
+                let (n, ms) = rest.split_once(':')?;
+                Some(FsyncPolicy::Batch {
+                    n: n.parse().ok()?,
+                    ms: ms.parse().ok()?,
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Batch { n, ms } => write!(f, "batch:{n}:{ms}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// A storage-layer failure. Unlike the in-memory paths these are real
+/// errors a caller must handle — never `.unwrap()`ed inside `store/`
+/// (enforced by the `store_io.rs` source-scan test).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An IO operation failed.
+    Io {
+        /// Which operation (`append`, `sync`, `rename`, …).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// A persisted structure failed validation (manifest or snapshot).
+    Corrupt {
+        /// The path involved.
+        path: String,
+        /// What failed to validate.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(op: &'static str, path: &std::path::Path, e: &std::io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, path, message } => {
+                write!(f, "store io failure: {op} {path}: {message}")
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "store corruption: {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Write-ahead-log observability counters (all zero for [`MemStore`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended to the WAL since open.
+    pub appended: u64,
+    /// Records made durable by an fsync since open.
+    pub synced: u64,
+    /// Fsync calls issued.
+    pub syncs: u64,
+    /// Snapshot compactions performed.
+    pub compactions: u64,
+    /// Records in the live WAL segment (resets at compaction).
+    pub wal_records: u64,
+    /// Bytes in the live WAL segment (resets at compaction).
+    pub wal_bytes: u64,
+    /// Current snapshot generation.
+    pub generation: u64,
+}
+
+/// A store of passive object copies with epoch-floor bookkeeping and a
+/// small `u32 → u64` metadata table (the multi-process coordinator keeps
+/// worker incarnations there so fencing survives its own restart).
+///
+/// Freshness gating is the *caller's* job — [`put`](Self::put) installs
+/// unconditionally; callers compare [`StoredCheckpoint::version`] first,
+/// exactly as the in-memory path always has.
+pub trait CheckpointStore: Send {
+    /// The stored copy of `object`, if any.
+    fn get(&self, object: ObjectId) -> Option<&StoredCheckpoint>;
+
+    /// Installs `ckpt` as `object`'s copy and raises the object's epoch
+    /// floor to `ckpt.object_epoch`. Returns how durable the write is per
+    /// the store's fsync policy.
+    ///
+    /// # Errors
+    /// [`StoreError`] on an IO failure — the record may be torn on disk;
+    /// recovery truncates it.
+    fn put(&mut self, object: ObjectId, ckpt: StoredCheckpoint) -> Result<Durability, StoreError>;
+
+    /// Drops `object`'s copy (its epoch floor is retained).
+    ///
+    /// # Errors
+    /// [`StoreError`] on an IO failure.
+    fn remove(&mut self, object: ObjectId) -> Result<(), StoreError>;
+
+    /// Drops every copy. Epoch floors and metadata are retained — fencing
+    /// must survive a wipe of the payload data.
+    ///
+    /// # Errors
+    /// [`StoreError`] on an IO failure.
+    fn clear(&mut self) -> Result<(), StoreError>;
+
+    /// Every object with a stored copy.
+    fn objects(&self) -> Vec<ObjectId>;
+
+    /// Number of stored copies.
+    fn len(&self) -> usize;
+
+    /// `true` iff no copies are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forces buffered records to stable storage; returns how many records
+    /// became durable.
+    ///
+    /// # Errors
+    /// [`StoreError`] on an IO failure.
+    fn sync(&mut self) -> Result<u64, StoreError>;
+
+    /// Raises `object`'s epoch floor to `epoch` (noop if already higher).
+    /// Durable stores persist the floor so a cold restart cannot
+    /// reinstantiate the object under a stale epoch.
+    ///
+    /// # Errors
+    /// [`StoreError`] on an IO failure.
+    fn note_epoch(&mut self, object: ObjectId, epoch: u64) -> Result<Durability, StoreError>;
+
+    /// The highest object epoch ever recorded for `object` (0 if none).
+    fn epoch_floor(&self, object: ObjectId) -> u64;
+
+    /// Every `(object, floor)` pair with a nonzero floor.
+    fn epoch_floors(&self) -> Vec<(ObjectId, u64)>;
+
+    /// Persists a metadata entry (e.g. a worker incarnation).
+    ///
+    /// # Errors
+    /// [`StoreError`] on an IO failure.
+    fn set_meta(&mut self, key: u32, value: u64) -> Result<Durability, StoreError>;
+
+    /// A metadata entry, if set.
+    fn meta(&self, key: u32) -> Option<u64>;
+
+    /// WAL observability counters (zeros for in-memory stores).
+    fn wal_stats(&self) -> WalStats {
+        WalStats::default()
+    }
+
+    /// `true` iff writes land on stable storage (a cold restart can
+    /// recover them). Gates `WalAppended`/`ColdRecovered` trace emission —
+    /// in-memory stores stay silent so the checker's durability invariants
+    /// only arm when there is a disk to hold them to.
+    fn durable_backed(&self) -> bool {
+        false
+    }
+}
+
+/// The in-memory store: bit-compatible with the pre-store behavior of the
+/// quorum-replication layer. Every write is trivially "durable" for the
+/// life of the process and gone with it.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: HashMap<ObjectId, StoredCheckpoint>,
+    floors: HashMap<ObjectId, u64>,
+    meta: HashMap<u32, u64>,
+}
+
+impl MemStore {
+    /// An empty in-memory store.
+    #[must_use]
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn get(&self, object: ObjectId) -> Option<&StoredCheckpoint> {
+        self.map.get(&object)
+    }
+
+    fn put(&mut self, object: ObjectId, ckpt: StoredCheckpoint) -> Result<Durability, StoreError> {
+        let floor = self.floors.entry(object).or_insert(0);
+        *floor = (*floor).max(ckpt.object_epoch);
+        self.map.insert(object, ckpt);
+        Ok(Durability::Durable)
+    }
+
+    fn remove(&mut self, object: ObjectId) -> Result<(), StoreError> {
+        self.map.remove(&object);
+        Ok(())
+    }
+
+    fn clear(&mut self) -> Result<(), StoreError> {
+        self.map.clear();
+        Ok(())
+    }
+
+    fn objects(&self) -> Vec<ObjectId> {
+        self.map.keys().copied().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn sync(&mut self) -> Result<u64, StoreError> {
+        Ok(0)
+    }
+
+    fn note_epoch(&mut self, object: ObjectId, epoch: u64) -> Result<Durability, StoreError> {
+        let floor = self.floors.entry(object).or_insert(0);
+        *floor = (*floor).max(epoch);
+        Ok(Durability::Durable)
+    }
+
+    fn epoch_floor(&self, object: ObjectId) -> u64 {
+        self.floors.get(&object).copied().unwrap_or(0)
+    }
+
+    fn epoch_floors(&self) -> Vec<(ObjectId, u64)> {
+        self.floors
+            .iter()
+            .filter(|(_, &e)| e > 0)
+            .map(|(&o, &e)| (o, e))
+            .collect()
+    }
+
+    fn set_meta(&mut self, key: u32, value: u64) -> Result<Durability, StoreError> {
+        self.meta.insert(key, value);
+        Ok(Durability::Durable)
+    }
+
+    fn meta(&self, key: u32) -> Option<u64> {
+        self.meta.get(&key).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ckpt(epoch: u64, seq: u64) -> StoredCheckpoint {
+        StoredCheckpoint {
+            type_tag: "t".into(),
+            state: Bytes::copy_from_slice(b"s"),
+            object_epoch: epoch,
+            seq,
+        }
+    }
+
+    #[test]
+    fn fsync_policy_grammar_round_trips() {
+        for p in [
+            FsyncPolicy::Always,
+            FsyncPolicy::Never,
+            FsyncPolicy::Batch { n: 8, ms: 50 },
+        ] {
+            assert_eq!(FsyncPolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+        assert_eq!(FsyncPolicy::parse("batch:x:1"), None);
+        assert_eq!(FsyncPolicy::parse("batch:1"), None);
+    }
+
+    #[test]
+    fn mem_store_tracks_floors_through_remove_and_clear() {
+        let mut s = MemStore::new();
+        let o = ObjectId::new(1);
+        assert!(s.put(o, ckpt(3, 1)).unwrap().is_durable());
+        assert_eq!(s.epoch_floor(o), 3);
+        s.remove(o).unwrap();
+        assert!(s.get(o).is_none());
+        assert_eq!(s.epoch_floor(o), 3, "floor survives remove");
+        let _ = s.put(o, ckpt(4, 0)).unwrap();
+        s.clear().unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.epoch_floor(o), 4, "floor survives clear");
+        assert_eq!(s.epoch_floors(), vec![(o, 4)]);
+    }
+
+    #[test]
+    fn mem_store_meta_round_trips() {
+        let mut s = MemStore::new();
+        assert_eq!(s.meta(7), None);
+        let _ = s.set_meta(7, 42).unwrap();
+        assert_eq!(s.meta(7), Some(42));
+    }
+
+    #[test]
+    fn versions_order_lexicographically() {
+        assert!(ckpt(2, 0).version() > ckpt(1, 9).version());
+    }
+}

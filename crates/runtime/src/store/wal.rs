@@ -1,0 +1,979 @@
+//! The write-ahead checkpoint store: CRC-32-framed append-only log,
+//! snapshot compaction behind a manifest, cold-start recovery.
+//!
+//! # On-disk layout (one directory per node)
+//!
+//! ```text
+//! MANIFEST          one framed record naming the live generation g
+//! snap-<g>.bin      framed records: the state as of the last compaction
+//! wal-<g>.log       framed records appended since
+//! ```
+//!
+//! Every record is a [`crate::transport::frame`] frame
+//! (`[len][crc][payload]`); the payload is a tagged [`WalRecord`]. The
+//! replay path reuses the transport decoder's contract verbatim:
+//! **truncation is steady state** — a torn tail (the crash landed inside
+//! an append) is silently cut back to the last whole record — while
+//! **corruption is terminal**: a CRC mismatch stops the replay at the
+//! longest valid prefix and is *reported*, never silently accepted.
+//!
+//! Compaction writes the full state to `snap-<g+1>.bin` via
+//! write-temp-then-atomic-rename, starts an empty `wal-<g+1>.log`, then
+//! atomically flips `MANIFEST` — a crash at any point leaves either
+//! generation fully readable. Epoch floors ([`WalRecord::Epoch`]) and the
+//! metadata table ([`WalRecord::Meta`]) are carried through compaction
+//! and survive [`CheckpointStore::clear`], so PR 4's fencing survives any
+//! number of restarts.
+
+use super::fsio::{RealFs, Storage};
+use super::{CheckpointStore, Durability, FsyncPolicy, StoreError, StoredCheckpoint, WalStats};
+use crate::transport::frame::{encode_frame, FrameConfig, FrameDecoder, HEADER_LEN};
+use crate::wire::{WireReader, WireWriter};
+use bytes::Bytes;
+use oml_core::ids::ObjectId;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const REC_PUT: u32 = 1;
+const REC_REMOVE: u32 = 2;
+const REC_CLEAR: u32 = 3;
+const REC_EPOCH: u32 = 4;
+const REC_META: u32 = 5;
+
+/// `MANIFEST` magic: `OMLW`.
+const MANIFEST_MAGIC: u32 = 0x4F4D_4C57;
+const MANIFEST_VERSION: u32 = 1;
+
+/// One logical WAL record (the frame payload, decoded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Install a checkpoint (and raise the object's epoch floor).
+    Put {
+        /// The object.
+        object: ObjectId,
+        /// Epoch the state was linearized under.
+        object_epoch: u64,
+        /// Refresh sequence within that epoch.
+        seq: u64,
+        /// Delinearizer type tag.
+        type_tag: String,
+        /// Linearized state.
+        state: Bytes,
+    },
+    /// Drop an object's checkpoint (floor retained).
+    Remove {
+        /// The object.
+        object: ObjectId,
+    },
+    /// Drop every checkpoint (floors and metadata retained).
+    Clear,
+    /// Raise an object's epoch floor without storing state.
+    Epoch {
+        /// The object.
+        object: ObjectId,
+        /// The floor.
+        epoch: u64,
+    },
+    /// A metadata entry (e.g. a worker incarnation).
+    Meta {
+        /// Caller-defined key.
+        key: u32,
+        /// Value.
+        value: u64,
+    },
+}
+
+/// Appends `rec`, framed, to `out`.
+pub fn encode_record(rec: &WalRecord, out: &mut Vec<u8>) {
+    let payload = match rec {
+        WalRecord::Put {
+            object,
+            object_epoch,
+            seq,
+            type_tag,
+            state,
+        } => WireWriter::new()
+            .u32(REC_PUT)
+            .u32(object.as_u32())
+            .u64(*object_epoch)
+            .u64(*seq)
+            .str(type_tag)
+            .bytes(state)
+            .finish(),
+        WalRecord::Remove { object } => WireWriter::new()
+            .u32(REC_REMOVE)
+            .u32(object.as_u32())
+            .finish(),
+        WalRecord::Clear => WireWriter::new().u32(REC_CLEAR).finish(),
+        WalRecord::Epoch { object, epoch } => WireWriter::new()
+            .u32(REC_EPOCH)
+            .u32(object.as_u32())
+            .u64(*epoch)
+            .finish(),
+        WalRecord::Meta { key, value } => WireWriter::new()
+            .u32(REC_META)
+            .u32(*key)
+            .u64(*value)
+            .finish(),
+    };
+    encode_frame(&payload, out);
+}
+
+/// Decodes one frame payload into a [`WalRecord`].
+///
+/// # Errors
+/// A description of the malformation. The CRC already passed when this is
+/// called, so an error here means a logic-level corruption — the replay
+/// treats it exactly like a checksum failure: terminal, reported.
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
+    let mut r = WireReader::new(payload);
+    let rec = match r.u32()? {
+        REC_PUT => WalRecord::Put {
+            object: ObjectId::new(r.u32()?),
+            object_epoch: r.u64()?,
+            seq: r.u64()?,
+            type_tag: r.str()?,
+            state: Bytes::from(r.bytes()?),
+        },
+        REC_REMOVE => WalRecord::Remove {
+            object: ObjectId::new(r.u32()?),
+        },
+        REC_CLEAR => WalRecord::Clear,
+        REC_EPOCH => WalRecord::Epoch {
+            object: ObjectId::new(r.u32()?),
+            epoch: r.u64()?,
+        },
+        REC_META => WalRecord::Meta {
+            key: r.u32()?,
+            value: r.u64()?,
+        },
+        other => return Err(format!("unknown wal record tag {other}")),
+    };
+    if !r.is_empty() {
+        return Err("trailing bytes after wal record".into());
+    }
+    Ok(rec)
+}
+
+/// The outcome of replaying one log segment (a WAL file or a snapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalSegment {
+    /// Records recovered, in append order — the longest valid prefix.
+    pub records: Vec<WalRecord>,
+    /// Bytes covered by those records (the safe truncation point).
+    pub valid_bytes: u64,
+    /// Trailing bytes past the last whole record: a torn tail (crash
+    /// mid-append) or the start of a corrupt region.
+    pub torn_bytes: u64,
+    /// `true` iff the replay stopped on a checksum/decoding failure rather
+    /// than simple truncation. Never silently accepted.
+    pub corrupt: bool,
+}
+
+/// Incremental segment replayer, mirroring [`FrameDecoder`]'s contract:
+/// feed arbitrary chunks, then [`finish`](Self::finish). Public so the WAL
+/// proptests can drive it under arbitrary write splits.
+#[derive(Debug)]
+pub struct WalReplayer {
+    dec: FrameDecoder,
+    records: Vec<WalRecord>,
+    valid_bytes: u64,
+    fed: u64,
+    corrupt: bool,
+}
+
+impl WalReplayer {
+    /// A replayer accepting payloads up to `max_frame` bytes.
+    #[must_use]
+    pub fn new(max_frame: u32) -> WalReplayer {
+        WalReplayer {
+            dec: FrameDecoder::new(FrameConfig { max_frame }),
+            records: Vec::new(),
+            valid_bytes: 0,
+            fed: 0,
+            corrupt: false,
+        }
+    }
+
+    /// Buffers another chunk of the segment (no-op once corrupt).
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.fed += chunk.len() as u64;
+        if self.corrupt {
+            return;
+        }
+        self.dec.extend(chunk);
+        loop {
+            match self.dec.next_frame() {
+                Ok(Some(payload)) => match decode_record(&payload) {
+                    Ok(rec) => {
+                        self.valid_bytes += (HEADER_LEN + payload.len()) as u64;
+                        self.records.push(rec);
+                    }
+                    Err(_) => {
+                        self.corrupt = true;
+                        return;
+                    }
+                },
+                Ok(None) => return,
+                Err(_) => {
+                    self.corrupt = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The replayed segment.
+    #[must_use]
+    pub fn finish(self) -> WalSegment {
+        WalSegment {
+            torn_bytes: self.fed - self.valid_bytes,
+            records: self.records,
+            valid_bytes: self.valid_bytes,
+            corrupt: self.corrupt,
+        }
+    }
+}
+
+/// Replays a whole in-memory segment.
+#[must_use]
+pub fn replay_segment(bytes: &[u8], max_frame: u32) -> WalSegment {
+    let mut r = WalReplayer::new(max_frame);
+    r.feed(bytes);
+    r.finish()
+}
+
+/// What cold-start recovery found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The manifest's live generation (0 = fresh store).
+    pub generation: u64,
+    /// Records replayed from the snapshot.
+    pub snapshot_records: u64,
+    /// Records replayed from the WAL suffix.
+    pub wal_records: u64,
+    /// Bytes cut from the WAL tail (torn final append). Steady state, not
+    /// an error.
+    pub torn_bytes: u64,
+    /// A checksum/decoding failure stopped a replay early. The longest
+    /// valid prefix was kept; the caller decides how loudly to complain.
+    pub corrupt: bool,
+    /// Expected files that were missing on reopen (manifest excluded —
+    /// a missing manifest just means a fresh store).
+    pub missing_files: u64,
+    /// Objects recovered into the in-memory image.
+    pub recovered_objects: u64,
+}
+
+/// The outcome of one snapshot compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The new live generation.
+    pub generation: u64,
+    /// Records written into the snapshot.
+    pub records: u64,
+}
+
+/// Configuration for a [`WalStore`].
+#[derive(Debug, Clone)]
+pub struct WalStoreConfig {
+    /// The store's directory (one per node).
+    pub dir: PathBuf,
+    /// When appends are fsynced.
+    pub fsync: FsyncPolicy,
+    /// Largest accepted record payload (defaults to the frame layer's
+    /// 4 MiB).
+    pub max_frame: u32,
+    /// Auto-compact once the live WAL holds this many records (0 = manual
+    /// compaction only).
+    pub compact_after: u64,
+}
+
+impl WalStoreConfig {
+    /// Defaults: `fsync=Always`, 4 MiB frames, compaction every 4096
+    /// records.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> WalStoreConfig {
+        WalStoreConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            max_frame: FrameConfig::default().max_frame,
+            compact_after: 4096,
+        }
+    }
+
+    /// Same defaults under `fsync`.
+    #[must_use]
+    pub fn with_fsync(dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> WalStoreConfig {
+        WalStoreConfig {
+            fsync,
+            ..WalStoreConfig::new(dir)
+        }
+    }
+}
+
+/// The durable checkpoint store. See the module docs for the layout and
+/// the recovery contract.
+pub struct WalStore {
+    cfg: WalStoreConfig,
+    fs: Arc<dyn Storage>,
+    map: HashMap<ObjectId, StoredCheckpoint>,
+    floors: HashMap<ObjectId, u64>,
+    meta: HashMap<u32, u64>,
+    generation: u64,
+    unsynced: u64,
+    last_sync: Instant,
+    stats: WalStats,
+}
+
+impl WalStore {
+    /// Opens (or creates) the store at `cfg.dir` on the real filesystem,
+    /// replaying snapshot + WAL. The report says what recovery found; a
+    /// torn WAL tail has already been truncated away.
+    ///
+    /// # Errors
+    /// [`StoreError`] on IO failures. Corruption is *not* an error — it is
+    /// reported in [`RecoveryReport::corrupt`] with the longest valid
+    /// prefix recovered.
+    pub fn open(cfg: WalStoreConfig) -> Result<(WalStore, RecoveryReport), StoreError> {
+        WalStore::open_with(cfg, Arc::new(RealFs))
+    }
+
+    /// [`open`](Self::open) against any [`Storage`] — the chaos tests pass
+    /// a [`super::FaultFs`].
+    ///
+    /// # Errors
+    /// As [`open`](Self::open).
+    pub fn open_with(
+        cfg: WalStoreConfig,
+        fs: Arc<dyn Storage>,
+    ) -> Result<(WalStore, RecoveryReport), StoreError> {
+        fs.create_dir_all(&cfg.dir)
+            .map_err(|e| StoreError::io("create_dir_all", &cfg.dir, &e))?;
+        let mut store = WalStore {
+            cfg,
+            fs,
+            map: HashMap::new(),
+            floors: HashMap::new(),
+            meta: HashMap::new(),
+            generation: 0,
+            unsynced: 0,
+            last_sync: Instant::now(),
+            stats: WalStats::default(),
+        };
+        let report = store.recover()?;
+        Ok((store, report))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.cfg.dir.join("MANIFEST")
+    }
+
+    fn snap_path(&self, generation: u64) -> PathBuf {
+        self.cfg.dir.join(format!("snap-{generation}.bin"))
+    }
+
+    fn wal_path(&self, generation: u64) -> PathBuf {
+        self.cfg.dir.join(format!("wal-{generation}.log"))
+    }
+
+    /// Replays manifest → snapshot → WAL into the in-memory image,
+    /// truncating the WAL at the first torn/corrupt record.
+    fn recover(&mut self) -> Result<RecoveryReport, StoreError> {
+        let mut report = RecoveryReport::default();
+
+        // manifest: names the live generation; missing = fresh store
+        let manifest = self.manifest_path();
+        match self.fs.read(&manifest) {
+            Ok(bytes) => match decode_manifest(&bytes, self.cfg.max_frame) {
+                Some(generation) => self.generation = generation,
+                None => {
+                    // an unreadable manifest orphans both generations; start
+                    // fresh but say so — never silently accept corruption
+                    report.corrupt = true;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::io("read", &manifest, &e)),
+        }
+        report.generation = self.generation;
+
+        // snapshot: written atomically, so a bad record is bitrot, not a
+        // torn write — keep the valid prefix and flag it
+        if self.generation > 0 {
+            let snap = self.snap_path(self.generation);
+            match self.fs.read(&snap) {
+                Ok(bytes) => {
+                    let seg = replay_segment(&bytes, self.cfg.max_frame);
+                    report.snapshot_records = seg.records.len() as u64;
+                    report.corrupt |= seg.corrupt;
+                    for rec in seg.records {
+                        self.apply(rec);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    report.missing_files += 1;
+                }
+                Err(e) => return Err(StoreError::io("read", &snap, &e)),
+            }
+        }
+
+        // WAL suffix: torn tail is steady state — truncate to the last
+        // whole record; corruption also truncates but is flagged
+        let wal = self.wal_path(self.generation);
+        match self.fs.read(&wal) {
+            Ok(bytes) => {
+                let seg = replay_segment(&bytes, self.cfg.max_frame);
+                report.wal_records = seg.records.len() as u64;
+                report.torn_bytes = seg.torn_bytes;
+                report.corrupt |= seg.corrupt;
+                if seg.torn_bytes > 0 {
+                    self.fs
+                        .truncate(&wal, seg.valid_bytes)
+                        .map_err(|e| StoreError::io("truncate", &wal, &e))?;
+                }
+                self.stats.wal_records = seg.records.len() as u64;
+                self.stats.wal_bytes = seg.valid_bytes;
+                for rec in seg.records {
+                    self.apply(rec);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::io("read", &wal, &e)),
+        }
+
+        self.stats.generation = self.generation;
+        report.recovered_objects = self.map.len() as u64;
+        Ok(report)
+    }
+
+    fn apply(&mut self, rec: WalRecord) {
+        match rec {
+            WalRecord::Put {
+                object,
+                object_epoch,
+                seq,
+                type_tag,
+                state,
+            } => {
+                let floor = self.floors.entry(object).or_insert(0);
+                *floor = (*floor).max(object_epoch);
+                self.map.insert(
+                    object,
+                    StoredCheckpoint {
+                        type_tag,
+                        state,
+                        object_epoch,
+                        seq,
+                    },
+                );
+            }
+            WalRecord::Remove { object } => {
+                self.map.remove(&object);
+            }
+            WalRecord::Clear => self.map.clear(),
+            WalRecord::Epoch { object, epoch } => {
+                let floor = self.floors.entry(object).or_insert(0);
+                *floor = (*floor).max(epoch);
+            }
+            WalRecord::Meta { key, value } => {
+                self.meta.insert(key, value);
+            }
+        }
+    }
+
+    /// Appends `rec` to the live WAL and applies it to the in-memory
+    /// image, then syncs per policy.
+    fn log(&mut self, rec: WalRecord) -> Result<Durability, StoreError> {
+        let mut frame = Vec::new();
+        encode_record(&rec, &mut frame);
+        let wal = self.wal_path(self.generation);
+        self.fs
+            .append(&wal, &frame)
+            .map_err(|e| StoreError::io("append", &wal, &e))?;
+        self.stats.appended += 1;
+        self.stats.wal_records += 1;
+        self.stats.wal_bytes += frame.len() as u64;
+        self.unsynced += 1;
+        self.apply(rec);
+        let durability = self.sync_per_policy()?;
+        if self.cfg.compact_after > 0 && self.stats.wal_records >= self.cfg.compact_after {
+            self.compact()?;
+        }
+        Ok(durability)
+    }
+
+    fn sync_per_policy(&mut self) -> Result<Durability, StoreError> {
+        let due = match self.cfg.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch { n, ms } => {
+                self.unsynced >= n.max(1) || self.last_sync.elapsed().as_millis() as u64 >= ms
+            }
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.sync_now()?;
+            Ok(Durability::Durable)
+        } else {
+            Ok(Durability::Buffered)
+        }
+    }
+
+    fn sync_now(&mut self) -> Result<u64, StoreError> {
+        if self.unsynced == 0 {
+            self.last_sync = Instant::now();
+            return Ok(0);
+        }
+        let wal = self.wal_path(self.generation);
+        self.fs
+            .sync(&wal)
+            .map_err(|e| StoreError::io("sync", &wal, &e))?;
+        let made = self.unsynced;
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
+        self.stats.syncs += 1;
+        self.stats.synced += made;
+        Ok(made)
+    }
+
+    /// All live records in deterministic order — what a snapshot holds.
+    fn snapshot_records(&self) -> Vec<WalRecord> {
+        let mut recs = Vec::new();
+        let mut metas: Vec<(u32, u64)> = self.meta.iter().map(|(&k, &v)| (k, v)).collect();
+        metas.sort_unstable();
+        for (key, value) in metas {
+            recs.push(WalRecord::Meta { key, value });
+        }
+        let mut floors: Vec<(ObjectId, u64)> = self
+            .floors
+            .iter()
+            .filter(|(_, &e)| e > 0)
+            .map(|(&o, &e)| (o, e))
+            .collect();
+        floors.sort_unstable_by_key(|&(o, _)| o.as_u32());
+        for (object, epoch) in floors {
+            recs.push(WalRecord::Epoch { object, epoch });
+        }
+        let mut objects: Vec<ObjectId> = self.map.keys().copied().collect();
+        objects.sort_unstable_by_key(|o| o.as_u32());
+        for object in objects {
+            let ck = &self.map[&object];
+            recs.push(WalRecord::Put {
+                object,
+                object_epoch: ck.object_epoch,
+                seq: ck.seq,
+                type_tag: ck.type_tag.clone(),
+                state: ck.state.clone(),
+            });
+        }
+        recs
+    }
+
+    /// Compacts: snapshot the live image into generation `g+1` (written
+    /// atomically), start an empty WAL, flip the manifest, delete the old
+    /// generation. Crash-safe at every step — the manifest flip is the
+    /// commit point.
+    ///
+    /// # Errors
+    /// [`StoreError`] on IO failures; the store remains usable on the old
+    /// generation if the flip never happened.
+    pub fn compact(&mut self) -> Result<CompactionReport, StoreError> {
+        let old = self.generation;
+        let new = old + 1;
+        let recs = self.snapshot_records();
+        let mut snap_bytes = Vec::new();
+        for rec in &recs {
+            encode_record(rec, &mut snap_bytes);
+        }
+        let snap = self.snap_path(new);
+        let snap_tmp = self.cfg.dir.join(format!("snap-{new}.tmp"));
+        self.fs
+            .write_atomic(&snap_tmp, &snap, &snap_bytes)
+            .map_err(|e| StoreError::io("write_atomic", &snap, &e))?;
+        let wal_new = self.wal_path(new);
+        self.fs
+            .write(&wal_new, &[])
+            .map_err(|e| StoreError::io("write", &wal_new, &e))?;
+        let manifest_bytes = encode_manifest(new);
+        let manifest = self.manifest_path();
+        let manifest_tmp = self.cfg.dir.join("MANIFEST.tmp");
+        self.fs
+            .write_atomic(&manifest_tmp, &manifest, &manifest_bytes)
+            .map_err(|e| StoreError::io("write_atomic", &manifest, &e))?;
+        // the flip committed; the old generation is garbage now
+        if old > 0 {
+            let _ = self.fs.remove(&self.snap_path(old));
+        }
+        let _ = self.fs.remove(&self.wal_path(old));
+        self.generation = new;
+        self.unsynced = 0;
+        self.stats.wal_records = 0;
+        self.stats.wal_bytes = 0;
+        self.stats.compactions += 1;
+        self.stats.generation = new;
+        Ok(CompactionReport {
+            generation: new,
+            records: recs.len() as u64,
+        })
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &std::path::Path {
+        &self.cfg.dir
+    }
+
+    /// The live WAL file's path (what a torn-write harness corrupts).
+    #[must_use]
+    pub fn live_wal_path(&self) -> PathBuf {
+        self.wal_path(self.generation)
+    }
+}
+
+fn encode_manifest(generation: u64) -> Vec<u8> {
+    let payload = WireWriter::new()
+        .u32(MANIFEST_MAGIC)
+        .u32(MANIFEST_VERSION)
+        .u64(generation)
+        .finish();
+    let mut out = Vec::new();
+    encode_frame(&payload, &mut out);
+    out
+}
+
+fn decode_manifest(bytes: &[u8], max_frame: u32) -> Option<u64> {
+    let mut dec = FrameDecoder::new(FrameConfig { max_frame });
+    dec.extend(bytes);
+    let payload = dec.next_frame().ok()??;
+    let mut r = WireReader::new(&payload);
+    if r.u32().ok()? != MANIFEST_MAGIC || r.u32().ok()? != MANIFEST_VERSION {
+        return None;
+    }
+    r.u64().ok()
+}
+
+impl CheckpointStore for WalStore {
+    fn get(&self, object: ObjectId) -> Option<&StoredCheckpoint> {
+        self.map.get(&object)
+    }
+
+    fn put(&mut self, object: ObjectId, ckpt: StoredCheckpoint) -> Result<Durability, StoreError> {
+        self.log(WalRecord::Put {
+            object,
+            object_epoch: ckpt.object_epoch,
+            seq: ckpt.seq,
+            type_tag: ckpt.type_tag,
+            state: ckpt.state,
+        })
+    }
+
+    fn remove(&mut self, object: ObjectId) -> Result<(), StoreError> {
+        if !self.map.contains_key(&object) {
+            return Ok(());
+        }
+        self.log(WalRecord::Remove { object }).map(|_| ())
+    }
+
+    fn clear(&mut self) -> Result<(), StoreError> {
+        if self.map.is_empty() {
+            return Ok(());
+        }
+        self.log(WalRecord::Clear).map(|_| ())
+    }
+
+    fn objects(&self) -> Vec<ObjectId> {
+        self.map.keys().copied().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn sync(&mut self) -> Result<u64, StoreError> {
+        self.sync_now()
+    }
+
+    fn note_epoch(&mut self, object: ObjectId, epoch: u64) -> Result<Durability, StoreError> {
+        if self.epoch_floor(object) >= epoch {
+            return Ok(Durability::Durable); // already on stable storage
+        }
+        self.log(WalRecord::Epoch { object, epoch })
+    }
+
+    fn epoch_floor(&self, object: ObjectId) -> u64 {
+        self.floors.get(&object).copied().unwrap_or(0)
+    }
+
+    fn epoch_floors(&self) -> Vec<(ObjectId, u64)> {
+        self.floors
+            .iter()
+            .filter(|(_, &e)| e > 0)
+            .map(|(&o, &e)| (o, e))
+            .collect()
+    }
+
+    fn set_meta(&mut self, key: u32, value: u64) -> Result<Durability, StoreError> {
+        self.log(WalRecord::Meta { key, value })
+    }
+
+    fn meta(&self, key: u32) -> Option<u64> {
+        self.meta.get(&key).copied()
+    }
+
+    fn wal_stats(&self) -> WalStats {
+        self.stats
+    }
+
+    fn durable_backed(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::FaultFs;
+
+    fn ckpt(epoch: u64, seq: u64, state: &[u8]) -> StoredCheckpoint {
+        StoredCheckpoint {
+            type_tag: "counter".into(),
+            state: Bytes::copy_from_slice(state),
+            object_epoch: epoch,
+            seq,
+        }
+    }
+
+    fn cfg(fsync: FsyncPolicy) -> WalStoreConfig {
+        WalStoreConfig {
+            compact_after: 0,
+            ..WalStoreConfig::with_fsync("/virtual/store", fsync)
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = [
+            WalRecord::Put {
+                object: ObjectId::new(7),
+                object_epoch: 3,
+                seq: 9,
+                type_tag: "counter".into(),
+                state: Bytes::copy_from_slice(&[1, 2, 3]),
+            },
+            WalRecord::Remove {
+                object: ObjectId::new(7),
+            },
+            WalRecord::Clear,
+            WalRecord::Epoch {
+                object: ObjectId::new(8),
+                epoch: 4,
+            },
+            WalRecord::Meta { key: 2, value: 11 },
+        ];
+        let mut wire = Vec::new();
+        for rec in &records {
+            encode_record(rec, &mut wire);
+        }
+        let seg = replay_segment(&wire, 4 << 20);
+        assert!(!seg.corrupt);
+        assert_eq!(seg.torn_bytes, 0);
+        assert_eq!(seg.records, records);
+    }
+
+    #[test]
+    fn truncated_tail_is_steady_state() {
+        let mut wire = Vec::new();
+        encode_record(&WalRecord::Meta { key: 1, value: 1 }, &mut wire);
+        let whole = wire.len() as u64;
+        encode_record(&WalRecord::Meta { key: 2, value: 2 }, &mut wire);
+        let seg = replay_segment(&wire[..wire.len() - 3], 4 << 20);
+        assert!(!seg.corrupt, "truncation is not corruption");
+        assert_eq!(seg.records.len(), 1);
+        assert_eq!(seg.valid_bytes, whole);
+        assert!(seg.torn_bytes > 0);
+    }
+
+    #[test]
+    fn reopen_replays_the_wal() {
+        let fs = Arc::new(FaultFs::new());
+        let o = ObjectId::new(1);
+        {
+            let (mut s, r) = WalStore::open_with(cfg(FsyncPolicy::Always), fs.clone()).unwrap();
+            assert_eq!(r, RecoveryReport::default());
+            assert!(s.put(o, ckpt(1, 0, b"a")).unwrap().is_durable());
+            assert!(s.put(o, ckpt(1, 1, b"ab")).unwrap().is_durable());
+            let _ = s.note_epoch(o, 5).unwrap();
+        }
+        let (s, r) = WalStore::open_with(cfg(FsyncPolicy::Always), fs).unwrap();
+        assert_eq!(r.wal_records, 3);
+        assert_eq!(r.recovered_objects, 1);
+        assert!(!r.corrupt);
+        assert_eq!(s.get(o).unwrap().state, Bytes::copy_from_slice(b"ab"));
+        assert_eq!(s.get(o).unwrap().version(), (1, 1));
+        assert_eq!(s.epoch_floor(o), 5, "floors survive restart");
+    }
+
+    #[test]
+    fn fsync_always_survives_power_loss_never_does_not() {
+        for (policy, survives) in [(FsyncPolicy::Always, true), (FsyncPolicy::Never, false)] {
+            let fs = Arc::new(FaultFs::new());
+            let o = ObjectId::new(1);
+            {
+                let (mut s, _) = WalStore::open_with(cfg(policy), fs.clone()).unwrap();
+                let d = s.put(o, ckpt(1, 0, b"a")).unwrap();
+                assert_eq!(d.is_durable(), survives, "{policy}");
+            }
+            fs.power_loss();
+            let (s, r) = WalStore::open_with(cfg(policy), fs).unwrap();
+            assert_eq!(s.get(o).is_some(), survives, "{policy}");
+            assert!(!r.corrupt);
+        }
+    }
+
+    #[test]
+    fn batch_policy_syncs_on_count() {
+        let fs = Arc::new(FaultFs::new());
+        let (mut s, _) = WalStore::open_with(
+            cfg(FsyncPolicy::Batch {
+                n: 2,
+                ms: 1_000_000,
+            }),
+            fs,
+        )
+        .unwrap();
+        let o = ObjectId::new(1);
+        assert!(!s.put(o, ckpt(1, 0, b"a")).unwrap().is_durable());
+        assert!(s.put(o, ckpt(1, 1, b"b")).unwrap().is_durable());
+        assert_eq!(s.wal_stats().syncs, 1);
+        assert_eq!(s.wal_stats().synced, 2);
+    }
+
+    #[test]
+    fn torn_append_truncates_on_reopen() {
+        let fs = Arc::new(FaultFs::new());
+        let o = ObjectId::new(1);
+        {
+            let (mut s, _) = WalStore::open_with(cfg(FsyncPolicy::Always), fs.clone()).unwrap();
+            let _ = s.put(o, ckpt(1, 0, b"good")).unwrap();
+            fs.torn_write(2, 5); // next append keeps 5 bytes then "dies"
+            assert!(s
+                .put(o, ckpt(1, 1, b"lost"))
+                .unwrap_err()
+                .to_string()
+                .contains("torn"));
+        }
+        let (s, r) = WalStore::open_with(cfg(FsyncPolicy::Always), fs.clone()).unwrap();
+        assert!(!r.corrupt, "a torn tail is steady state");
+        assert_eq!(r.torn_bytes, 5);
+        assert_eq!(s.get(o).unwrap().version(), (1, 0));
+        // and the file really was cut back to the valid prefix
+        let wal = s.live_wal_path();
+        assert_eq!(fs.file_len(&wal), Some(s.wal_stats().wal_bytes as usize));
+    }
+
+    #[test]
+    fn bit_flip_is_flagged_never_silent() {
+        let fs = Arc::new(FaultFs::new());
+        let o = ObjectId::new(1);
+        let wal = {
+            let (mut s, _) = WalStore::open_with(cfg(FsyncPolicy::Always), fs.clone()).unwrap();
+            let _ = s.put(o, ckpt(1, 0, b"aaaa")).unwrap();
+            let _ = s.put(o, ckpt(1, 1, b"bbbb")).unwrap();
+            s.live_wal_path()
+        };
+        let len = fs.file_len(&wal).unwrap() as u64;
+        assert!(fs.flip_bit(&wal, (len - 4) * 8));
+        let (s, r) = WalStore::open_with(cfg(FsyncPolicy::Always), fs).unwrap();
+        assert!(r.corrupt, "corruption must be reported");
+        assert_eq!(s.get(o).unwrap().version(), (1, 0), "longest valid prefix");
+    }
+
+    #[test]
+    fn compaction_survives_reopen_and_prunes_the_old_generation() {
+        let fs = Arc::new(FaultFs::new());
+        let o1 = ObjectId::new(1);
+        let o2 = ObjectId::new(2);
+        {
+            let (mut s, _) = WalStore::open_with(cfg(FsyncPolicy::Always), fs.clone()).unwrap();
+            let _ = s.put(o1, ckpt(2, 7, b"one")).unwrap();
+            let _ = s.put(o2, ckpt(1, 3, b"two")).unwrap();
+            s.remove(o2).unwrap();
+            let _ = s.set_meta(9, 99).unwrap();
+            let rep = s.compact().unwrap();
+            assert_eq!(rep.generation, 1);
+            // old wal gone, fresh wal empty
+            assert!(fs.read(&s.wal_path(0)).is_err());
+            assert_eq!(s.wal_stats().wal_records, 0);
+            let _ = s.put(o2, ckpt(4, 0, b"back")).unwrap();
+        }
+        fs.power_loss();
+        let (s, r) = WalStore::open_with(cfg(FsyncPolicy::Always), fs).unwrap();
+        assert_eq!(r.generation, 1);
+        assert!(!r.corrupt);
+        assert_eq!(s.get(o1).unwrap().state, Bytes::copy_from_slice(b"one"));
+        assert_eq!(s.get(o2).unwrap().version(), (4, 0));
+        assert_eq!(s.epoch_floor(o2), 4);
+        assert_eq!(s.meta(9), Some(99));
+    }
+
+    #[test]
+    fn auto_compaction_fires_at_the_threshold() {
+        let fs = Arc::new(FaultFs::new());
+        let mut cfg = cfg(FsyncPolicy::Always);
+        cfg.compact_after = 3;
+        let (mut s, _) = WalStore::open_with(cfg, fs).unwrap();
+        for i in 0..7u64 {
+            let _ = s.put(ObjectId::new(1), ckpt(1, i, b"x")).unwrap();
+        }
+        assert!(s.wal_stats().compactions >= 2);
+        assert!(s.wal_stats().wal_records < 3);
+        assert_eq!(s.get(ObjectId::new(1)).unwrap().version(), (1, 6));
+    }
+
+    #[test]
+    fn clear_keeps_floors_and_meta() {
+        let fs = Arc::new(FaultFs::new());
+        let o = ObjectId::new(3);
+        {
+            let (mut s, _) = WalStore::open_with(cfg(FsyncPolicy::Always), fs.clone()).unwrap();
+            let _ = s.put(o, ckpt(6, 0, b"x")).unwrap();
+            let _ = s.set_meta(1, 2).unwrap();
+            s.clear().unwrap();
+        }
+        let (s, _) = WalStore::open_with(cfg(FsyncPolicy::Always), fs).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.epoch_floor(o), 6);
+        assert_eq!(s.meta(1), Some(2));
+    }
+
+    #[test]
+    fn vanished_snapshot_is_reported() {
+        let fs = Arc::new(FaultFs::new());
+        {
+            let (mut s, _) = WalStore::open_with(cfg(FsyncPolicy::Always), fs.clone()).unwrap();
+            let _ = s.put(ObjectId::new(1), ckpt(1, 0, b"x")).unwrap();
+            s.compact().unwrap();
+            fs.vanish_on_reopen(&s.snap_path(1));
+        }
+        let (s, r) = WalStore::open_with(cfg(FsyncPolicy::Always), fs).unwrap();
+        assert_eq!(r.missing_files, 1);
+        assert!(s.is_empty(), "the snapshot's state is gone");
+    }
+
+    #[test]
+    fn corrupt_manifest_is_flagged_and_store_starts_fresh() {
+        let fs = Arc::new(FaultFs::new());
+        let manifest = {
+            let (mut s, _) = WalStore::open_with(cfg(FsyncPolicy::Always), fs.clone()).unwrap();
+            let _ = s.put(ObjectId::new(1), ckpt(1, 0, b"x")).unwrap();
+            s.compact().unwrap();
+            s.manifest_path()
+        };
+        assert!(fs.flip_bit(&manifest, 9 * 8));
+        let (_, r) = WalStore::open_with(cfg(FsyncPolicy::Always), fs).unwrap();
+        assert!(r.corrupt);
+        assert_eq!(r.generation, 0);
+    }
+}

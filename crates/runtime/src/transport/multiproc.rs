@@ -33,6 +33,10 @@ use super::socket::{SocketConfig, SocketPeer, SocketServer};
 use super::{Transport, TransportError, TransportEvent};
 use crate::error::RuntimeError;
 use crate::object::{Delinearizer, MobileObject};
+use crate::store::{
+    CheckpointStore, FsyncPolicy, MemStore, RecoveryReport, StoredCheckpoint, WalStore,
+    WalStoreConfig,
+};
 use crate::wire::{WireReader, WireWriter};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender};
@@ -283,6 +287,13 @@ pub struct MultiProcConfig {
     /// Run the background detector thread (tests drive `sweep()` manually
     /// with this off).
     pub monitor: bool,
+    /// When set, the coordinator's checkpoint table and incarnation table
+    /// live in a [`WalStore`] under `store_dir/coord` instead of plain
+    /// memory, so [`MultiProcCluster::recover`] can rebuild the cluster
+    /// after the coordinator itself is SIGKILLed.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Fsync policy for the durable store (ignored without `store_dir`).
+    pub fsync: FsyncPolicy,
 }
 
 /// A worker slot at the coordinator.
@@ -292,14 +303,6 @@ struct ProcSlot {
     health: ProcHealth,
     last_beat: Instant,
     ever_beat: bool,
-}
-
-/// A cached checkpoint: enough to reinstantiate the object anywhere.
-#[derive(Debug, Clone)]
-struct Checkpoint {
-    type_tag: String,
-    state: Vec<u8>,
-    obj_epoch: u64,
 }
 
 #[derive(Default)]
@@ -315,9 +318,45 @@ struct CoordState {
     slots: Vec<ProcSlot>,
     /// object → hosting worker.
     directory: HashMap<u32, u32>,
-    checkpoints: HashMap<u32, Checkpoint>,
+    /// The checkpoint table: [`MemStore`] by default, [`WalStore`] when
+    /// `cfg.store_dir` is set — the fix for the coordinator's table dying
+    /// with the coordinator.
+    store: Box<dyn CheckpointStore>,
     pending: HashMap<u64, Sender<ProtoMsg>>,
     counters: Counters,
+}
+
+/// What a checkpoint append should report to the trace, if anything:
+/// `Some((durable, object_epoch, seq))` only for durable-backed stores, so
+/// `MemStore` runs never arm the checker's durability invariants.
+type WalNote = Option<(bool, u64, u64)>;
+
+impl CoordState {
+    /// Writes `object`'s checkpoint under the next per-object `seq`;
+    /// freshness gating is the caller's job.
+    fn put_checkpoint(
+        &mut self,
+        object: u32,
+        type_tag: &str,
+        state: &[u8],
+        obj_epoch: u64,
+    ) -> Result<WalNote, crate::store::StoreError> {
+        let id = ObjectId::new(object);
+        let seq = self.store.get(id).map_or(1, |c| c.seq + 1);
+        let durability = self.store.put(
+            id,
+            StoredCheckpoint {
+                type_tag: type_tag.to_owned(),
+                state: Bytes::copy_from_slice(state),
+                object_epoch: obj_epoch,
+                seq,
+            },
+        )?;
+        Ok(self
+            .store
+            .durable_backed()
+            .then_some((durability.is_durable(), obj_epoch, seq)))
+    }
 }
 
 struct CoordShared {
@@ -334,6 +373,20 @@ impl CoordShared {
         self.trace
             .lock()
             .push(TraceEvent::new(CLIENT_PROCESS, kind));
+    }
+
+    /// Mirrors a durable checkpoint append into the trace (no-op for
+    /// in-memory stores).
+    fn trace_wal(&self, object: u32, note: WalNote) {
+        if let Some((durable, object_epoch, seq)) = note {
+            self.trace(EventKind::WalAppended {
+                node: CLIENT_PROCESS,
+                object: ObjectId::new(object),
+                object_epoch,
+                seq,
+                durable,
+            });
+        }
     }
 }
 
@@ -361,17 +414,94 @@ pub struct MultiProcCluster {
 
 impl MultiProcCluster {
     /// Binds the server, spawns `cfg.workers` worker processes (incarnation
-    /// 1 each) and waits for their first sessions.
+    /// 1 each) and waits for their first sessions. With `cfg.store_dir`
+    /// set, the checkpoint table is durable from the first create.
     ///
     /// # Errors
-    /// Bind or spawn failures.
+    /// Bind, spawn or store-open failures.
     pub fn spawn(cfg: MultiProcConfig) -> io::Result<MultiProcCluster> {
+        let (store, _report) = open_store(&cfg)?;
+        MultiProcCluster::boot(cfg, store, None)
+    }
+
+    /// Cold-starts a coordinator from the durable store a dead one left
+    /// behind: worker incarnations resume **above** their persisted
+    /// floors (so pre-crash zombies stay fenced), every checkpoint in the
+    /// store is reinstantiated at a live worker under a bumped object
+    /// epoch, and a [`EventKind::ColdRecovered`] event records what came
+    /// back.
+    ///
+    /// # Errors
+    /// `cfg.store_dir` unset, store-open failures, bind/spawn failures,
+    /// or workers not ready within `ready_timeout`.
+    pub fn recover(cfg: MultiProcConfig, ready_timeout: Duration) -> io::Result<MultiProcCluster> {
+        if cfg.store_dir.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "recover requires cfg.store_dir",
+            ));
+        }
+        let (store, report) = open_store(&cfg)?;
+        let cluster = MultiProcCluster::boot(cfg, store, Some(report))?;
+        if !cluster.wait_ready(ready_timeout) {
+            cluster.abandon();
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "workers not ready after cold restart",
+            ));
+        }
+        let mut objects: Vec<u32> = {
+            let state = cluster.inner.state.lock();
+            state
+                .store
+                .objects()
+                .into_iter()
+                .map(|o| o.as_u32())
+                .collect()
+        };
+        objects.sort_unstable();
+        for object in objects {
+            let _ = reinstall_from_checkpoint_shared(&cluster.inner, object);
+        }
+        Ok(cluster)
+    }
+
+    fn boot(
+        cfg: MultiProcConfig,
+        mut store: Box<dyn CheckpointStore>,
+        recovering: Option<RecoveryReport>,
+    ) -> io::Result<MultiProcCluster> {
         let server = SocketServer::bind(&cfg.addr, cfg.workers, cfg.socket.clone())?;
         let now = Instant::now();
-        let slots = (0..cfg.workers)
-            .map(|_| ProcSlot {
+        // on a cold restart every worker resumes above its persisted
+        // incarnation floor; a fresh boot starts everyone at 1
+        let incarnations: Vec<u64> = (0..cfg.workers)
+            .map(|node| {
+                if recovering.is_some() {
+                    store.meta(node).unwrap_or(0) + 1
+                } else {
+                    1
+                }
+            })
+            .collect();
+        for (node, &inc) in incarnations.iter().enumerate() {
+            let _ = store.set_meta(node as u32, inc).map_err(store_io_err)?;
+            server.fence_below(node as u32, inc);
+        }
+        let recovered = recovering.map(|report| {
+            let mut versions: Vec<(ObjectId, u64, u64)> = store
+                .objects()
+                .into_iter()
+                .filter_map(|o| store.get(o).map(|c| (o, c.object_epoch, c.seq)))
+                .collect();
+            versions.sort_unstable_by_key(|(o, ..)| *o);
+            (versions, report.torn_bytes > 0, report.corrupt)
+        });
+        let slots = incarnations
+            .iter()
+            .map(|&incarnation| ProcSlot {
                 child: None,
-                incarnation: 1,
+                incarnation,
                 health: ProcHealth::Up,
                 last_beat: now,
                 ever_beat: false,
@@ -383,7 +513,7 @@ impl MultiProcCluster {
             state: Mutex::new(CoordState {
                 slots,
                 directory: HashMap::new(),
-                checkpoints: HashMap::new(),
+                store,
                 pending: HashMap::new(),
                 counters: Counters::default(),
             }),
@@ -391,13 +521,21 @@ impl MultiProcCluster {
             next_corr: AtomicU64::new(1),
             closed: AtomicBool::new(false),
         });
+        if let Some((recovered, torn, corrupt)) = recovered {
+            inner.trace(EventKind::ColdRecovered {
+                node: CLIENT_PROCESS,
+                recovered,
+                torn,
+                corrupt,
+            });
+        }
         let cluster = MultiProcCluster {
             inner: Arc::clone(&inner),
             threads: Mutex::new(Vec::new()),
         };
 
-        for node in 0..inner.cfg.workers {
-            cluster.spawn_worker_process(node, 1)?;
+        for (node, &inc) in incarnations.iter().enumerate() {
+            cluster.spawn_worker_process(node as u32, inc)?;
         }
 
         let d_inner = Arc::clone(&inner);
@@ -527,17 +665,24 @@ impl MultiProcCluster {
         };
         match self.call(node, corr, &msg)? {
             ProtoMsg::Ack { ok: true, .. } => {
-                let mut st = self.inner.state.lock();
-                st.directory.insert(object, node);
-                st.checkpoints.insert(
-                    object,
-                    Checkpoint {
-                        type_tag: type_tag.to_owned(),
-                        state,
-                        obj_epoch: 1,
-                    },
-                );
-                Ok(())
+                // the create is acked to the caller only once the
+                // checkpoint is recorded (durably, for a WalStore under
+                // fsync=Always)
+                let wal_note = {
+                    let mut st = self.inner.state.lock();
+                    st.directory.insert(object, node);
+                    st.put_checkpoint(object, type_tag, &state, 1)
+                };
+                match wal_note {
+                    Ok(appended) => {
+                        self.inner.trace_wal(object, appended);
+                        Ok(())
+                    }
+                    Err(e) => Err(RuntimeError::MethodFailed {
+                        object: ObjectId::new(object),
+                        message: format!("checkpoint store: {e}"),
+                    }),
+                }
             }
             ProtoMsg::Ack { err, .. } => Err(RuntimeError::MethodFailed {
                 object: ObjectId::new(object),
@@ -587,19 +732,23 @@ impl MultiProcCluster {
                 ..
             } => {
                 if result.is_ok() {
-                    let mut st = self.inner.state.lock();
-                    let ck = st.checkpoints.entry(object).or_insert_with(|| Checkpoint {
-                        type_tag: type_tag.clone(),
-                        state: Vec::new(),
-                        obj_epoch: 0,
-                    });
-                    if obj_epoch >= ck.obj_epoch {
-                        *ck = Checkpoint {
-                            type_tag,
-                            state: new_state,
-                            obj_epoch,
-                        };
-                    }
+                    // freshness-gated refresh: never let a stale epoch's
+                    // piggybacked state clobber a newer checkpoint
+                    let wal_note = {
+                        let mut st = self.inner.state.lock();
+                        let fresh = st
+                            .store
+                            .get(ObjectId::new(object))
+                            .is_none_or(|c| obj_epoch >= c.object_epoch);
+                        if fresh {
+                            st.put_checkpoint(object, &type_tag, &new_state, obj_epoch)
+                                .ok()
+                                .flatten()
+                        } else {
+                            None
+                        }
+                    };
+                    self.inner.trace_wal(object, wal_note);
                 }
                 result.map_err(|message| RuntimeError::MethodFailed {
                     object: ObjectId::new(object),
@@ -655,20 +804,26 @@ impl MultiProcCluster {
                 })
             }
         };
-        // the object now exists only as bytes; keep the checkpoint fresh
-        // before attempting the install leg
+        // the object now exists only as bytes; record the checkpoint
+        // before attempting the install leg — if the store refuses, abort
+        // the migration with the object still recoverable from the cache
         let next_epoch = obj_epoch + 1;
-        {
+        let note = {
             let mut st = self.inner.state.lock();
-            st.checkpoints.insert(
-                object,
-                Checkpoint {
-                    type_tag: type_tag.clone(),
-                    state: state.clone(),
-                    obj_epoch: next_epoch,
-                },
-            );
-            st.directory.remove(&object);
+            let note = st.put_checkpoint(object, &type_tag, &state, next_epoch);
+            if note.is_ok() {
+                st.directory.remove(&object);
+            }
+            note
+        };
+        match note {
+            Ok(note) => self.inner.trace_wal(object, note),
+            Err(e) => {
+                return Err(RuntimeError::MethodFailed {
+                    object: ObjectId::new(object),
+                    message: format!("checkpoint store: {e}"),
+                })
+            }
         }
         let corr = self.corr();
         let install = ProtoMsg::Install {
@@ -752,7 +907,9 @@ impl MultiProcCluster {
             slot.health = ProcHealth::Up;
             slot.last_beat = Instant::now();
             slot.ever_beat = false;
-            slot.incarnation
+            let incarnation = slot.incarnation;
+            let _ = state.store.set_meta(node, incarnation);
+            incarnation
         };
         self.inner.server.fence_below(node, incarnation);
         self.inner.trace(EventKind::Restart {
@@ -871,6 +1028,78 @@ impl MultiProcCluster {
             let _ = h.join();
         }
     }
+
+    /// Coordinator-death teardown: SIGKILL every worker and tear the
+    /// server down **without** any Shutdown protocol message or store
+    /// flush — whatever the WAL holds is all a successor gets. The
+    /// in-process analogue of SIGKILLing the coordinator, for
+    /// [`MultiProcCluster::recover`] tests.
+    pub fn abandon(&self) {
+        let children: Vec<Child> = {
+            let mut state = self.inner.state.lock();
+            state
+                .slots
+                .iter_mut()
+                .filter_map(|s| s.child.take())
+                .collect()
+        };
+        for mut child in children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.inner.closed.store(true, Ordering::Release);
+        self.inner.server.shutdown();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// OS pids of the live worker processes (for orchestration that must
+    /// SIGKILL the whole process tree from outside, e.g. the cold-restart
+    /// experiment killing workers orphaned by a coordinator death).
+    #[must_use]
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.inner
+            .state
+            .lock()
+            .slots
+            .iter()
+            .filter_map(|s| s.child.as_ref().map(Child::id))
+            .collect()
+    }
+
+    /// Every object the directory currently places somewhere (sorted).
+    #[must_use]
+    pub fn objects(&self) -> Vec<u32> {
+        let mut objects: Vec<u32> = self.inner.state.lock().directory.keys().copied().collect();
+        objects.sort_unstable();
+        objects
+    }
+
+    /// The checkpoint store's WAL counters (zeros for in-memory runs).
+    #[must_use]
+    pub fn wal_stats(&self) -> crate::store::WalStats {
+        self.inner.state.lock().store.wal_stats()
+    }
+}
+
+/// Opens the coordinator's checkpoint store: a [`WalStore`] under
+/// `store_dir/coord` when configured, else a [`MemStore`].
+fn open_store(cfg: &MultiProcConfig) -> io::Result<(Box<dyn CheckpointStore>, RecoveryReport)> {
+    match &cfg.store_dir {
+        Some(dir) => {
+            let (store, report) =
+                WalStore::open(WalStoreConfig::with_fsync(dir.join("coord"), cfg.fsync))
+                    .map_err(store_io_err)?;
+            Ok((Box::new(store), report))
+        }
+        None => Ok((Box::new(MemStore::new()), RecoveryReport::default())),
+    }
+}
+
+fn store_io_err(e: crate::store::StoreError) -> io::Error {
+    io::Error::other(e.to_string())
 }
 
 fn map_transport_err(e: &TransportError, node: u32) -> RuntimeError {
@@ -993,6 +1222,12 @@ fn sweep_impl(inner: &Arc<CoordShared>) {
             }
         }
         state.counters.declared_dead += newly_dead.len() as u64;
+        // persist bumped incarnations so a cold-restarted coordinator
+        // keeps the fence above any pre-crash zombie
+        for &node in &newly_dead {
+            let incarnation = state.slots[node as usize].incarnation;
+            let _ = state.store.set_meta(node, incarnation);
+        }
     }
     for node in newly_suspected {
         inner.trace(EventKind::Suspected {
@@ -1028,23 +1263,27 @@ fn sweep_impl(inner: &Arc<CoordShared>) {
 /// bumped object epoch. Used by the sweep (dead host) and the failed
 /// install leg of a migration.
 fn reinstall_from_checkpoint_shared(inner: &Arc<CoordShared>, object: u32) -> Option<u32> {
-    let (ck, target) = {
+    let (type_tag, ck_state, next_epoch, target) = {
         let state = inner.state.lock();
-        let ck = state.checkpoints.get(&object)?.clone();
+        let ck = state.store.get(ObjectId::new(object))?;
         let target = state
             .slots
             .iter()
             .position(|s| s.health == ProcHealth::Up)
             .map(|i| i as u32)?;
-        (ck, target)
+        (
+            ck.type_tag.clone(),
+            ck.state.to_vec(),
+            ck.object_epoch + 1,
+            target,
+        )
     };
     let corr = inner.next_corr.fetch_add(1, Ordering::AcqRel);
-    let next_epoch = ck.obj_epoch + 1;
     let msg = ProtoMsg::Install {
         corr,
         object,
-        type_tag: ck.type_tag.clone(),
-        state: ck.state.clone(),
+        type_tag: type_tag.clone(),
+        state: ck_state.clone(),
         obj_epoch: next_epoch,
     };
     let (tx, rx) = bounded(1);
@@ -1061,14 +1300,17 @@ fn reinstall_from_checkpoint_shared(inner: &Arc<CoordShared>, object: u32) -> Op
         inner.state.lock().pending.remove(&corr);
         return None;
     }
-    {
+    let note = {
         let mut state = inner.state.lock();
         state.directory.insert(object, target);
-        if let Some(ck) = state.checkpoints.get_mut(&object) {
-            ck.obj_epoch = next_epoch;
-        }
+        let note = state
+            .put_checkpoint(object, &type_tag, &ck_state, next_epoch)
+            .ok()
+            .flatten();
         state.counters.reinstantiated += 1;
-    }
+        note
+    };
+    inner.trace_wal(object, note);
     inner.trace(EventKind::Reinstantiated {
         object: ObjectId::new(object),
         at: NodeId::new(target),

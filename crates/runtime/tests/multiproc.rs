@@ -13,8 +13,8 @@
 use oml_runtime::transport::netio::TransportAddr;
 use oml_runtime::transport::socket::SocketConfig;
 use oml_runtime::{
-    run_worker, MobileObject, MultiProcCluster, MultiProcConfig, ProcHealth, RuntimeError,
-    WorkerOptions,
+    run_worker, FsyncPolicy, MobileObject, MultiProcCluster, MultiProcConfig, ProcHealth,
+    RuntimeError, WorkerOptions,
 };
 use std::time::{Duration, Instant};
 
@@ -64,6 +64,8 @@ fn cfg(addr: TransportAddr) -> MultiProcConfig {
         worker_program: std::env::current_exe().expect("own path"),
         worker_args: Vec::new(),
         monitor: true,
+        store_dir: None,
+        fsync: FsyncPolicy::Always,
     }
 }
 
@@ -182,6 +184,79 @@ fn scenario() {
     println!("multiproc sigkill/recovery/zombie scenario: ok");
 }
 
+/// Coordinator-death scenario: with a durable store configured, abandon
+/// the coordinator (no Shutdown protocol, no store flush, workers
+/// SIGKILLed) and cold-start a successor from the WAL alone. Both objects
+/// and their freshest checkpointed state must come back, and the combined
+/// trace must satisfy the checker's durability invariants.
+fn durable_scenario() {
+    let dir = std::env::temp_dir().join(format!("oml-mp-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let store_dir = dir.join("store");
+    let mut c = cfg(TransportAddr::Unix(dir.join("coord.sock")));
+    c.store_dir = Some(store_dir.clone());
+    let cluster = MultiProcCluster::spawn(c).expect("spawn durable cluster");
+    assert!(
+        cluster.wait_ready(Duration::from_secs(10)),
+        "workers never heartbeat"
+    );
+    cluster
+        .create(0, 1, "counter", 0u64.to_le_bytes().to_vec())
+        .expect("create o1");
+    cluster
+        .create(1, 2, "counter", 0u64.to_le_bytes().to_vec())
+        .expect("create o2");
+    let (v, _) = invoke_until_ok(&cluster, 1, "add", &[9], Duration::from_secs(5));
+    assert_eq!(value_of(&v), 9);
+    let (v, _) = invoke_until_ok(&cluster, 2, "add", &[4], Duration::from_secs(5));
+    assert_eq!(value_of(&v), 4);
+    assert!(
+        cluster.wal_stats().appended > 0,
+        "durable store must have WAL appends"
+    );
+    let mut trace = cluster.take_trace();
+    // the coordinator "dies" here: no graceful shutdown, no flush
+    cluster.abandon();
+
+    let mut c2 = cfg(TransportAddr::Unix(dir.join("coord2.sock")));
+    c2.store_dir = Some(store_dir);
+    let revived = MultiProcCluster::recover(c2, Duration::from_secs(10)).expect("cold restart");
+    assert_eq!(
+        revived.objects(),
+        vec![1, 2],
+        "every checkpointed object must be reinstantiated"
+    );
+    let (v, _) = invoke_until_ok(&revived, 1, "get", &[], Duration::from_secs(5));
+    assert_eq!(value_of(&v), 9, "o1 state survived the coordinator death");
+    let (v, _) = invoke_until_ok(&revived, 2, "get", &[], Duration::from_secs(5));
+    assert_eq!(value_of(&v), 4, "o2 state survived the coordinator death");
+    trace.extend(revived.take_trace());
+    revived.shutdown();
+
+    let report = oml_check::check_trace(&trace);
+    assert!(
+        report.violations.is_empty(),
+        "trace violations: {:?}",
+        report.violations
+    );
+    use oml_check::event::EventKind;
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WalAppended { durable: true, .. })),
+        "durable appends must be visible to the checker"
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ColdRecovered { .. })),
+        "the cold recovery must be visible to the checker"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("multiproc coordinator kill/cold-restart scenario: ok");
+}
+
 fn main() {
     // worker role: the coordinator re-executes this binary with OML_MP_*
     // set; run the worker loop and exit with it
@@ -190,4 +265,5 @@ fn main() {
         return;
     }
     scenario();
+    durable_scenario();
 }
